@@ -1,0 +1,441 @@
+(* RPSLyzer command-line interface.
+
+   Subcommands:
+     gen      generate a synthetic world directory (IRR dumps, AS
+              relationships, collector table dumps)
+     parse    parse RPSL dumps and export the IR as JSON
+     stats    Section-4 characterization report
+     verify   verify collector routes against the RPSL, print aggregates
+     explain  verify one route and print the per-hop report
+     whois    look up one object in the parsed database *)
+
+open Cmdliner
+
+let dir_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "d"; "dir" ] ~docv:"DIR" ~doc:"World directory (see $(b,gen)).")
+
+(* ---------------- gen ---------------- *)
+
+let gen_cmd =
+  let run seed n_tier1 n_mid n_stub out =
+    let topo_params =
+      { Rz_topology.Gen.default_params with seed; n_tier1; n_mid; n_stub }
+    in
+    let irr_config = { Rz_synthirr.Config.default with seed = seed + 1 } in
+    let world = Rpslyzer.Pipeline.build_synthetic ~topo_params ~irr_config () in
+    Rpslyzer.Pipeline.save_world world out;
+    let n_routes =
+      List.fold_left
+        (fun acc (d : Rz_bgp.Table_dump.t) -> acc + List.length d.routes)
+        0 world.table_dumps
+    in
+    Printf.printf "wrote %d IRR dumps, as-rel.txt, %d collector routes to %s\n"
+      (List.length world.dumps) n_routes out
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let n_tier1 = Arg.(value & opt int 5 & info [ "tier1" ] ~doc:"Number of Tier-1 ASes.") in
+  let n_mid = Arg.(value & opt int 120 & info [ "mid" ] ~doc:"Number of transit ASes.") in
+  let n_stub = Arg.(value & opt int 500 & info [ "stub" ] ~doc:"Number of stub ASes.") in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a synthetic world (IRRs, relationships, BGP dumps).")
+    Term.(const run $ seed $ n_tier1 $ n_mid $ n_stub $ out)
+
+(* ---------------- parse ---------------- *)
+
+let parse_cmd =
+  let run dir output indent =
+    let dumps = Rpslyzer.Pipeline.load_dumps dir in
+    let ir = Rz_ir.Ir.create () in
+    List.iter
+      (fun (source, text) -> ignore (Rz_ir.Lower.add_dump ir ~source text))
+      dumps;
+    let json = Rz_ir.Ir_json.export_string ~indent ir in
+    (match output with
+     | Some path ->
+       let oc = open_out path in
+       output_string oc json;
+       close_out oc;
+       Printf.printf "wrote IR for %d aut-nums to %s\n"
+         (Hashtbl.length ir.Rz_ir.Ir.aut_nums) path
+     | None -> print_endline json)
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write JSON here instead of stdout.")
+  in
+  let indent =
+    Arg.(value & opt int 0 & info [ "indent" ] ~doc:"Pretty-print with this indent.")
+  in
+  Cmd.v
+    (Cmd.info "parse" ~doc:"Parse the IRR dumps of a world and export the IR as JSON.")
+    Term.(const run $ dir_arg $ output $ indent)
+
+(* ---------------- stats ---------------- *)
+
+let print_table1 (rows : Rz_stats.Usage.table1_row list) =
+  Rz_util.Table.print
+    ~header:[ "IRR"; "SIZE (KiB)"; "aut-num"; "route"; "import"; "export" ]
+    (List.map
+       (fun (r : Rz_stats.Usage.table1_row) ->
+         [ r.irr;
+           string_of_int (r.size_bytes / 1024);
+           Rz_util.Table.commas r.n_aut_num;
+           Rz_util.Table.commas r.n_route;
+           Rz_util.Table.commas r.n_import;
+           Rz_util.Table.commas r.n_export ])
+       rows)
+
+let stats_cmd =
+  let run dir =
+    let world = Rpslyzer.Pipeline.load_world dir in
+    let u = Rpslyzer.Pipeline.usage world in
+    print_endline "== Table 1: IRRs ==";
+    print_table1 u.table1;
+    Printf.printf "\npeering definitions that are a single ASN or ANY: %s\n"
+      (Rz_util.Table.pct u.peering_simple_fraction);
+    Printf.printf "ASes with rules fully BGPq4-compatible: %s\n"
+      (Rz_util.Table.pct u.ases_bgpq4_only);
+    print_endline "\n== Rules per aut-num (CCDF) ==";
+    List.iter
+      (fun (x, f) -> Printf.printf "  P(rules >= %4d) = %s\n" x (Rz_util.Table.pct f))
+      (Rz_util.Stats_util.ccdf_at (List.map snd u.rules_per_aut_num) [ 1; 10; 100; 1000 ]);
+    print_endline "\n== Route objects ==";
+    Printf.printf "  objects %s / unique pairs %s / unique prefixes %s\n"
+      (Rz_util.Table.commas u.route_stats.n_objects)
+      (Rz_util.Table.commas u.route_stats.n_prefix_origin)
+      (Rz_util.Table.commas u.route_stats.n_prefixes);
+    Printf.printf "  multi-object %d, multi-origin %d, multi-maintainer %d prefixes\n"
+      u.route_stats.multi_object_prefixes u.route_stats.multi_origin_prefixes
+      u.route_stats.multi_maintainer_prefixes;
+    print_endline "\n== as-sets ==";
+    Printf.printf "  total %d: empty %d, singleton %d, recursive %d (loops %d, depth>=5 %d)\n"
+      u.as_set_stats.n_sets u.as_set_stats.empty u.as_set_stats.singleton
+      u.as_set_stats.recursive u.as_set_stats.with_loop u.as_set_stats.depth_5_plus;
+    print_endline "\n== Errors ==";
+    Printf.printf "  syntax %d, invalid as-set names %d, invalid route-set names %d\n"
+      u.error_stats.syntax_errors u.error_stats.invalid_as_set_names
+      u.error_stats.invalid_route_set_names
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Characterize RPSL usage (the paper's Section 4).")
+    Term.(const run $ dir_arg)
+
+(* ---------------- verify ---------------- *)
+
+let verify_cmd =
+  let run dir paper_compat verbose =
+    let world = Rpslyzer.Pipeline.load_world dir in
+    let config = { Rz_verify.Engine.paper_compat } in
+    let t0 = Unix.gettimeofday () in
+    let agg, `Total total, `Excluded excluded =
+      Rpslyzer.Pipeline.verify ~config world
+    in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    Printf.printf "verified %d routes (%d excluded) in %.2fs (%.0f routes/s)\n" total
+      excluded elapsed
+      (float_of_int total /. elapsed);
+    let c = Rz_verify.Aggregate.overall agg in
+    let hop_total = float_of_int (Rz_verify.Aggregate.n_hops agg) in
+    print_endline "\n== hop statuses ==";
+    List.iter
+      (fun (label, count) ->
+        Printf.printf "  %-11s %9s (%s)\n" label (Rz_util.Table.commas count)
+          (Rz_util.Table.pct (float_of_int count /. hop_total)))
+      (Rz_verify.Aggregate.counts_classes c);
+    if verbose then begin
+      let s2 = Rz_verify.Aggregate.per_as_summary agg in
+      Printf.printf "\nASes: %d (single-status %s, all-verified %s)\n" s2.n_ases
+        (Rz_util.Table.pct (float_of_int s2.all_same_status /. float_of_int s2.n_ases))
+        (Rz_util.Table.pct (float_of_int s2.all_verified /. float_of_int s2.n_ases))
+    end
+  in
+  let paper_compat =
+    Arg.(
+      value & flag
+      & info [ "paper-compat" ]
+          ~doc:"Skip the rules the paper's implementation skips (community \
+                filters, ASN ranges, ~ operators).")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Extra summaries.") in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Verify collector routes against the RPSL (Section 5).")
+    Term.(const run $ dir_arg $ paper_compat $ verbose)
+
+(* ---------------- explain ---------------- *)
+
+let explain_cmd =
+  let run dir prefix path =
+    let world = Rpslyzer.Pipeline.load_world dir in
+    match Rz_net.Prefix.of_string prefix with
+    | Error e -> prerr_endline e; exit 1
+    | Ok pfx ->
+      let asns = List.filter_map (fun s -> Result.to_option (Rz_net.Asn.of_string s)) path in
+      if List.length asns <> List.length path then begin
+        prerr_endline "malformed ASN in path";
+        exit 1
+      end;
+      let route = Rz_bgp.Route.make pfx asns in
+      (match Rpslyzer.Pipeline.explain_route world route with
+       | Some report -> print_endline report
+       | None -> print_endline "route excluded (single AS or AS_SET path)")
+  in
+  let prefix =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PREFIX" ~doc:"Route prefix.")
+  in
+  let path =
+    Arg.(value & pos_right 0 string [] & info [] ~docv:"ASN..." ~doc:"AS-path, collector side first.")
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Verify one route and print the per-hop report (Appendix C).")
+    Term.(const run $ dir_arg $ prefix $ path)
+
+(* ---------------- whois ---------------- *)
+
+let whois_cmd =
+  let run dir name =
+    let world = Rpslyzer.Pipeline.load_world dir in
+    let db = world.db in
+    let ir = Rz_irr.Db.ir db in
+    let found = ref false in
+    (match Rz_net.Asn.of_string name with
+     | Ok asn when Rz_util.Strings.starts_with_ci ~prefix:"AS" name ->
+       (match Rz_ir.Ir.find_aut_num ir asn with
+        | Some an ->
+          found := true;
+          Printf.printf "aut-num: %s (source %s)\n" (Rz_net.Asn.to_string an.asn) an.source;
+          List.iter
+            (fun r -> Printf.printf "  %s\n" (Rz_policy.Ast.rule_to_string r))
+            (an.imports @ an.exports)
+        | None -> ())
+     | _ -> ());
+    (match Rz_ir.Ir.find_as_set ir name with
+     | Some s ->
+       found := true;
+       Printf.printf "as-set: %s (source %s)\n" s.name s.source;
+       Printf.printf "  direct: %s\n"
+         (String.concat ", "
+            (List.map Rz_net.Asn.to_string s.member_asns @ s.member_sets));
+       let flat = Rz_irr.Db.flatten_as_set db s.name in
+       Printf.printf "  flattened: %d ASNs (depth %d%s)\n"
+         (Rz_irr.Db.Asn_set.cardinal flat)
+         (Rz_irr.Db.as_set_depth db s.name)
+         (if Rz_irr.Db.as_set_has_loop db s.name then ", loops" else "")
+     | None -> ());
+    (match Rz_ir.Ir.find_route_set ir name with
+     | Some s ->
+       found := true;
+       Printf.printf "route-set: %s (source %s), %d flattened prefixes\n" s.name s.source
+         (List.length (Rz_irr.Db.flatten_route_set db s.name))
+     | None -> ());
+    (match Rz_net.Prefix.of_string name with
+     | Ok pfx ->
+       let origins = Rz_irr.Db.exact_origins db pfx in
+       if origins <> [] then begin
+         found := true;
+         List.iter
+           (fun o ->
+             Printf.printf "route: %s origin %s\n" (Rz_net.Prefix.to_string pfx)
+               (Rz_net.Asn.to_string o))
+           origins
+       end
+     | Error _ -> ());
+    if not !found then begin
+      Printf.printf "%% no entries found for %s\n" name;
+      exit 1
+    end
+  in
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"ASN, set name, or prefix.")
+  in
+  Cmd.v
+    (Cmd.info "whois" ~doc:"Look up an object in the parsed database.")
+    Term.(const run $ dir_arg $ name_arg)
+
+(* ---------------- query (IRRd protocol) ---------------- *)
+
+let query_cmd =
+  let run dir queries =
+    let world = Rpslyzer.Pipeline.load_world dir in
+    if queries = [] then begin
+      (* interactive: read query lines from stdin until EOF or !q *)
+      try
+        while true do
+          let line = input_line stdin in
+          match Rz_irr.Irrd_query.answer world.db line with
+          | Rz_irr.Irrd_query.Quit -> raise Exit
+          | resp -> print_string (Rz_irr.Irrd_query.render resp)
+        done
+      with End_of_file | Exit -> ()
+    end
+    else print_string (Rz_irr.Irrd_query.session world.db queries)
+  in
+  let queries =
+    Arg.(value & pos_all string [] & info [] ~docv:"QUERY"
+           ~doc:"IRRd-style queries, e.g. '!gAS65000' or '!iAS-FOO,1'. \
+                 Reads stdin when none are given.")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Answer IRRd-protocol queries against the parsed database.")
+    Term.(const run $ dir_arg $ queries)
+
+(* ---------------- peval ---------------- *)
+
+let peval_cmd =
+  let run dir expr aggregate =
+    let world = Rpslyzer.Pipeline.load_world dir in
+    match Rz_irr.Filter_eval.eval_string world.db expr with
+    | Error e -> prerr_endline e; exit 1
+    | Ok result ->
+      if aggregate then
+        List.iter
+          (fun p -> print_endline (Rz_net.Prefix.to_string p))
+          (Rz_irr.Filter_eval.to_prefix_list result)
+      else
+        List.iter
+          (fun (p, op) ->
+            Printf.printf "%s%s\n" (Rz_net.Prefix.to_string p)
+              (Rz_net.Range_op.to_string op))
+          result.prefixes;
+      List.iter (Printf.eprintf "%% unresolved: %s\n") result.unresolved;
+      if result.unresolved <> [] then exit 2
+  in
+  let expr =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILTER"
+           ~doc:"RPSL filter expression, e.g. 'AS-FOO AND NOT AS65001'.")
+  in
+  let aggregate =
+    Arg.(value & flag & info [ "A"; "aggregate" ] ~doc:"Aggregate adjacent prefixes.")
+  in
+  Cmd.v
+    (Cmd.info "peval" ~doc:"Materialize a filter expression to its prefix set (IRRToolSet's peval).")
+    Term.(const run $ dir_arg $ expr $ aggregate)
+
+(* ---------------- lint ---------------- *)
+
+let lint_cmd =
+  let run dir errors_only fix =
+    let world = Rpslyzer.Pipeline.load_world dir in
+    let diags = Rz_lint.Linter.lint ~rels:world.rels world.db in
+    let diags =
+      if errors_only then
+        List.filter (fun (d : Rz_lint.Linter.diagnostic) -> d.severity = Rz_lint.Linter.Error) diags
+      else diags
+    in
+    List.iter (fun d -> print_endline (Rz_lint.Linter.diagnostic_to_string d)) diags;
+    Printf.printf "%% %d diagnostics\n" (List.length diags);
+    if fix then begin
+      let ir = Rz_irr.Db.ir world.db in
+      Hashtbl.iter
+        (fun asn _ ->
+          match Rz_lint.Rewrite.suggest ~rels:world.rels world.db asn with
+          | Some s ->
+            Printf.printf "\n%% suggested rewrite for AS%d:\n" asn;
+            List.iter
+              (fun (c : Rz_lint.Rewrite.change) ->
+                Printf.printf "-%s\n+%s\n  (%s)\n" c.before c.after c.reason)
+              s.changes
+          | None -> ())
+        ir.Rz_ir.Ir.aut_nums
+    end;
+    if List.exists (fun (d : Rz_lint.Linter.diagnostic) -> d.severity = Rz_lint.Linter.Error) diags
+    then exit 1
+  in
+  let errors_only =
+    Arg.(value & flag & info [ "errors-only" ] ~doc:"Only report errors.")
+  in
+  let fix =
+    Arg.(value & flag & info [ "fix" ] ~doc:"Print suggested policy rewrites.")
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc:"Lint the RPSL objects for misuses and hygiene problems.")
+    Term.(const run $ dir_arg $ errors_only $ fix)
+
+(* ---------------- classify ---------------- *)
+
+let classify_cmd =
+  let run dir =
+    let world = Rpslyzer.Pipeline.load_world dir in
+    let observed =
+      let seen = Hashtbl.create 512 in
+      List.iter
+        (fun (dump : Rz_bgp.Table_dump.t) ->
+          List.iter
+            (fun route ->
+              List.iter (fun asn -> Hashtbl.replace seen asn ())
+                (Rz_bgp.Route.dedup_path route))
+            dump.routes)
+        world.table_dumps;
+      Hashtbl.fold (fun k () acc -> k :: acc) seen [] |> List.sort compare
+    in
+    let profiles = Rz_stats.Classify.classify_all ~rels:world.rels ~observed world.db in
+    let hist = Rz_stats.Classify.histogram profiles in
+    let total = List.length profiles in
+    Rz_util.Table.print
+      ~header:[ "style"; "ASes"; "share" ]
+      (List.map
+         (fun (style, count) ->
+           [ Rz_stats.Classify.style_to_string style;
+             string_of_int count;
+             Rz_util.Table.pct (float_of_int count /. float_of_int (max 1 total)) ])
+         hist)
+  in
+  Cmd.v
+    (Cmd.info "classify" ~doc:"Classify BGP-visible ASes by RPSL usage style.")
+    Term.(const run $ dir_arg)
+
+(* ---------------- diff ---------------- *)
+
+let diff_cmd =
+  let run before_dir after_dir =
+    let load dir =
+      let ir = Rz_ir.Ir.create () in
+      List.iter
+        (fun (src, text) -> ignore (Rz_ir.Lower.add_dump ir ~source:src text))
+        (Rpslyzer.Pipeline.load_dumps dir);
+      ir
+    in
+    let d = Rz_stats.Evolution.diff ~before:(load before_dir) ~after:(load after_dir) in
+    print_endline (Rz_stats.Evolution.summary d);
+    List.iter
+      (fun asn -> Printf.printf "+ aut-num %s\n" (Rz_net.Asn.to_string asn))
+      d.aut_nums_added;
+    List.iter
+      (fun asn -> Printf.printf "- aut-num %s\n" (Rz_net.Asn.to_string asn))
+      d.aut_nums_removed;
+    List.iter
+      (fun (c : Rz_stats.Evolution.rule_change) ->
+        Printf.printf "~ aut-num %s: %d -> %d rules\n" (Rz_net.Asn.to_string c.asn)
+          c.before_rules c.after_rules)
+      d.rules_changed
+  in
+  let before_dir =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BEFORE" ~doc:"Earlier world dir.")
+  in
+  let after_dir =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"AFTER" ~doc:"Later world dir.")
+  in
+  Cmd.v
+    (Cmd.info "diff" ~doc:"Diff two IRR snapshots (policy evolution).")
+    Term.(const run $ before_dir $ after_dir)
+
+let () =
+  let info =
+    Cmd.info "rpslyzer" ~version:"1.0.0"
+      ~doc:"Parse, characterize, and verify RPSL routing policies."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ gen_cmd; parse_cmd; stats_cmd; verify_cmd; explain_cmd; whois_cmd;
+            query_cmd; peval_cmd; lint_cmd; classify_cmd; diff_cmd ]))

@@ -1,0 +1,1 @@
+examples/characterize_irr.ml: List Printf Rpslyzer Rz_stats Rz_topology Rz_util String

@@ -1,0 +1,1 @@
+examples/filter_generation.ml: List Printf Rpslyzer Rz_ir Rz_irr Rz_net Rz_policy Rz_stats

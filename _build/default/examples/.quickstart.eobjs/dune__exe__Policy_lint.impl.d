@@ -1,0 +1,1 @@
+examples/policy_lint.ml: List Printf Rpslyzer Rz_asrel Rz_lint

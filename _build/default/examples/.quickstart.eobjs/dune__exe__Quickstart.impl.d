@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Rpslyzer Rz_asrel Rz_ir Rz_irr Rz_net Rz_policy Rz_verify String

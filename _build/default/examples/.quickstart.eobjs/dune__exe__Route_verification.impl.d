@@ -1,0 +1,1 @@
+examples/route_verification.ml: List Printf Rz_asrel Rz_bgp Rz_irr Rz_net Rz_verify

@@ -1,0 +1,1 @@
+examples/whois_query.ml: Array List Printf Rpslyzer Rz_ir Rz_irr Rz_net Rz_policy Rz_synthirr Rz_topology Rz_util String Sys

@@ -1,0 +1,1 @@
+examples/whois_query.mli:

@@ -1,0 +1,82 @@
+(* BGPq4-style router filter generation: resolve an as-set to its member
+   ASNs, collect their route objects, and print a prefix-list — the
+   operational workflow the paper describes transit providers using
+   (Section 1). Unlike BGPq4 we can also expand route-sets with range
+   operators and report BGPq4-incompatible rules.
+
+   Run with: dune exec examples/filter_generation.exe *)
+
+let () =
+  (* A small provider world: AS65000 with two customers, one of which is
+     itself a small transit network publishing its own cone set. *)
+  let rpsl =
+    "aut-num: AS65000\n\
+     as-name: PROVIDER\n\
+     export: to AS64496 announce AS65000:AS-CUSTOMERS\n\
+     \n\
+     as-set: AS65000:AS-CUSTOMERS\n\
+     members: AS65000, AS65001, AS65002:AS-CONE\n\
+     \n\
+     as-set: AS65002:AS-CONE\n\
+     members: AS65002, AS65003\n\
+     \n\
+     route-set: AS65000:RS-STATIC\n\
+     members: 198.51.100.0/24^24-25, 203.0.113.0/24\n\
+     \n\
+     route: 192.0.2.0/24\norigin: AS65001\n\
+     route: 198.18.0.0/15\norigin: AS65002\n\
+     route: 198.19.128.0/17\norigin: AS65003\n\
+     route: 203.0.113.0/24\norigin: AS65000\n"
+  in
+  let db = Rpslyzer.db_of_rpsl rpsl in
+
+  (* --- prefix-list from an as-set (what `bgpq4 AS65000:AS-CUSTOMERS`
+         would produce) --- *)
+  let set_name = "AS65000:AS-CUSTOMERS" in
+  let members = Rz_irr.Db.flatten_as_set db set_name in
+  Printf.printf "! generated from %s (%d member ASNs)\n" set_name
+    (Rz_irr.Db.Asn_set.cardinal members);
+  let prefixes =
+    Rz_irr.Db.Asn_set.fold
+      (fun asn acc -> List.rev_append (Rz_irr.Db.origin_prefixes db asn) acc)
+      members []
+    (* aggregate adjacent prefixes like bgpq4 -A *)
+    |> Rz_net.Prefix_agg.aggregate
+  in
+  List.iteri
+    (fun i prefix ->
+      Printf.printf "ip prefix-list %s seq %d permit %s\n" "AS65000-CUSTOMERS"
+        ((i + 1) * 5)
+        (Rz_net.Prefix.to_string prefix))
+    prefixes;
+
+  (* --- prefix-list from a route-set, honouring range operators --- *)
+  print_newline ();
+  let rs = "AS65000:RS-STATIC" in
+  Printf.printf "! generated from %s\n" rs;
+  List.iter
+    (fun (prefix, op) ->
+      let le_ge =
+        match op with
+        | Rz_net.Range_op.None_ -> ""
+        | Rz_net.Range_op.Plus -> Printf.sprintf " le %d" (Rz_net.Prefix.max_len prefix)
+        | Rz_net.Range_op.Minus ->
+          Printf.sprintf " ge %d" (prefix.Rz_net.Prefix.len + 1)
+        | Rz_net.Range_op.Exact n -> Printf.sprintf " ge %d le %d" n n
+        | Rz_net.Range_op.Range (lo, hi) -> Printf.sprintf " ge %d le %d" lo hi
+      in
+      Printf.printf "ip prefix-list RS-STATIC permit %s%s\n"
+        (Rz_net.Prefix.to_string prefix) le_ge)
+    (Rz_irr.Db.flatten_route_set db rs);
+
+  (* --- BGPq4 compatibility report for an aut-num --- *)
+  print_newline ();
+  match Rz_ir.Ir.find_aut_num (Rz_irr.Db.ir db) 65000 with
+  | None -> ()
+  | Some an ->
+    List.iter
+      (fun rule ->
+        Printf.printf "%s : %s\n"
+          (if Rz_stats.Bgpq4_compat.rule_compatible rule then "bgpq4-ok  " else "bgpq4-SKIP")
+          (Rz_policy.Ast.rule_to_string rule))
+      (an.imports @ an.exports)

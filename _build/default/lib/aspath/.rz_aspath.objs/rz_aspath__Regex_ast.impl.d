@@ -1,0 +1,1 @@
+lib/aspath/regex_ast.ml: List Printf Rz_net String

@@ -1,0 +1,1 @@
+lib/aspath/regex_ast.mli: Rz_net

@@ -1,0 +1,1 @@
+lib/aspath/regex_match.ml: Array List Printf Regex_ast Rz_net

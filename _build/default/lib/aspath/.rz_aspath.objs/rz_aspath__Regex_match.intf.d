@@ -1,0 +1,1 @@
+lib/aspath/regex_match.mli: Regex_ast Rz_net

@@ -1,0 +1,1 @@
+lib/aspath/regex_nfa.ml: Array Hashtbl List Queue Regex_ast Regex_match

@@ -1,0 +1,1 @@
+lib/aspath/regex_nfa.mli: Regex_ast Regex_match Rz_net

@@ -1,0 +1,1 @@
+lib/aspath/regex_parse.ml: List Printf Regex_ast Rz_net Rz_util String

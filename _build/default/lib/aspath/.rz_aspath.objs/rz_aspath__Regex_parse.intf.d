@@ -1,0 +1,1 @@
+lib/aspath/regex_parse.mli: Regex_ast

@@ -1,0 +1,22 @@
+(** Thompson-NFA evaluation of AS-path regexes — the paper's symbolic
+    formulation made polynomial: AS tokens become the NFA alphabet, each
+    observed ASN is mapped to the {e set} of tokens it matches, and the
+    subset simulation advances over those sets. Equivalent accept/reject
+    behaviour to {!Regex_match.matches} (a qcheck differential property
+    enforces it) with worst-case cost O(path · states) regardless of the
+    pattern — immune to the backtracking matcher's pathological cases.
+
+    The same-pattern operators [~*]/[~+] need one extra register (the
+    pinned ASN) and are handled by running the containing repetition as an
+    anchored sub-simulation. *)
+
+type t
+(** A compiled matcher. *)
+
+val compile : Regex_ast.t -> t
+
+val matches : ?env:Regex_match.env -> t -> Rz_net.Asn.t array -> bool
+(** Unanchored search, like {!Regex_match.matches}. *)
+
+val state_count : t -> int
+(** Number of NFA states (for tests and the bench report). *)

@@ -1,0 +1,6 @@
+(** Parser for AS-path regular expressions. Input is the text between the
+    [<] and [>] delimiters of an RPSL filter term. *)
+
+val parse : string -> (Regex_ast.t, string) result
+(** Parse a full regex. Whitespace separates adjacent terms (concatenation
+    in RPSL AS-path regexes is written with spaces). *)

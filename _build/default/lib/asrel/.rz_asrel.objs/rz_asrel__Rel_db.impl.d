@@ -1,0 +1,1 @@
+lib/asrel/rel_db.ml: Buffer Hashtbl Int List Option Printf Rz_net Rz_util Set String

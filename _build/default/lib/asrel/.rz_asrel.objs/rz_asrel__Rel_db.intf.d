@@ -1,0 +1,1 @@
+lib/asrel/rel_db.mli: Rz_net Set

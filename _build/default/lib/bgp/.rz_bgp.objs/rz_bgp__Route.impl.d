@@ -1,0 +1,1 @@
+lib/bgp/route.ml: Format List Option Printf Rz_net Rz_util String

@@ -1,0 +1,1 @@
+lib/bgp/table_dump.ml: Buffer List Printf Route Rz_util String

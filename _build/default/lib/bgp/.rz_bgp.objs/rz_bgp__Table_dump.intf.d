@@ -1,0 +1,1 @@
+lib/bgp/table_dump.mli: Route

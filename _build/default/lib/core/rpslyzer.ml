@@ -1,0 +1,204 @@
+(** RPSLyzer — parse, interpret, characterize, and verify RPSL routing
+    policies (OCaml reproduction of the IMC'24 system).
+
+    This module is the public facade: it re-exports every subsystem under
+    a stable name and provides {!Pipeline}, the end-to-end driver that the
+    examples, CLI, and benchmark harness are built on. *)
+
+(** {1 Subsystems} *)
+
+module Util = Rz_util
+module Json = Rz_json.Json
+module Net = Rz_net
+module Rpsl = Rz_rpsl
+module Aspath = Rz_aspath
+module Policy = Rz_policy
+module Ir = Rz_ir
+module Irr = Rz_irr
+module Asrel = Rz_asrel
+module Bgp = Rz_bgp
+module Topology = Rz_topology
+module Routegen = Rz_routegen
+module Synthirr = Rz_synthirr
+module Verify = Rz_verify
+module Stats = Rz_stats
+module Lint = Rz_lint
+module Rpki = Rz_rpki
+
+(** {1 End-to-end pipeline} *)
+
+module Pipeline = struct
+  (** A fully built evaluation world: synthetic topology, the RPSL text it
+      publishes, the parsed/merged IRR database, ground-truth AS
+      relationships, and collector dumps. *)
+  type world = {
+    topo : Rz_topology.Gen.t;
+    synth : Rz_synthirr.Generate.world;
+    db : Rz_irr.Db.t;
+    rels : Rz_asrel.Rel_db.t;
+    dumps : (string * string) list;  (** (IRR name, RPSL text) *)
+    table_dumps : Rz_bgp.Table_dump.t list;
+  }
+
+  (** Build a synthetic world end-to-end: generate the topology, render it
+      to RPSL across 13 IRRs, parse + merge those dumps back through the
+      real parsing pipeline, and propagate BGP routes to collectors. *)
+  let build_synthetic ?(topo_params = Rz_topology.Gen.default_params)
+      ?(irr_config = Rz_synthirr.Config.default) ?(n_collector_mids = 10)
+      ?(n_collectors = 2) () =
+    let topo = Rz_topology.Gen.generate topo_params in
+    let synth = Rz_synthirr.Generate.generate ~config:irr_config topo in
+    let db = Rz_irr.Db.of_dumps synth.dumps in
+    let peers = Rz_routegen.Propagate.default_collector_peers topo ~n:n_collector_mids in
+    let table_dumps = Rz_routegen.Propagate.collector_dumps topo ~n_collectors ~peers in
+    { topo; synth; db; rels = topo.rels; dumps = synth.dumps; table_dumps }
+
+  (** Verify every route of every collector dump; returns the aggregates
+      behind Figures 2-6 plus the total number of routes examined and the
+      number excluded (single-AS or AS_SET paths). *)
+  let verify ?config world =
+    let engine = Rz_verify.Engine.create ?config world.db world.rels in
+    let agg = Rz_verify.Aggregate.create () in
+    let excluded = ref 0 and total = ref 0 in
+    List.iter
+      (fun (dump : Rz_bgp.Table_dump.t) ->
+        List.iter
+          (fun route ->
+            incr total;
+            match Rz_verify.Engine.verify_route engine route with
+            | Some report -> Rz_verify.Aggregate.add_route_report agg report
+            | None -> incr excluded)
+          dump.routes)
+      world.table_dumps;
+    (agg, `Total !total, `Excluded !excluded)
+
+  (** Parallel verification across OCaml 5 domains — the multicore mode
+      matching the paper's 128-core verification run. The database and
+      relationship caches are pre-warmed so the shared structures are
+      read-only; each domain runs its own engine over a chunk of routes
+      and the per-domain aggregates are merged. *)
+  let verify_parallel ?config ?(domains = 4) world =
+    let routes =
+      Array.of_list
+        (List.concat_map (fun (d : Rz_bgp.Table_dump.t) -> d.routes) world.table_dumps)
+    in
+    Rz_irr.Db.warm_caches world.db;
+    Rz_asrel.Rel_db.warm_cones world.rels;
+    let n = Array.length routes in
+    let domains = max 1 (min domains n) in
+    let chunk = (n + domains - 1) / domains in
+    let work lo hi () =
+      let engine = Rz_verify.Engine.create ?config world.db world.rels in
+      let agg = Rz_verify.Aggregate.create () in
+      let excluded = ref 0 in
+      for i = lo to hi - 1 do
+        match Rz_verify.Engine.verify_route engine routes.(i) with
+        | Some report -> Rz_verify.Aggregate.add_route_report agg report
+        | None -> incr excluded
+      done;
+      (agg, !excluded)
+    in
+    let handles =
+      List.init domains (fun d ->
+          let lo = d * chunk in
+          let hi = min n (lo + chunk) in
+          Domain.spawn (work lo hi))
+    in
+    let agg = Rz_verify.Aggregate.create () in
+    let excluded = ref 0 in
+    List.iter
+      (fun handle ->
+        let part, part_excluded = Domain.join handle in
+        Rz_verify.Aggregate.merge_into ~dst:agg part;
+        excluded := !excluded + part_excluded)
+      handles;
+    (agg, `Total n, `Excluded !excluded)
+
+  (** Section-4 characterization of the world's RPSL. *)
+  let usage world = Rz_stats.Usage.compute ~dumps:world.dumps world.db
+
+  (** Verify one route and render the Appendix-C style report. *)
+  let explain_route ?config world route =
+    let engine = Rz_verify.Engine.create ?config world.db world.rels in
+    Option.map Rz_verify.Report.route_report_to_string
+      (Rz_verify.Engine.verify_route engine route)
+
+  (** {2 On-disk layout}
+
+      A world directory holds [<IRR>.db] RPSL dumps (one per IRR, named
+      after {!Rz_irr.Db.priority_order}), [as-rel.txt] (CAIDA serial-1),
+      and [<collector>.routes] table dumps. *)
+
+  let save_world world dir =
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    List.iter
+      (fun (irr, text) ->
+        let oc = open_out (Filename.concat dir (irr ^ ".db")) in
+        output_string oc text;
+        close_out oc)
+      world.dumps;
+    Rz_asrel.Rel_db.save world.rels (Filename.concat dir "as-rel.txt");
+    List.iter
+      (fun (dump : Rz_bgp.Table_dump.t) ->
+        Rz_bgp.Table_dump.save dump (Filename.concat dir (dump.collector ^ ".routes")))
+      world.table_dumps
+
+  let read_file path =
+    let ic = open_in path in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    text
+
+  (** Load the RPSL dumps of a world directory, in priority order,
+      skipping IRRs whose file is absent. *)
+  let load_dumps dir =
+    List.filter_map
+      (fun irr ->
+        let path = Filename.concat dir (irr ^ ".db") in
+        if Sys.file_exists path then Some (irr, read_file path) else None)
+      Rz_irr.Db.priority_order
+
+  (** Load a previously saved world directory. Topology/persona ground
+      truth is not persisted; the returned world carries empty synth
+      metadata and is suitable for parsing, stats, and verification. *)
+  let load_world dir =
+    let dumps = load_dumps dir in
+    let db = Rz_irr.Db.of_dumps dumps in
+    let rels =
+      match Rz_asrel.Rel_db.load (Filename.concat dir "as-rel.txt") with
+      | Ok rels -> rels
+      | Error msg -> invalid_arg ("as-rel.txt: " ^ msg)
+    in
+    let table_dumps =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".routes")
+      |> List.sort compare
+      |> List.map (fun f ->
+             let collector = Filename.chop_suffix f ".routes" in
+             match Rz_bgp.Table_dump.load ~collector (Filename.concat dir f) with
+             | Ok dump -> dump
+             | Error msg -> invalid_arg (f ^ ": " ^ msg))
+    in
+    let topo = Rz_topology.Gen.generate { Rz_topology.Gen.default_params with n_tier1 = 0; n_mid = 0; n_stub = 0 } in
+    let synth =
+      { Rz_synthirr.Generate.topo;
+        config = Rz_synthirr.Config.default;
+        profiles = Hashtbl.create 1;
+        dumps }
+    in
+    { topo; synth; db; rels; dumps; table_dumps }
+end
+
+(** {1 Convenience one-shots} *)
+
+(** Parse RPSL text into the IR (single unnamed source). *)
+let parse_rpsl ?(source = "INLINE") text =
+  let ir = Rz_ir.Ir.create () in
+  ignore (Rz_ir.Lower.add_dump ir ~source text);
+  ir
+
+(** Parse RPSL text and build a queryable database. *)
+let db_of_rpsl ?(source = "INLINE") text = Rz_irr.Db.of_dumps [ (source, text) ]
+
+(** Export an IR as JSON text. *)
+let ir_to_json = Rz_ir.Ir_json.export_string

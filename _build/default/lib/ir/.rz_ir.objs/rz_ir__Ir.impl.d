@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Hashtbl List Rz_net Rz_policy Rz_rpsl Rz_util

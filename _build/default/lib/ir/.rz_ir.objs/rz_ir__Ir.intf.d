@@ -1,0 +1,1 @@
+lib/ir/ir.mli: Hashtbl Rz_net Rz_policy

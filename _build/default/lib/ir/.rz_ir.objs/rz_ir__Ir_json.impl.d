@@ -1,0 +1,1 @@
+lib/ir/ir_json.ml: Fun Hashtbl Ir List Option Rz_aspath Rz_json Rz_net Rz_policy

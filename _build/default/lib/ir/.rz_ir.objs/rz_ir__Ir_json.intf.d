@@ -1,0 +1,1 @@
+lib/ir/ir_json.mli: Ir Rz_json Rz_policy

@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Hashtbl Ir List Option Printf Result Rz_net Rz_policy Rz_rpsl Rz_util String

@@ -1,0 +1,1 @@
+lib/ir/lower.mli: Ir Rz_policy Rz_rpsl

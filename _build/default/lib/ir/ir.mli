@@ -1,0 +1,140 @@
+(** The intermediate representation (IR): the paper's central data
+    structure. It captures the interpreted meaning of all routing-related
+    RPSL objects from one or more IRRs, after lowering from raw RPSL text.
+
+    The IR is pure data; resolution (set flattening, cross-references,
+    priority merge across IRRs) lives in [Rz_irr]. *)
+
+type aut_num = {
+  asn : Rz_net.Asn.t;
+  as_name : string;
+  imports : Rz_policy.Ast.rule list;   (** import + mp-import, in order *)
+  exports : Rz_policy.Ast.rule list;   (** export + mp-export, in order *)
+  defaults : Rz_policy.Ast.default_rule list;  (** default + mp-default (RFC 2622 §6.5) *)
+  member_of : string list;             (** as-sets joined via member-of *)
+  mnt_by : string list;
+  source : string;                     (** IRR the object came from *)
+}
+
+type mntner = {
+  name : string;    (** maintainer handle, e.g. ["MNT-EXAMPLE"] *)
+  auth : string list;   (** auth attributes, kept verbatim *)
+  source : string;
+}
+
+type as_set = {
+  name : string;
+  member_asns : Rz_net.Asn.t list;     (** direct ASN members *)
+  member_sets : string list;           (** direct nested as-set members *)
+  contains_any : bool;                 (** the reserved word ANY appeared in members —
+                                           an RPSL misuse the paper reports *)
+  mbrs_by_ref : string list;           (** maintainer names, possibly ["ANY"] *)
+  mnt_by : string list;
+  source : string;
+}
+
+(** One member of a route-set: a literal prefix, a nested set (route-set
+    or as-set), or an ASN (denoting the prefixes it originates) — each
+    with an optional range operator. *)
+type route_set_member =
+  | Rs_prefix of Rz_net.Prefix.t * Rz_net.Range_op.t
+  | Rs_set of string * Rz_net.Range_op.t
+  | Rs_asn of Rz_net.Asn.t * Rz_net.Range_op.t
+
+type route_set = {
+  name : string;
+  members : route_set_member list;
+  mbrs_by_ref : string list;
+  mnt_by : string list;
+  source : string;
+}
+
+type peering_set = {
+  name : string;
+  peerings : Rz_policy.Ast.peering list;
+  source : string;
+}
+
+type filter_set = {
+  name : string;
+  filter : Rz_policy.Ast.filter;
+  source : string;
+}
+
+(** An [inet-rtr] object (RFC 2622 §9): a router, its addresses, and its
+    BGP peerings — what peering router expressions name. *)
+type inet_rtr = {
+  name : string;              (** DNS-style router name (lowercased key) *)
+  local_as : Rz_net.Asn.t option;
+  ifaddrs : string list;      (** interface addresses, verbatim *)
+  bgp_peers : (string * Rz_net.Asn.t) list;  (** (peer address, peer ASN) *)
+  rtr_member_of : string list;  (** rtrs- sets joined via member-of *)
+  source : string;
+}
+
+(** An [rtr-set] object grouping routers. *)
+type rtr_set = {
+  name : string;
+  members : string list;      (** inet-rtr names, addresses, nested rtrs- sets *)
+  mbrs_by_ref : string list;
+  source : string;
+}
+
+type route_obj = {
+  prefix : Rz_net.Prefix.t;
+  origin : Rz_net.Asn.t;
+  member_of : string list;             (** route-sets joined via member-of *)
+  mnt_by : string list;
+  source : string;
+}
+
+(** Lowering problems, matching the categories reported in Section 4's
+    "RPSL errors" paragraph. *)
+type error_kind =
+  | Syntax_error of string             (** unparsable rule / member / value *)
+  | Invalid_as_set_name
+  | Invalid_route_set_name
+  | Invalid_peering_set_name
+  | Invalid_filter_set_name
+  | Bad_origin of string
+  | Bad_prefix of string
+
+type error = {
+  kind : error_kind;
+  cls : string;
+  obj_name : string;
+  source : string;
+}
+
+type t = {
+  aut_nums : (Rz_net.Asn.t, aut_num) Hashtbl.t;
+  mntners : (string, mntner) Hashtbl.t;   (** keyed by uppercase handle *)
+  inet_rtrs : (string, inet_rtr) Hashtbl.t;   (** keyed by lowercase name *)
+  rtr_sets : (string, rtr_set) Hashtbl.t;     (** keyed by canonical name *)
+  as_sets : (string, as_set) Hashtbl.t;          (** keyed by canonical (uppercase) name *)
+  route_sets : (string, route_set) Hashtbl.t;
+  peering_sets : (string, peering_set) Hashtbl.t;
+  filter_sets : (string, filter_set) Hashtbl.t;
+  mutable routes : route_obj list;               (** reversed insertion order *)
+  route_seen : (string * Rz_net.Asn.t, unit) Hashtbl.t;
+      (** dedup index over (prefix, origin) pairs, maintained by lowering *)
+  mutable errors : error list;
+}
+
+val create : unit -> t
+
+val error_kind_to_string : error_kind -> string
+
+val n_rules : aut_num -> int
+(** Total number of import + export rules of an aut-num. *)
+
+val find_aut_num : t -> Rz_net.Asn.t -> aut_num option
+val find_as_set : t -> string -> as_set option
+(** Lookup by name; canonicalized internally. *)
+
+val find_route_set : t -> string -> route_set option
+val find_peering_set : t -> string -> peering_set option
+val find_filter_set : t -> string -> filter_set option
+val find_mntner : t -> string -> mntner option
+val find_inet_rtr : t -> string -> inet_rtr option
+val find_rtr_set : t -> string -> rtr_set option

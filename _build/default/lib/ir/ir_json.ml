@@ -1,0 +1,243 @@
+open Rz_json.Json
+module Ast = Rz_policy.Ast
+
+let str s = String s
+let asn n = Int n
+
+let range_op op =
+  match op with
+  | Rz_net.Range_op.None_ -> Null
+  | op -> String (Rz_net.Range_op.to_string op)
+
+let rec as_expr_to_json = function
+  | Ast.Asn n -> Obj [ ("asn", asn n) ]
+  | Ast.As_set name -> Obj [ ("as_set", str name) ]
+  | Ast.Any_as -> str "AS-ANY"
+  | Ast.And (a, b) -> Obj [ ("and", List [ as_expr_to_json a; as_expr_to_json b ]) ]
+  | Ast.Or (a, b) -> Obj [ ("or", List [ as_expr_to_json a; as_expr_to_json b ]) ]
+  | Ast.Except_as (a, b) ->
+    Obj [ ("except", List [ as_expr_to_json a; as_expr_to_json b ]) ]
+
+let peering_to_json = function
+  | Ast.Peering_set_ref name -> Obj [ ("peering_set", str name) ]
+  | Ast.Peering_spec { as_expr; remote_router; local_router } ->
+    Obj
+      (List.filter_map Fun.id
+         [ Some ("as_expr", as_expr_to_json as_expr);
+           Option.map
+             (fun r -> ("remote_router", str (Ast.router_expr_to_string r)))
+             remote_router;
+           Option.map
+             (fun r -> ("local_router", str (Ast.router_expr_to_string r)))
+             local_router ])
+
+let action_to_json = function
+  | Ast.Assign (k, v) -> Obj [ ("assign", str k); ("value", str v) ]
+  | Ast.Append_op (k, vs) ->
+    Obj [ ("append", str k); ("values", List (List.map str vs)) ]
+  | Ast.Method_call (attr, meth, args) ->
+    Obj [ ("call", str (attr ^ "." ^ meth)); ("args", List (List.map str args)) ]
+
+let rec filter_to_json = function
+  | Ast.Any -> str "ANY"
+  | Ast.Peer_as_filter -> str "PeerAS"
+  | Ast.Fltr_martian -> str "fltr-martian"
+  | Ast.As_num (n, op) -> Obj [ ("asn", asn n); ("op", range_op op) ]
+  | Ast.As_set_ref (name, op) -> Obj [ ("as_set", str name); ("op", range_op op) ]
+  | Ast.Route_set_ref (name, op) -> Obj [ ("route_set", str name); ("op", range_op op) ]
+  | Ast.Filter_set_ref name -> Obj [ ("filter_set", str name) ]
+  | Ast.Prefix_set (members, op) ->
+    Obj
+      [ ("prefixes",
+         List
+           (List.map
+              (fun (p, mop) ->
+                Obj [ ("prefix", str (Rz_net.Prefix.to_string p)); ("op", range_op mop) ])
+              members));
+        ("op", range_op op) ]
+  | Ast.Path_regex r -> Obj [ ("as_path_regex", str (Rz_aspath.Regex_ast.to_string r)) ]
+  | Ast.Community (meth, args) ->
+    Obj [ ("community", str meth); ("args", List (List.map str args)) ]
+  | Ast.And_f (a, b) -> Obj [ ("and", List [ filter_to_json a; filter_to_json b ]) ]
+  | Ast.Or_f (a, b) -> Obj [ ("or", List [ filter_to_json a; filter_to_json b ]) ]
+  | Ast.Not_f a -> Obj [ ("not", filter_to_json a) ]
+
+let factor_to_json (f : Ast.factor) =
+  Obj
+    [ ("peerings",
+       List
+         (List.map
+            (fun (pa : Ast.peering_action) ->
+              Obj
+                [ ("peering", peering_to_json pa.peering);
+                  ("actions", List (List.map action_to_json pa.actions)) ])
+            f.peerings));
+      ("filter", filter_to_json f.filter) ]
+
+let term_to_json (t : Ast.term) =
+  Obj
+    [ ("afi", List (List.map (fun a -> str (Rz_net.Afi.to_string a)) t.afi));
+      ("factors", List (List.map factor_to_json t.factors)) ]
+
+let rec expr_to_json = function
+  | Ast.Term_e t -> term_to_json t
+  | Ast.Except_e (t, rest) ->
+    Obj [ ("term", term_to_json t); ("except", expr_to_json rest) ]
+  | Ast.Refine_e (t, rest) ->
+    Obj [ ("term", term_to_json t); ("refine", expr_to_json rest) ]
+
+let rule_to_json (r : Ast.rule) =
+  Obj
+    (List.filter_map Fun.id
+       [ Some ("direction", str (match r.direction with `Import -> "import" | `Export -> "export"));
+         Some ("multiprotocol", Bool r.multiprotocol);
+         Option.map (fun p -> ("protocol", str p)) r.protocol;
+         Option.map (fun p -> ("into", str p)) r.into_protocol;
+         Some ("expr", expr_to_json r.expr);
+         Some ("text", str (Ast.rule_to_string r)) ])
+
+let default_to_json (d : Ast.default_rule) =
+  Obj
+    (List.filter_map Fun.id
+       [ Some ("peering", peering_to_json d.peering);
+         Some ("actions", List (List.map action_to_json d.actions));
+         Option.map (fun f -> ("networks", filter_to_json f)) d.networks;
+         Some ("multiprotocol", Bool d.multiprotocol);
+         Some ("text", str (Ast.default_rule_to_string d)) ])
+
+let aut_num_to_json (an : Ir.aut_num) =
+  Obj
+    [ ("asn", asn an.asn);
+      ("as_name", str an.as_name);
+      ("imports", List (List.map rule_to_json an.imports));
+      ("exports", List (List.map rule_to_json an.exports));
+      ("defaults", List (List.map default_to_json an.defaults));
+      ("member_of", List (List.map str an.member_of));
+      ("mnt_by", List (List.map str an.mnt_by));
+      ("source", str an.source) ]
+
+let as_set_to_json (s : Ir.as_set) =
+  Obj
+    [ ("name", str s.name);
+      ("members_asn", List (List.map asn s.member_asns));
+      ("members_set", List (List.map str s.member_sets));
+      ("contains_any", Bool s.contains_any);
+      ("mbrs_by_ref", List (List.map str s.mbrs_by_ref));
+      ("source", str s.source) ]
+
+let route_set_member_to_json = function
+  | Ir.Rs_prefix (p, op) ->
+    Obj [ ("prefix", str (Rz_net.Prefix.to_string p)); ("op", range_op op) ]
+  | Ir.Rs_set (name, op) -> Obj [ ("set", str name); ("op", range_op op) ]
+  | Ir.Rs_asn (n, op) -> Obj [ ("asn", asn n); ("op", range_op op) ]
+
+let route_set_to_json (s : Ir.route_set) =
+  Obj
+    [ ("name", str s.name);
+      ("members", List (List.map route_set_member_to_json s.members));
+      ("mbrs_by_ref", List (List.map str s.mbrs_by_ref));
+      ("source", str s.source) ]
+
+let peering_set_to_json (s : Ir.peering_set) =
+  Obj
+    [ ("name", str s.name);
+      ("peerings", List (List.map peering_to_json s.peerings));
+      ("source", str s.source) ]
+
+let filter_set_to_json (s : Ir.filter_set) =
+  Obj
+    [ ("name", str s.name);
+      ("filter", filter_to_json s.filter);
+      ("source", str s.source) ]
+
+let route_to_json (r : Ir.route_obj) =
+  Obj
+    [ ("prefix", str (Rz_net.Prefix.to_string r.prefix));
+      ("origin", asn r.origin);
+      ("member_of", List (List.map str r.member_of));
+      ("source", str r.source) ]
+
+let mntner_to_json (m : Ir.mntner) =
+  Obj
+    [ ("name", str m.name);
+      ("auth", List (List.map str m.auth));
+      ("source", str m.source) ]
+
+let inet_rtr_to_json (r : Ir.inet_rtr) =
+  Obj
+    (List.filter_map Fun.id
+       [ Some ("name", str r.name);
+         Option.map (fun a -> ("local_as", asn a)) r.local_as;
+         Some ("ifaddrs", List (List.map str r.ifaddrs));
+         Some
+           ( "peers",
+             List
+               (List.map
+                  (fun (addr, peer_asn) ->
+                    Obj [ ("addr", str addr); ("asn", asn peer_asn) ])
+                  r.bgp_peers) );
+         Some ("member_of", List (List.map str r.rtr_member_of));
+         Some ("source", str r.source) ])
+
+let rtr_set_to_json (s : Ir.rtr_set) =
+  Obj
+    [ ("name", str s.name);
+      ("members", List (List.map str s.members));
+      ("source", str s.source) ]
+
+let error_to_json (e : Ir.error) =
+  Obj
+    [ ("kind", str (Ir.error_kind_to_string e.kind));
+      ("class", str e.cls);
+      ("object", str e.obj_name);
+      ("source", str e.source) ]
+
+let hashtbl_values tbl = Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
+
+let export (ir : Ir.t) =
+  let sort_by f = List.sort (fun a b -> compare (f a) (f b)) in
+  Obj
+    [ ("aut_nums",
+       List
+         (hashtbl_values ir.aut_nums
+          |> sort_by (fun (a : Ir.aut_num) -> a.asn)
+          |> List.map aut_num_to_json));
+      ("as_sets",
+       List
+         (hashtbl_values ir.as_sets
+          |> sort_by (fun (s : Ir.as_set) -> s.name)
+          |> List.map as_set_to_json));
+      ("route_sets",
+       List
+         (hashtbl_values ir.route_sets
+          |> sort_by (fun (s : Ir.route_set) -> s.name)
+          |> List.map route_set_to_json));
+      ("peering_sets",
+       List
+         (hashtbl_values ir.peering_sets
+          |> sort_by (fun (s : Ir.peering_set) -> s.name)
+          |> List.map peering_set_to_json));
+      ("filter_sets",
+       List
+         (hashtbl_values ir.filter_sets
+          |> sort_by (fun (s : Ir.filter_set) -> s.name)
+          |> List.map filter_set_to_json));
+      ("mntners",
+       List
+         (hashtbl_values ir.mntners
+          |> sort_by (fun (m : Ir.mntner) -> m.name)
+          |> List.map mntner_to_json));
+      ("inet_rtrs",
+       List
+         (hashtbl_values ir.inet_rtrs
+          |> sort_by (fun (r : Ir.inet_rtr) -> r.name)
+          |> List.map inet_rtr_to_json));
+      ("rtr_sets",
+       List
+         (hashtbl_values ir.rtr_sets
+          |> sort_by (fun (s : Ir.rtr_set) -> s.name)
+          |> List.map rtr_set_to_json));
+      ("routes", List (List.rev_map route_to_json ir.routes));
+      ("errors", List (List.rev_map error_to_json ir.errors)) ]
+
+let export_string ?indent ir = to_string ?indent (export ir)

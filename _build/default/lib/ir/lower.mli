@@ -1,0 +1,24 @@
+(** Lowering: interpret raw RPSL objects into the IR.
+
+    Feed dumps in {e priority order} (the paper's Table 1 grouping:
+    authoritative registries first, then RADB, then the rest): for objects
+    defined in several IRRs, the first definition wins; [route] objects are
+    keyed by (prefix, origin) so identical pairs from lower-priority IRRs
+    are dropped while genuinely different origins accumulate (that
+    multiplicity is itself one of the paper's findings). *)
+
+val add_objects : Ir.t -> source:string -> Rz_rpsl.Obj.t list -> unit
+(** Lower the routing-related objects of one dump into [ir], skipping
+    non-routing classes, never overwriting higher-priority definitions,
+    and appending lowering problems to [ir.errors]. *)
+
+val add_dump : Ir.t -> source:string -> string -> Rz_rpsl.Reader.error list
+(** Parse RPSL text and lower it; returns the reader-level errors (also
+    appended to [ir.errors] as syntax errors). *)
+
+val lower_rule :
+  direction:[ `Import | `Export ] ->
+  multiprotocol:bool ->
+  string ->
+  (Rz_policy.Ast.rule, string) result
+(** Exposed for tests: lower one rule attribute value. *)

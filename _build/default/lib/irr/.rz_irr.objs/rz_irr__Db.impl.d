@@ -1,0 +1,1 @@
+lib/irr/db.ml: Hashtbl Int List Option Rz_ir Rz_net Rz_rpsl Rz_util Set

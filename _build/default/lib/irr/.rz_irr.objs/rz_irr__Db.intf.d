@@ -1,0 +1,1 @@
+lib/irr/db.mli: Rz_ir Rz_net Set

@@ -1,0 +1,1 @@
+lib/irr/filter_eval.ml: Db List Rz_net Rz_policy

@@ -1,0 +1,1 @@
+lib/irr/filter_eval.mli: Db Rz_net Rz_policy Stdlib

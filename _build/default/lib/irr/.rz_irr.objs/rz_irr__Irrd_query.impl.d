@@ -1,0 +1,1 @@
+lib/irr/irrd_query.ml: Buffer Db List Printf Result Rz_ir Rz_net Rz_policy Rz_util String

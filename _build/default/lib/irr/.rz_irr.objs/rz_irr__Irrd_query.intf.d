@@ -1,0 +1,1 @@
+lib/irr/irrd_query.mli: Db

@@ -1,0 +1,238 @@
+module Asn_set = Set.Make (Int)
+
+let canon = Rz_rpsl.Set_name.canonical
+
+type t = {
+  ir : Rz_ir.Ir.t;
+  route_trie : Rz_net.Asn.t Rz_net.Prefix_trie.t;
+  by_origin : (Rz_net.Asn.t, Rz_net.Prefix.t list) Hashtbl.t;
+  (* Indirect members via member-of, grouped by target set (canonical). *)
+  indirect_as_members : (string, Rz_net.Asn.t list) Hashtbl.t;
+  indirect_route_members : (string, (Rz_net.Prefix.t * Rz_net.Range_op.t) list) Hashtbl.t;
+  (* Memo tables. *)
+  as_flat : (string, Asn_set.t) Hashtbl.t;
+  rs_flat : (string, (Rz_net.Prefix.t * Rz_net.Range_op.t) list) Hashtbl.t;
+  as_depth : (string, int) Hashtbl.t;
+  as_loop : (string, bool) Hashtbl.t;
+}
+
+let ir t = t.ir
+
+let priority_order =
+  [ "APNIC"; "AFRINIC"; "ARIN"; "LACNIC"; "RIPE"; "IDNIC"; "JPIRR"; "RADB";
+    "NTTCOM"; "LEVEL3"; "TC"; "REACH"; "ALTDB" ]
+
+(* mbrs-by-ref authorizes indirect membership when it lists one of the
+   member object's maintainers, or the keyword ANY. *)
+let mbrs_by_ref_allows (set_mbrs : string list) (member_mnt : string list) =
+  List.exists
+    (fun m ->
+      Rz_util.Strings.equal_ci m "ANY"
+      || List.exists (Rz_util.Strings.equal_ci m) member_mnt)
+    set_mbrs
+
+let build (ir : Rz_ir.Ir.t) =
+  let route_trie = Rz_net.Prefix_trie.create () in
+  let by_origin = Hashtbl.create 1024 in
+  List.iter
+    (fun (r : Rz_ir.Ir.route_obj) ->
+      Rz_net.Prefix_trie.add route_trie r.prefix r.origin;
+      let existing = Option.value ~default:[] (Hashtbl.find_opt by_origin r.origin) in
+      Hashtbl.replace by_origin r.origin (r.prefix :: existing))
+    ir.routes;
+  (* aut-num member-of -> as-set indirect members (when authorized) *)
+  let indirect_as_members = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _ (an : Rz_ir.Ir.aut_num) ->
+      List.iter
+        (fun set_name ->
+          let key = canon set_name in
+          match Hashtbl.find_opt ir.as_sets key with
+          | Some set when mbrs_by_ref_allows set.mbrs_by_ref an.mnt_by ->
+            let existing =
+              Option.value ~default:[] (Hashtbl.find_opt indirect_as_members key)
+            in
+            Hashtbl.replace indirect_as_members key (an.asn :: existing)
+          | _ -> ())
+        an.member_of)
+    ir.aut_nums;
+  (* route member-of -> route-set indirect members *)
+  let indirect_route_members = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Rz_ir.Ir.route_obj) ->
+      List.iter
+        (fun set_name ->
+          let key = canon set_name in
+          match Hashtbl.find_opt ir.route_sets key with
+          | Some set when mbrs_by_ref_allows set.mbrs_by_ref r.mnt_by ->
+            let existing =
+              Option.value ~default:[] (Hashtbl.find_opt indirect_route_members key)
+            in
+            Hashtbl.replace indirect_route_members key
+              ((r.prefix, Rz_net.Range_op.None_) :: existing)
+          | _ -> ())
+        r.member_of)
+    ir.routes;
+  { ir;
+    route_trie;
+    by_origin;
+    indirect_as_members;
+    indirect_route_members;
+    as_flat = Hashtbl.create 256;
+    rs_flat = Hashtbl.create 64;
+    as_depth = Hashtbl.create 256;
+    as_loop = Hashtbl.create 256 }
+
+let of_dumps dumps =
+  let ir = Rz_ir.Ir.create () in
+  List.iter (fun (source, text) -> ignore (Rz_ir.Lower.add_dump ir ~source text)) dumps;
+  build ir
+
+(* ---------------- as-set flattening ---------------- *)
+
+let as_set_exists t name = Hashtbl.mem t.ir.as_sets (canon name)
+
+let flatten_as_set t name =
+  let rec go key visiting =
+    match Hashtbl.find_opt t.as_flat key with
+    | Some cached -> cached
+    | None ->
+      if List.mem key visiting then Asn_set.empty (* cycle cut; no memo here *)
+      else begin
+        match Hashtbl.find_opt t.ir.as_sets key with
+        | None -> Asn_set.empty
+        | Some set ->
+          let direct = Asn_set.of_list set.member_asns in
+          let indirect =
+            Asn_set.of_list
+              (Option.value ~default:[] (Hashtbl.find_opt t.indirect_as_members key))
+          in
+          let nested =
+            List.fold_left
+              (fun acc child -> Asn_set.union acc (go (canon child) (key :: visiting)))
+              Asn_set.empty set.member_sets
+          in
+          let result = Asn_set.union (Asn_set.union direct indirect) nested in
+          (* Only memoize at the top of the recursion stack; results under
+             a cycle cut can be partial for inner nodes. *)
+          if visiting = [] then Hashtbl.replace t.as_flat key result;
+          result
+      end
+  in
+  go (canon name) []
+
+let asn_in_as_set t name asn = Asn_set.mem asn (flatten_as_set t name)
+
+let as_set_depth t name =
+  let rec go key visiting =
+    match Hashtbl.find_opt t.as_depth key with
+    | Some cached -> cached
+    | None ->
+      if List.mem key visiting then 0
+      else begin
+        match Hashtbl.find_opt t.ir.as_sets key with
+        | None -> 0
+        | Some set ->
+          let child_depth =
+            List.fold_left
+              (fun acc child -> max acc (go (canon child) (key :: visiting)))
+              0 set.member_sets
+          in
+          let result = 1 + child_depth in
+          if visiting = [] then Hashtbl.replace t.as_depth key result;
+          result
+      end
+  in
+  go (canon name) []
+
+let as_set_has_loop t name =
+  let rec go key visiting =
+    match Hashtbl.find_opt t.as_loop key with
+    | Some cached -> cached
+    | None ->
+      if List.mem key visiting then true
+      else begin
+        match Hashtbl.find_opt t.ir.as_sets key with
+        | None -> false
+        | Some set ->
+          let result =
+            List.exists (fun child -> go (canon child) (key :: visiting)) set.member_sets
+          in
+          if visiting = [] then Hashtbl.replace t.as_loop key result;
+          result
+      end
+  in
+  go (canon name) []
+
+(* ---------------- route-object queries ---------------- *)
+
+let covering_routes t observed = Rz_net.Prefix_trie.covering t.route_trie observed
+let origin_prefixes t asn = Option.value ~default:[] (Hashtbl.find_opt t.by_origin asn)
+let origin_has_routes t asn = Hashtbl.mem t.by_origin asn
+let exact_origins t prefix = Rz_net.Prefix_trie.exact t.route_trie prefix
+
+(* ---------------- route-set flattening ---------------- *)
+
+let route_set_exists t name = Hashtbl.mem t.ir.route_sets (canon name)
+
+let flatten_route_set t name =
+  let rec go key visiting =
+    match Hashtbl.find_opt t.rs_flat key with
+    | Some cached -> cached
+    | None ->
+      if List.mem key visiting then []
+      else begin
+        match Hashtbl.find_opt t.ir.route_sets key with
+        | None ->
+          (* A route-set member may also name an as-set (RFC 2622 allows
+             as-sets inside route-set members): handled by the caller via
+             Rs_set resolution below. *)
+          []
+        | Some set ->
+          let resolve = function
+            | Rz_ir.Ir.Rs_prefix (p, op) -> [ (p, op) ]
+            | Rz_ir.Ir.Rs_asn (asn, op) ->
+              List.map (fun p -> (p, op)) (origin_prefixes t asn)
+            | Rz_ir.Ir.Rs_set (child, op) ->
+              let child_key = canon child in
+              let base =
+                if Hashtbl.mem t.ir.route_sets child_key then
+                  go child_key (key :: visiting)
+                else
+                  (* as-set member: prefixes of its flattened ASNs *)
+                  Asn_set.fold
+                    (fun asn acc ->
+                      List.rev_append
+                        (List.map (fun p -> (p, Rz_net.Range_op.None_)) (origin_prefixes t asn))
+                        acc)
+                    (flatten_as_set t child) []
+              in
+              List.map (fun (p, inner) -> (p, Rz_net.Range_op.compose op inner)) base
+          in
+          let direct = List.concat_map resolve set.members in
+          let indirect =
+            Option.value ~default:[] (Hashtbl.find_opt t.indirect_route_members key)
+          in
+          let result = direct @ indirect in
+          if visiting = [] then Hashtbl.replace t.rs_flat key result;
+          result
+      end
+  in
+  go (canon name) []
+
+let warm_caches t =
+  Hashtbl.iter
+    (fun _ (s : Rz_ir.Ir.as_set) ->
+      ignore (flatten_as_set t s.name);
+      ignore (as_set_depth t s.name);
+      ignore (as_set_has_loop t s.name))
+    t.ir.as_sets;
+  Hashtbl.iter
+    (fun _ (s : Rz_ir.Ir.route_set) -> ignore (flatten_route_set t s.name))
+    t.ir.route_sets
+
+(* ---------------- delegates ---------------- *)
+
+let find_aut_num t asn = Rz_ir.Ir.find_aut_num t.ir asn
+let find_peering_set t name = Rz_ir.Ir.find_peering_set t.ir name
+let find_filter_set t name = Rz_ir.Ir.find_filter_set t.ir name

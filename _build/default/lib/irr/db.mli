@@ -1,0 +1,76 @@
+(** The queryable IRR database: an {!Rz_ir.Ir.t} plus the resolution
+    machinery route verification needs — indirect set members
+    ([member-of] / [mbrs-by-ref]), memoized recursive as-set and route-set
+    flattening with cycle cutting, and a prefix trie over [route]
+    objects for covering-prefix queries (the paper's "binary search over
+    each AS's route objects" made family-generic). *)
+
+type t
+
+val build : Rz_ir.Ir.t -> t
+(** Index an already-lowered IR. The IR must not be mutated afterwards. *)
+
+val ir : t -> Rz_ir.Ir.t
+
+val priority_order : string list
+(** The paper's Table 1 IRR priority: authoritative registries first
+    (APNIC, AFRINIC, ARIN, LACNIC, RIPE, IDNIC, JPIRR), then RADB, then
+    the other databases (NTTCOM, LEVEL3, TC, REACH, ALTDB). *)
+
+val of_dumps : (string * string) list -> t
+(** [of_dumps [(source, rpsl_text); ...]] lowers the dumps in the given
+    order (which should be priority order — see {!priority_order}) and
+    builds the database. *)
+
+(** {1 As-set resolution} *)
+
+module Asn_set : Set.S with type elt = Rz_net.Asn.t
+
+val flatten_as_set : t -> string -> Asn_set.t
+(** Transitive ASN members of an as-set, including indirect members via
+    [member-of]/[mbrs-by-ref]; empty when the set is unknown. Memoized;
+    cycles are cut. *)
+
+val as_set_exists : t -> string -> bool
+val asn_in_as_set : t -> string -> Rz_net.Asn.t -> bool
+
+val as_set_depth : t -> string -> int
+(** Nesting depth: 1 for a flat set, 1 + max member depth otherwise;
+    members on a cycle do not add depth. 0 for unknown sets. *)
+
+val as_set_has_loop : t -> string -> bool
+(** Whether a cycle is reachable from this set (the set participates in or
+    references a loop). *)
+
+(** {1 Route-set resolution} *)
+
+val flatten_route_set : t -> string -> (Rz_net.Prefix.t * Rz_net.Range_op.t) list
+(** Transitive prefix members with their effective range operators;
+    nested as-sets and ASN members contribute the prefixes those ASes
+    originate in [route] objects. Memoized; cycles cut. *)
+
+val route_set_exists : t -> string -> bool
+
+(** {1 Route-object queries} *)
+
+val covering_routes : t -> Rz_net.Prefix.t -> (Rz_net.Prefix.t * Rz_net.Asn.t) list
+(** All (declared prefix, origin) route objects whose prefix covers the
+    observed prefix (including exact matches), least specific first. *)
+
+val origin_prefixes : t -> Rz_net.Asn.t -> Rz_net.Prefix.t list
+(** Prefixes the AS originates in [route] objects. *)
+
+val origin_has_routes : t -> Rz_net.Asn.t -> bool
+val exact_origins : t -> Rz_net.Prefix.t -> Rz_net.Asn.t list
+(** Origins of route objects for exactly this prefix. *)
+
+val warm_caches : t -> unit
+(** Force every memo table (as-set and route-set flattening, depth, loop
+    detection) so subsequent queries are read-only — required before
+    sharing the database across domains for parallel verification. *)
+
+(** {1 Other object queries (delegates to the IR)} *)
+
+val find_aut_num : t -> Rz_net.Asn.t -> Rz_ir.Ir.aut_num option
+val find_peering_set : t -> string -> Rz_ir.Ir.peering_set option
+val find_filter_set : t -> string -> Rz_ir.Ir.filter_set option

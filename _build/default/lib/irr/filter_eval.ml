@@ -1,0 +1,105 @@
+module Ast = Rz_policy.Ast
+
+type result = {
+  prefixes : (Rz_net.Prefix.t * Rz_net.Range_op.t) list;
+  unresolved : string list;
+}
+
+(* Internal evaluation value: a finite set of prefix terms, or an
+   unevaluable marker carrying the filter text. NOT is only supported in
+   the [x AND NOT y] difference position, as in peval. *)
+type value =
+  | Set of (Rz_net.Prefix.t * Rz_net.Range_op.t) list
+  | Opaque of string
+
+let dedup terms =
+  List.sort_uniq
+    (fun (p1, o1) (p2, o2) ->
+      let c = Rz_net.Prefix.compare p1 p2 in
+      if c <> 0 then c else compare o1 o2)
+    terms
+
+(* Term-level difference: drop terms of [a] whose base prefix is covered
+   by a term of [b] that admits it. Approximate on range operators in the
+   same way peval is: a difference cannot split a term. *)
+let covers (bp, bop) (ap, _) =
+  Rz_net.Prefix.contains bp ap
+  && (Rz_net.Range_op.matches bop ~declared:bp ~observed:ap
+      || Rz_net.Range_op.is_more_specific bop
+      || Rz_net.Prefix.equal bp ap)
+
+let rec eval_value db (filter : Ast.filter) : value =
+  match filter with
+  | Ast.Prefix_set (members, outer) ->
+    Set (List.map (fun (p, op) -> (p, Rz_net.Range_op.compose outer op)) members)
+  | Ast.As_num (asn, op) ->
+    Set (List.map (fun p -> (p, op)) (Db.origin_prefixes db asn))
+  | Ast.As_set_ref (name, op) ->
+    if not (Db.as_set_exists db name) then Opaque (Ast.filter_to_string filter)
+    else
+      Set
+        (Db.Asn_set.fold
+           (fun asn acc ->
+             List.rev_append
+               (List.map (fun p -> (p, op)) (Db.origin_prefixes db asn))
+               acc)
+           (Db.flatten_as_set db name) [])
+  | Ast.Route_set_ref (name, op) ->
+    if not (Db.route_set_exists db name) then Opaque (Ast.filter_to_string filter)
+    else
+      Set
+        (List.map
+           (fun (p, inner) -> (p, Rz_net.Range_op.compose op inner))
+           (Db.flatten_route_set db name))
+  | Ast.Filter_set_ref name ->
+    (match Db.find_filter_set db name with
+     | Some fs -> eval_value db fs.filter
+     | None -> Opaque (Ast.filter_to_string filter))
+  | Ast.Or_f (a, b) ->
+    (match (eval_value db a, eval_value db b) with
+     | Set x, Set y -> Set (List.rev_append x y)
+     | Opaque o, _ | _, Opaque o -> Opaque o)
+  | Ast.And_f (a, Ast.Not_f b) | Ast.And_f (Ast.Not_f b, a) ->
+    (* the peval difference form *)
+    (match (eval_value db a, eval_value db b) with
+     | Set x, Set y ->
+       Set (List.filter (fun term -> not (List.exists (fun bt -> covers bt term) y)) x)
+     | Opaque o, _ | _, Opaque o -> Opaque o)
+  | Ast.And_f (a, b) ->
+    (match (eval_value db a, eval_value db b) with
+     | Set x, Set y ->
+       (* intersection: keep terms of x admitted by some term of y, and
+          vice versa, narrowing to the more specific of the two *)
+       let keep from_side other =
+         List.filter (fun term -> List.exists (fun ot -> covers ot term) other) from_side
+       in
+       Set (keep x y @ keep y x)
+     | Opaque o, _ | _, Opaque o -> Opaque o)
+  | Ast.Not_f _ | Ast.Any | Ast.Peer_as_filter | Ast.Path_regex _ | Ast.Community _
+  | Ast.Fltr_martian -> Opaque (Ast.filter_to_string filter)
+
+let eval db filter =
+  (* evaluate, collecting opaque leaves instead of failing the whole
+     expression where possible: OR of a set and an opaque keeps the set
+     and reports the opaque part *)
+  let unresolved = ref [] in
+  let rec go f =
+    match f with
+    | Ast.Or_f (a, b) -> List.rev_append (go a) (go b)
+    | _ ->
+      (match eval_value db f with
+       | Set terms -> terms
+       | Opaque text ->
+         unresolved := text :: !unresolved;
+         [])
+  in
+  let prefixes = dedup (go filter) in
+  { prefixes; unresolved = List.rev !unresolved }
+
+let eval_string db text =
+  match Rz_policy.Parser.parse_filter text with
+  | Ok filter -> Ok (eval db filter)
+  | Error e -> Error e
+
+let to_prefix_list result =
+  Rz_net.Prefix_agg.aggregate (List.map fst result.prefixes)

@@ -1,0 +1,28 @@
+(** Filter materialization — IRRToolSet's classic [peval]: evaluate an
+    RPSL filter expression down to the concrete prefix set it denotes,
+    resolving set and route-object references against the database. This
+    is the generation direction (policy → router filter), complementary to
+    the verifier's matching direction (route → policy).
+
+    Set algebra: [OR] is union, [AND] intersection, and [AND NOT]
+    difference — all computed on exact prefix terms (range operators are
+    preserved per prefix where possible). Terms that do not denote a
+    prefix set ([ANY], AS-path regexes, community predicates,
+    [fltr-martian] in positive position) are reported as unresolved
+    rather than silently dropped. *)
+
+type result = {
+  prefixes : (Rz_net.Prefix.t * Rz_net.Range_op.t) list;
+      (** sorted, deduplicated (prefix, operator) terms *)
+  unresolved : string list;
+      (** sub-filters that cannot be materialized to a finite prefix set *)
+}
+
+val eval : Db.t -> Rz_policy.Ast.filter -> result
+
+val eval_string : Db.t -> string -> (result, string) Stdlib.result
+(** Parse then evaluate, e.g. [eval_string db "AS-FOO AND NOT AS65001"]. *)
+
+val to_prefix_list : result -> Rz_net.Prefix.t list
+(** Aggregated bare prefixes (operators widened away: a term with a
+    more-specific operator contributes its base prefix). *)

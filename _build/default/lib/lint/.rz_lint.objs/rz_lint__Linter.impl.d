@@ -1,0 +1,1 @@
+lib/lint/linter.ml: Hashtbl List Option Printf Result Rz_asrel Rz_ir Rz_irr Rz_net Rz_policy Rz_rpsl

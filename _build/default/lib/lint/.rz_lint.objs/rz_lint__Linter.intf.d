@@ -1,0 +1,1 @@
+lib/lint/linter.mli: Rz_asrel Rz_irr Rz_rpsl

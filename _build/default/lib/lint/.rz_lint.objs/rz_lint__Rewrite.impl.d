@@ -1,0 +1,1 @@
+lib/lint/rewrite.ml: Buffer List Printf Rz_asrel Rz_ir Rz_irr Rz_net Rz_policy

@@ -1,0 +1,1 @@
+lib/lint/rewrite.mli: Rz_asrel Rz_irr Rz_net

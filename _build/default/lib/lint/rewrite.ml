@@ -1,0 +1,122 @@
+module Ast = Rz_policy.Ast
+module Db = Rz_irr.Db
+module Ir = Rz_ir.Ir
+module Rel_db = Rz_asrel.Rel_db
+
+type change = {
+  before : string;
+  after : string;
+  reason : string;
+}
+
+type suggestion = {
+  asn : Rz_net.Asn.t;
+  changes : change list;
+  rewritten : string;
+}
+
+(* The cone set an AS should announce: an existing one referenced
+   somewhere, else the conventional hierarchical name. *)
+let cone_set_for db asn =
+  let candidates =
+    [ Printf.sprintf "AS%d:AS-CUST" asn; Printf.sprintf "AS-%d" asn ]
+  in
+  match List.find_opt (Db.as_set_exists db) candidates with
+  | Some existing -> existing
+  | None -> Printf.sprintf "AS%d:AS-CUST" asn
+
+let route_set_for db asn =
+  let name = Printf.sprintf "AS%d:RS-ROUTES" asn in
+  if Db.route_set_exists db name then Some name else None
+
+(* Rewrite one rule when it exhibits a misuse; [None] = keep as is. *)
+let rewrite_rule ~rels db ~subject (rule : Ast.rule) =
+  let is_transit asn = Rel_db.customers rels asn <> [] in
+  match rule.expr with
+  | Ast.Term_e
+      { afi;
+        factors =
+          [ ({ peerings = [ { peering = Ast.Peering_spec spec; actions } ]; filter } as _factor)
+          ] } -> begin
+      let remake filter' reason =
+        let rule' =
+          { rule with
+            expr =
+              Ast.Term_e
+                { afi;
+                  factors =
+                    [ { peerings = [ { peering = Ast.Peering_spec spec; actions } ];
+                        filter = filter' } ] } }
+        in
+        Some (rule', reason)
+      in
+      match (rule.direction, spec.as_expr, filter) with
+      (* export-self: transit announcing only itself to a provider/peer *)
+      | `Export, Ast.Asn remote, Ast.As_num (self, op)
+        when self = subject && is_transit subject
+             && Rel_db.relationship rels subject remote <> Rel_db.A_provider_of_b ->
+        ignore op;
+        remake
+          (Ast.As_set_ref (cone_set_for db subject, Rz_net.Range_op.None_))
+          "transit AS announced only itself; announce the customer cone set"
+      (* import-customer: accepting only the transit customer's own routes *)
+      | `Import, Ast.Asn remote, Ast.As_num (named, op)
+        when named = remote
+             && Rel_db.relationship rels subject remote = Rel_db.A_provider_of_b
+             && is_transit remote ->
+        ignore op;
+        (match route_set_for db remote with
+         | Some rs ->
+           remake
+             (Ast.Route_set_ref (rs, Rz_net.Range_op.None_))
+             "customer is itself transit; accept its route-set"
+         | None ->
+           remake
+             (Ast.As_set_ref (cone_set_for db remote, Rz_net.Range_op.None_))
+             "customer is itself transit; accept its cone set")
+      (* paper's headline recommendation: a stub neighbor's ASN filter is
+         better served by its route-set when it maintains one *)
+      | `Import, Ast.Asn remote, Ast.As_num (named, _)
+        when named = remote && not (is_transit remote) ->
+        (match route_set_for db remote with
+         | Some rs ->
+           remake
+             (Ast.Route_set_ref (rs, Rz_net.Range_op.None_))
+             "route-sets name prefixes directly and avoid stale route objects"
+         | None -> None)
+      | _ -> None
+    end
+  | _ -> None
+
+let render_aut_num (an : Ir.aut_num) rules =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "aut-num: %s\n" (Rz_net.Asn.to_string an.asn));
+  if an.as_name <> "" then Buffer.add_string buf (Printf.sprintf "as-name: %s\n" an.as_name);
+  List.iter (fun text -> Buffer.add_string buf (text ^ "\n")) rules;
+  List.iter (fun m -> Buffer.add_string buf (Printf.sprintf "mnt-by: %s\n" m)) an.mnt_by;
+  Buffer.add_string buf (Printf.sprintf "source: %s\n" an.source);
+  Buffer.contents buf
+
+let suggest ~rels db asn =
+  match Db.find_aut_num db asn with
+  | None -> None
+  | Some an ->
+    let changes = ref [] in
+    let rewritten_rules =
+      List.map
+        (fun rule ->
+          match rewrite_rule ~rels db ~subject:asn rule with
+          | Some (rule', reason) ->
+            changes :=
+              { before = Ast.rule_to_string rule;
+                after = Ast.rule_to_string rule';
+                reason }
+              :: !changes;
+            Ast.rule_to_string rule'
+          | None -> Ast.rule_to_string rule)
+        (an.imports @ an.exports)
+    in
+    match List.rev !changes with
+    | [] -> None
+    | changes ->
+      Some { asn; changes; rewritten = render_aut_num an rewritten_rules }

@@ -1,0 +1,25 @@
+(** Suggested policy rewrites — the constructive half of the linter,
+    following the paper's recommendations: replace export-self filters
+    with the customer-cone set, import-customer filters with the
+    customer's cone (or its route-set when one exists), and materialized
+    ASN filters with route-sets. The output is valid RPSL text that can be
+    diffed against the original object. *)
+
+type change = {
+  before : string;   (** the original rule, rendered *)
+  after : string;    (** the suggested replacement *)
+  reason : string;
+}
+
+type suggestion = {
+  asn : Rz_net.Asn.t;
+  changes : change list;
+  rewritten : string;   (** the full corrected aut-num object as RPSL *)
+}
+
+val suggest :
+  rels:Rz_asrel.Rel_db.t ->
+  Rz_irr.Db.t ->
+  Rz_net.Asn.t ->
+  suggestion option
+(** [None] when the AS has no aut-num or nothing to change. *)

@@ -1,0 +1,1 @@
+lib/net/afi.ml: Format List Prefix Printf Rz_util String

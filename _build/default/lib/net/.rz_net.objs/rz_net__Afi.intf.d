@@ -1,0 +1,1 @@
+lib/net/afi.mli: Format Prefix

@@ -1,0 +1,1 @@
+lib/net/ipaddr.ml: Array Int64 List Option Printf Rz_util String

@@ -1,0 +1,1 @@
+lib/net/martian.mli: Prefix

@@ -1,0 +1,1 @@
+lib/net/prefix.ml: Format Int Int64 Ipaddr List Printf Rz_util String

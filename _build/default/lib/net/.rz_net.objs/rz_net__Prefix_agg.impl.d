@@ -1,0 +1,1 @@
+lib/net/prefix_agg.ml: Int64 List Prefix

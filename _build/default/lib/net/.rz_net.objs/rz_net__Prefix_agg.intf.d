@@ -1,0 +1,1 @@
+lib/net/prefix_agg.mli: Prefix

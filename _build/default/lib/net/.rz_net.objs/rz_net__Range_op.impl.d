@@ -1,0 +1,1 @@
+lib/net/range_op.ml: Format Prefix Printf Rz_util String

@@ -1,0 +1,1 @@
+lib/net/range_op.mli: Format Prefix

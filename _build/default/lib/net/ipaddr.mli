@@ -1,0 +1,37 @@
+(** IPv4 and IPv6 addresses.
+
+    IPv4 addresses are unsigned 32-bit values carried in an [int]; IPv6
+    addresses are a pair of unsigned 64-bit halves. Only what the RPSL
+    pipeline needs: parse, print, bit access, masking. *)
+
+module V4 : sig
+  type t = int
+  (** Value in [0, 2^32). *)
+
+  val of_string : string -> (t, string) result
+  val to_string : t -> string
+
+  val bit : t -> int -> bool
+  (** [bit a i] is the i-th most significant bit (i in [0,31]). *)
+
+  val mask : t -> int -> t
+  (** [mask a len] zeroes all but the top [len] bits. *)
+end
+
+module V6 : sig
+  type t = int64 * int64
+  (** Big-endian (high 64 bits, low 64 bits). *)
+
+  val of_string : string -> (t, string) result
+  (** Parses full and [::]-compressed forms, without embedded IPv4 dotted
+      quads (not used by the pipeline). *)
+
+  val to_string : t -> string
+  (** Canonical RFC 5952-ish output (longest zero run compressed). *)
+
+  val bit : t -> int -> bool
+  (** [bit a i] is the i-th most significant bit (i in [0,127]). *)
+
+  val mask : t -> int -> t
+  val compare : t -> t -> int
+end

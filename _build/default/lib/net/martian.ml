@@ -1,0 +1,34 @@
+let p = Prefix.of_string_exn
+
+let v4_list =
+  [ p "0.0.0.0/8";       (* "this" network *)
+    p "10.0.0.0/8";      (* RFC 1918 *)
+    p "100.64.0.0/10";   (* CGN shared space *)
+    p "127.0.0.0/8";     (* loopback *)
+    p "169.254.0.0/16";  (* link local *)
+    p "172.16.0.0/12";   (* RFC 1918 *)
+    p "192.0.0.0/24";    (* IETF protocol assignments *)
+    p "192.0.2.0/24";    (* TEST-NET-1 *)
+    p "192.168.0.0/16";  (* RFC 1918 *)
+    p "198.18.0.0/15";   (* benchmarking *)
+    p "198.51.100.0/24"; (* TEST-NET-2 *)
+    p "203.0.113.0/24";  (* TEST-NET-3 *)
+    p "224.0.0.0/4";     (* multicast *)
+    p "240.0.0.0/4" ]    (* reserved *)
+
+let v6_list =
+  [ p "::/8";            (* loopback, unspecified, v4-mapped *)
+    p "100::/64";        (* discard only *)
+    p "2001:db8::/32";   (* documentation *)
+    p "fc00::/7";        (* unique local *)
+    p "fe80::/10";       (* link local *)
+    p "ff00::/8" ]       (* multicast *)
+
+let is_martian prefix =
+  let overlong =
+    if Prefix.is_v4 prefix then prefix.Prefix.len > 24 else prefix.Prefix.len > 48
+  in
+  overlong
+  || List.exists
+       (fun m -> Prefix.contains m prefix)
+       (if Prefix.is_v4 prefix then v4_list else v6_list)

@@ -1,0 +1,60 @@
+let parent (p : Prefix.t) =
+  if p.len = 0 then None
+  else
+    Some
+      (match p.addr with
+       | Prefix.V4 a -> Prefix.v4 a (p.len - 1)
+       | Prefix.V6 a -> Prefix.v6 a (p.len - 1))
+
+let sibling (p : Prefix.t) =
+  if p.len = 0 then None
+  else
+    Some
+      (match p.addr with
+       | Prefix.V4 a ->
+         let flipped = a lxor (1 lsl (32 - p.len)) in
+         Prefix.v4 flipped p.len
+       | Prefix.V6 (hi, lo) ->
+         if p.len <= 64 then
+           Prefix.v6 (Int64.logxor hi (Int64.shift_left 1L (64 - p.len)), lo) p.len
+         else Prefix.v6 (hi, Int64.logxor lo (Int64.shift_left 1L (128 - p.len))) p.len)
+
+(* Drop prefixes covered by an earlier (shorter or equal) one. The list
+   must be sorted by Prefix.compare, which orders a covering prefix
+   before everything it contains. *)
+let drop_contained sorted =
+  let rec go kept = function
+    | [] -> List.rev kept
+    | p :: rest ->
+      if List.exists (fun k -> Prefix.contains k p) kept then go kept rest
+      else go (p :: kept) rest
+  in
+  (* only the most recent kept prefixes can cover p; linear scan is fine
+     for filter-sized lists *)
+  go [] sorted
+
+let rec merge_siblings sorted =
+  let rec go acc changed = function
+    | a :: b :: rest when a.Prefix.len = b.Prefix.len && sibling a = Some b ->
+      (match parent a with
+       | Some up -> go (up :: acc) true rest
+       | None -> go (b :: a :: acc) changed rest)
+    | x :: rest -> go (x :: acc) changed rest
+    | [] -> (List.rev acc, changed)
+  in
+  let merged, changed = go [] false sorted in
+  if changed then
+    merge_siblings (drop_contained (List.sort_uniq Prefix.compare merged))
+  else merged
+
+let aggregate prefixes =
+  prefixes
+  |> List.sort_uniq Prefix.compare
+  |> drop_contained
+  |> merge_siblings
+
+let covers_same_space a b =
+  let canon l = aggregate l in
+  let ca = canon a and cb = canon b in
+  let covered_by l p = List.exists (fun q -> Prefix.contains q p) l in
+  List.for_all (covered_by cb) ca && List.for_all (covered_by ca) cb

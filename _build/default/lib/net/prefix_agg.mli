@@ -1,0 +1,23 @@
+(** Prefix-list aggregation — the space optimization BGPq4 applies to
+    generated router filters (its [-A] flag): collapse a set of prefixes
+    into the minimal list covering exactly the same address space.
+
+    Two reductions run to fixpoint:
+    - containment: a prefix covered by another in the list is dropped;
+    - sibling merge: two prefixes that are the two halves of their common
+      parent are replaced by the parent.
+
+    Both preserve the represented address set exactly. *)
+
+val aggregate : Prefix.t list -> Prefix.t list
+(** Minimal equivalent prefix list, sorted. Families are aggregated
+    independently and may be mixed in the input. *)
+
+val covers_same_space : Prefix.t list -> Prefix.t list -> bool
+(** Whether two prefix lists denote the same address set (used by the
+    property tests; exact, via mutual containment of a canonical form). *)
+
+val sibling : Prefix.t -> Prefix.t option
+(** The other half of this prefix's parent ([None] for length 0). *)
+
+val parent : Prefix.t -> Prefix.t option

@@ -1,0 +1,93 @@
+type 'a node = {
+  mutable zero : 'a node option;
+  mutable one : 'a node option;
+  mutable values : (Prefix.t * 'a) list; (* bindings terminating here *)
+}
+
+type 'a t = {
+  v4_root : 'a node;
+  v6_root : 'a node;
+  mutable count : int;
+}
+
+let fresh_node () = { zero = None; one = None; values = [] }
+let create () = { v4_root = fresh_node (); v6_root = fresh_node (); count = 0 }
+let root t p = if Prefix.is_v4 p then t.v4_root else t.v6_root
+
+let add t prefix value =
+  let rec descend node depth =
+    if depth = prefix.Prefix.len then
+      node.values <- (prefix, value) :: node.values
+    else begin
+      let child =
+        if Prefix.bit prefix depth then
+          match node.one with
+          | Some c -> c
+          | None ->
+            let c = fresh_node () in
+            node.one <- Some c;
+            c
+        else
+          match node.zero with
+          | Some c -> c
+          | None ->
+            let c = fresh_node () in
+            node.zero <- Some c;
+            c
+      in
+      descend child (depth + 1)
+    end
+  in
+  descend (root t prefix) 0;
+  t.count <- t.count + 1
+
+let exact t prefix =
+  let rec descend node depth =
+    if depth = prefix.Prefix.len then List.map snd node.values
+    else
+      let child = if Prefix.bit prefix depth then node.one else node.zero in
+      match child with None -> [] | Some c -> descend c (depth + 1)
+  in
+  descend (root t prefix) 0
+
+let mem_exact t prefix = exact t prefix <> []
+
+let covering t prefix =
+  let rec descend node depth acc =
+    let acc = List.rev_append node.values acc in
+    if depth = prefix.Prefix.len then acc
+    else
+      let child = if Prefix.bit prefix depth then node.one else node.zero in
+      match child with None -> acc | Some c -> descend c (depth + 1) acc
+  in
+  List.rev (descend (root t prefix) 0 [])
+
+let covered_by t prefix =
+  let rec subtree node acc =
+    let acc = List.rev_append node.values acc in
+    let acc = match node.zero with None -> acc | Some c -> subtree c acc in
+    match node.one with None -> acc | Some c -> subtree c acc
+  in
+  let rec descend node depth =
+    if depth = prefix.Prefix.len then subtree node []
+    else
+      let child = if Prefix.bit prefix depth then node.one else node.zero in
+      match child with None -> [] | Some c -> descend c (depth + 1)
+  in
+  descend (root t prefix) 0
+
+let length t = t.count
+
+let iter f t =
+  let rec walk node =
+    List.iter (fun (p, v) -> f p v) node.values;
+    Option.iter walk node.zero;
+    Option.iter walk node.one
+  in
+  walk t.v4_root;
+  walk t.v6_root
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun p v -> acc := f p v !acc) t;
+  !acc

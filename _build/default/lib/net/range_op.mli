@@ -1,0 +1,35 @@
+(** RPSL prefix range operators (RFC 2622 §2): [^-], [^+], [^n], [^n-m].
+
+    A filter term like [192.0.2.0/24^+] matches the prefix itself and all
+    more-specifics; [^n-m] matches more-specifics whose length lies in
+    [n..m]. [None_] is the absence of an operator (exact match). *)
+
+type t =
+  | None_        (** exact prefix only *)
+  | Minus        (** [^-] exclusive more-specifics *)
+  | Plus         (** [^+] inclusive more-specifics *)
+  | Exact of int (** [^n] more-specifics of length exactly [n] *)
+  | Range of int * int (** [^n-m] more-specifics of length [n] to [m] *)
+
+val parse : string -> (t, string) result
+(** Parse the operator text including the caret, e.g. ["^24-32"]. The empty
+    string parses to [None_]. *)
+
+val to_string : t -> string
+(** Render including the caret; [""] for [None_]. *)
+
+val matches : t -> declared:Prefix.t -> observed:Prefix.t -> bool
+(** Whether [observed] falls inside [declared] under the operator. *)
+
+val compose : t -> t -> t
+(** [compose outer inner] — RFC 2622 operator composition when a range
+    operator is applied to a set whose members already carry operators
+    (e.g. route-set members with [^+] referenced under [^24-32]).
+    Follows the RFC rule: the outer operator replaces the inner one if the
+    result is non-empty, using the more-specific interpretation. *)
+
+val is_more_specific : t -> bool
+(** True when the operator admits prefixes longer than the declared one. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/policy/action_eval.ml: Ast List Printf Result Rz_net Rz_util String

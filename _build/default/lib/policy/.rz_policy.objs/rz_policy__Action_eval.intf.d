@@ -1,0 +1,1 @@
+lib/policy/action_eval.mli: Ast Rz_net

@@ -1,0 +1,1 @@
+lib/policy/ast.ml: List Printf Rz_aspath Rz_net Rz_util String

@@ -1,0 +1,1 @@
+lib/policy/parser.ml: Ast Lexer List Printf Result Rz_aspath Rz_net Rz_rpsl Rz_util String

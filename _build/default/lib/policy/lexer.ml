@@ -1,0 +1,72 @@
+type token =
+  | Word of string
+  | Lbrace
+  | Rbrace
+  | Lparen
+  | Rparen
+  | Semicolon
+  | Comma
+  | Equals
+  | Dot_equals
+  | Regex of string
+
+let token_to_string = function
+  | Word w -> w
+  | Lbrace -> "{"
+  | Rbrace -> "}"
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Semicolon -> ";"
+  | Comma -> ","
+  | Equals -> "="
+  | Dot_equals -> ".="
+  | Regex r -> "<" ^ r ^ ">"
+
+(* Word characters cover ASNs, set names (with ':' hierarchy and '-'),
+   prefixes (dots, slashes), range operators attached to a word ('^', '+',
+   '-'), community values ('65535:666'), and action values. *)
+let is_word_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '.' || c = ':' || c = '/' || c = '-' || c = '_' || c = '^' || c = '+'
+  || c = '*' || c = '?'
+
+let tokenize input =
+  let n = String.length input in
+  let toks = ref [] in
+  let push t = toks := t :: !toks in
+  let i = ref 0 in
+  let error = ref None in
+  while !i < n && !error = None do
+    let c = input.[!i] in
+    match c with
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | '{' -> push Lbrace; incr i
+    | '}' -> push Rbrace; incr i
+    | '(' -> push Lparen; incr i
+    | ')' -> push Rparen; incr i
+    | ';' -> push Semicolon; incr i
+    | ',' -> push Comma; incr i
+    | '=' -> push Equals; incr i
+    | '<' ->
+      (match String.index_from_opt input !i '>' with
+       | None -> error := Some "unterminated AS-path regex (missing >)"
+       | Some close ->
+         push (Regex (String.sub input (!i + 1) (close - !i - 1)));
+         i := close + 1)
+    | '.' when !i + 1 < n && input.[!i + 1] = '=' ->
+      push Dot_equals;
+      i := !i + 2
+    | c when is_word_char c ->
+      let start = !i in
+      while
+        !i < n && is_word_char input.[!i]
+        && not (input.[!i] = '.' && !i + 1 < n && input.[!i + 1] = '=')
+      do
+        incr i
+      done;
+      push (Word (String.sub input start (!i - start)))
+    | c -> error := Some (Printf.sprintf "unexpected character %C in policy text" c)
+  done;
+  match !error with
+  | Some e -> Error e
+  | None -> Ok (List.rev !toks)

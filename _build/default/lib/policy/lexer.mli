@@ -1,0 +1,20 @@
+(** Tokenizer for policy attribute values ([import], [export], [peering],
+    [filter], [members] and friends). Newlines from continuation folding
+    are treated as spaces; an AS-path regex between [<] and [>] is captured
+    as one token. *)
+
+type token =
+  | Word of string   (** names, ASNs, prefixes, numbers, communities *)
+  | Lbrace
+  | Rbrace
+  | Lparen
+  | Rparen
+  | Semicolon
+  | Comma
+  | Equals
+  | Dot_equals       (** the [.=] append operator *)
+  | Regex of string  (** contents between [<] and [>] *)
+
+val tokenize : string -> (token list, string) result
+
+val token_to_string : token -> string

@@ -1,0 +1,1 @@
+lib/routegen/anomaly.ml: Array Hashtbl List Option Propagate Rz_asrel Rz_bgp Rz_net Rz_topology Rz_util

@@ -1,0 +1,1 @@
+lib/routegen/anomaly.mli: Rz_bgp Rz_net Rz_topology

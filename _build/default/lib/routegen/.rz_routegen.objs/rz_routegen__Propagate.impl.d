@@ -1,0 +1,1 @@
+lib/routegen/propagate.ml: Array Hashtbl List Printf Queue Rz_asrel Rz_bgp Rz_net Rz_topology Rz_util

@@ -1,0 +1,1 @@
+lib/routegen/propagate.mli: Hashtbl Rz_bgp Rz_net Rz_topology

@@ -1,0 +1,1 @@
+lib/rpki/aspa.ml: Array Hashtbl Int List Option Rz_asrel Rz_net Rz_topology Rz_util Set

@@ -1,0 +1,1 @@
+lib/rpki/aspa.mli: Rz_net Rz_topology

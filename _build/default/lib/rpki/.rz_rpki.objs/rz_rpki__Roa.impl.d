@@ -1,0 +1,1 @@
+lib/rpki/roa.ml: Array List Rz_net Rz_topology Rz_util

@@ -1,0 +1,1 @@
+lib/rpki/roa.mli: Rz_net Rz_topology

@@ -1,0 +1,45 @@
+type roa = {
+  prefix : Rz_net.Prefix.t;
+  max_length : int;
+  origin : Rz_net.Asn.t;
+}
+
+type t = { trie : roa Rz_net.Prefix_trie.t }
+
+let create () = { trie = Rz_net.Prefix_trie.create () }
+let add t roa = Rz_net.Prefix_trie.add t.trie roa.prefix roa
+let size t = Rz_net.Prefix_trie.length t.trie
+
+type validity =
+  | Valid
+  | Invalid
+  | Not_found
+
+let validity_to_string = function
+  | Valid -> "valid"
+  | Invalid -> "invalid"
+  | Not_found -> "not-found"
+
+let validate t prefix origin =
+  let covering = Rz_net.Prefix_trie.covering t.trie prefix in
+  if covering = [] then Not_found
+  else if
+    List.exists
+      (fun (_, roa) -> roa.origin = origin && prefix.Rz_net.Prefix.len <= roa.max_length)
+      covering
+  then Valid
+  else Invalid
+
+let of_topology ?(seed = 99) ~adoption (topo : Rz_topology.Gen.t) =
+  let rng = Rz_util.Splitmix.create seed in
+  let t = create () in
+  Array.iter
+    (fun asn ->
+      if Rz_util.Splitmix.chance rng adoption then
+        List.iter
+          (fun prefix ->
+            (* operators commonly sign maxLength = the announced length *)
+            add t { prefix; max_length = prefix.Rz_net.Prefix.len; origin = asn })
+          (Rz_topology.Gen.prefixes_of topo asn))
+    topo.ases;
+  t

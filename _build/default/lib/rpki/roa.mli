@@ -1,0 +1,40 @@
+(** Route Origin Authorizations and Route Origin Validation (RFC 6811) —
+    the deployed BGP-security baseline the paper compares the RPSL against
+    ("Our analysis ... follows this approach using the RPSL instead",
+    Section 6). A ROA authorizes an AS to originate a prefix up to a
+    maximum length; ROV classifies a (prefix, origin) pair against the
+    covering ROAs. *)
+
+type roa = {
+  prefix : Rz_net.Prefix.t;
+  max_length : int;   (** longest announcement the ROA authorizes *)
+  origin : Rz_net.Asn.t;
+}
+
+type t
+
+val create : unit -> t
+val add : t -> roa -> unit
+val size : t -> int
+
+type validity =
+  | Valid       (** a covering ROA authorizes this origin at this length *)
+  | Invalid     (** covering ROAs exist but none authorizes it *)
+  | Not_found   (** no covering ROA — the prefix is outside RPKI coverage *)
+
+val validate : t -> Rz_net.Prefix.t -> Rz_net.Asn.t -> validity
+(** RFC 6811 semantics: Valid if any covering ROA matches origin and
+    [len <= max_length]; Invalid when covering ROAs exist but none
+    matches; NotFound otherwise. *)
+
+val validity_to_string : validity -> string
+
+val of_topology :
+  ?seed:int ->
+  adoption:float ->
+  Rz_topology.Gen.t ->
+  t
+(** Synthesize the ROA table the topology's ground truth implies: each AS
+    signs ROAs for its originated prefixes with probability [adoption]
+    (partial deployment — the situation RPKI measurement studies
+    quantify). Deterministic for a seed. *)

@@ -1,0 +1,1 @@
+lib/rpsl/attr.ml: Format Rz_util

@@ -1,0 +1,1 @@
+lib/rpsl/attr.mli: Format

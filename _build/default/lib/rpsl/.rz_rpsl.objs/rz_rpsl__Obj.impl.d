@@ -1,0 +1,1 @@
+lib/rpsl/obj.ml: Attr Format List Rz_util

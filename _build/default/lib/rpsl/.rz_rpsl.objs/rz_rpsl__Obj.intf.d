@@ -1,0 +1,1 @@
+lib/rpsl/obj.mli: Attr Format

@@ -1,0 +1,1 @@
+lib/rpsl/reader.ml: Attr Buffer List Obj Printf Rz_util String

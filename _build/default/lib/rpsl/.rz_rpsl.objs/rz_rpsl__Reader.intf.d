@@ -1,0 +1,1 @@
+lib/rpsl/reader.mli: Obj

@@ -1,0 +1,1 @@
+lib/rpsl/set_name.ml: List Result Rz_net Rz_util String

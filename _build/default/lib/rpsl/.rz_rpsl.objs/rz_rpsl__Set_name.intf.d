@@ -1,0 +1,1 @@
+lib/rpsl/set_name.mli:

@@ -1,0 +1,1 @@
+lib/rpsl/template.ml: Attr List Obj Printf Rz_util

@@ -1,0 +1,1 @@
+lib/rpsl/template.mli: Obj

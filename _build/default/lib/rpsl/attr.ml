@@ -1,0 +1,8 @@
+type t = { key : string; value : string }
+
+let make key value =
+  { key = Rz_util.Strings.lowercase (Rz_util.Strings.strip key);
+    value = Rz_util.Strings.strip value }
+
+let pp fmt { key; value } = Format.fprintf fmt "%s: %s" key value
+let equal a b = a = b

@@ -1,0 +1,12 @@
+(** One RPSL attribute: a [key: value] pair after continuation-line folding
+    and comment stripping. Keys are stored lowercase; values keep their
+    original case (RPSL values like set names are case-insensitive, but we
+    normalize lazily at use sites to preserve round-tripping). *)
+
+type t = { key : string; value : string }
+
+val make : string -> string -> t
+(** [make key value] lowercases the key and strips the value. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

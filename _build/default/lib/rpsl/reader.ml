@@ -1,0 +1,115 @@
+type error = { line : int; text : string; reason : string }
+
+type result_t = {
+  objects : Obj.t list;
+  errors : error list;
+}
+
+(* A '#' begins a comment anywhere on a line. Values never contain '#'
+   meaningfully in the routing-related attributes we interpret. *)
+let strip_comment line = Rz_util.Strings.chop_comment '#' line
+
+let is_continuation line =
+  String.length line > 0 && (line.[0] = ' ' || line.[0] = '\t' || line.[0] = '+')
+
+(* Paragraph accumulator: turns a stream of lines into objects. *)
+type state = {
+  mutable current : (string * Buffer.t) list; (* reversed (key, value) list *)
+  mutable start_line : int;
+  mutable objects_rev : Obj.t list;
+  mutable errors_rev : error list;
+}
+
+let fresh_state () =
+  { current = []; start_line = 0; objects_rev = []; errors_rev = [] }
+
+let flush_object st =
+  match List.rev st.current with
+  | [] -> ()
+  | (cls_key, cls_buf) :: _ as attrs ->
+    let attrs = List.map (fun (k, b) -> Attr.make k (Buffer.contents b)) attrs in
+    let obj =
+      { Obj.cls = Rz_util.Strings.lowercase cls_key;
+        name = Rz_util.Strings.strip (Buffer.contents cls_buf);
+        attrs;
+        line = st.start_line }
+    in
+    st.objects_rev <- obj :: st.objects_rev;
+    st.current <- []
+
+let valid_key key =
+  key <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+         || c = '-' || c = '_' || c = '*')
+       key
+
+let feed_line st lineno raw =
+  let line = strip_comment raw in
+  if Rz_util.Strings.is_blank line then flush_object st
+  else if String.length raw > 0 && raw.[0] = '%' then () (* server remark *)
+  else if is_continuation line then begin
+    (* Continuation of the previous attribute's value. A '+' alone
+       continues with an empty line; otherwise append the folded text. *)
+    match st.current with
+    | [] ->
+      st.errors_rev <-
+        { line = lineno; text = raw; reason = "continuation line outside an object" }
+        :: st.errors_rev
+    | (_, buf) :: _ ->
+      let text =
+        if line.[0] = '+' then String.sub line 1 (String.length line - 1) else line
+      in
+      let text = Rz_util.Strings.strip text in
+      if text <> "" then begin
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf text
+      end
+  end
+  else
+    match String.index_opt line ':' with
+    | None ->
+      st.errors_rev <-
+        { line = lineno; text = raw; reason = "line is not key: value" } :: st.errors_rev
+    | Some i ->
+      let key = Rz_util.Strings.strip (String.sub line 0 i) in
+      let value = String.sub line (i + 1) (String.length line - i - 1) in
+      if not (valid_key key) then
+        st.errors_rev <-
+          { line = lineno; text = raw; reason = Printf.sprintf "invalid attribute key %S" key }
+          :: st.errors_rev
+      else begin
+        if st.current = [] then st.start_line <- lineno;
+        let buf = Buffer.create 32 in
+        Buffer.add_string buf (Rz_util.Strings.strip value);
+        st.current <- (key, buf) :: st.current
+      end
+
+let parse_string text =
+  let st = fresh_state () in
+  List.iteri (fun i line -> feed_line st (i + 1) line) (String.split_on_char '\n' text);
+  flush_object st;
+  { objects = List.rev st.objects_rev; errors = List.rev st.errors_rev }
+
+let parse_file path =
+  let ic = open_in path in
+  let st = fresh_state () in
+  (try
+     let lineno = ref 0 in
+     (try
+        while true do
+          incr lineno;
+          feed_line st !lineno (input_line ic)
+        done
+      with End_of_file -> ());
+     flush_object st;
+     close_in ic
+   with e ->
+     close_in ic;
+     raise e);
+  { objects = List.rev st.objects_rev; errors = List.rev st.errors_rev }
+
+let fold_file path ~init ~f =
+  let parsed = parse_file path in
+  (List.fold_left f init parsed.objects, parsed.errors)

@@ -1,0 +1,21 @@
+(** Reader for IRR dump files: splits the dump into paragraph-separated
+    objects, folds continuation lines (leading whitespace or ['+']), strips
+    ['#'] end-of-line comments and ['%'] server remark lines, and records
+    malformed lines as errors without aborting the surrounding object. *)
+
+type error = { line : int; text : string; reason : string }
+
+type result_t = {
+  objects : Obj.t list;
+  errors : error list;
+}
+
+val parse_string : string -> result_t
+(** Parse a whole dump held in memory. *)
+
+val parse_file : string -> result_t
+(** Parse a dump file from disk. Raises [Sys_error] on IO failure. *)
+
+val fold_file : string -> init:'a -> f:('a -> Obj.t -> 'a) -> 'a * error list
+(** Stream objects from a file without materializing the whole list;
+    used for large dumps. *)

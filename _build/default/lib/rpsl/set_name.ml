@@ -1,0 +1,53 @@
+type kind = As_set | Route_set | Peering_set | Filter_set
+
+let prefix_of = function
+  | As_set -> "AS-"
+  | Route_set -> "RS-"
+  | Peering_set -> "PRNG-"
+  | Filter_set -> "FLTR-"
+
+let components name = String.split_on_char ':' name
+
+let is_word_chars s =
+  s <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+         || c = '-' || c = '_')
+       s
+
+let is_asn s = Result.is_ok (Rz_net.Asn.of_string s) && Rz_util.Strings.starts_with_ci ~prefix:"AS" s
+
+let is_set_component kind s =
+  let prefix = prefix_of kind in
+  Rz_util.Strings.starts_with_ci ~prefix s
+  && String.length s > String.length prefix
+  && is_word_chars s
+
+(* RFC 2622 additionally reserves bare "AS-ANY" and "RS-ANY": they are
+   keywords, not set names. *)
+let reserved = [ "AS-ANY"; "RS-ANY"; "ANY"; "PEERAS" ]
+
+let is_valid kind name =
+  let comps = components name in
+  comps <> []
+  && (not (List.mem (Rz_util.Strings.uppercase name) reserved))
+  && List.for_all (fun c -> is_asn c || is_set_component kind c) comps
+  && List.exists (fun c -> is_set_component kind c) comps
+
+let classify name =
+  let comps = components name in
+  let kind_of c =
+    if is_set_component As_set c then Some As_set
+    else if is_set_component Route_set c then Some Route_set
+    else if is_set_component Peering_set c then Some Peering_set
+    else if is_set_component Filter_set c then Some Filter_set
+    else None
+  in
+  (* The kind is given by the last set-prefixed component (hierarchical
+     names end with the most specific set). *)
+  List.fold_left
+    (fun acc c -> match kind_of c with Some k -> Some k | None -> acc)
+    None comps
+
+let canonical = Rz_util.Strings.uppercase

@@ -1,0 +1,131 @@
+type presence = Mandatory | Optional
+type arity = Single | Multiple
+
+type attr_spec = {
+  key : string;
+  presence : presence;
+  arity : arity;
+}
+
+let spec key presence arity = { key; presence; arity }
+
+(* Administrative attributes common to every class (RFC 2622 §3.1).
+   [changed] is mandatory-multiple in the RFC; real IRRs increasingly drop
+   it, so it is optional here to avoid flagging modern objects. *)
+let generic =
+  [ spec "descr" Optional Multiple;
+    spec "admin-c" Optional Multiple;
+    spec "tech-c" Optional Multiple;
+    spec "remarks" Optional Multiple;
+    spec "notify" Optional Multiple;
+    spec "changed" Optional Multiple;
+    spec "mnt-by" Mandatory Multiple;
+    spec "source" Mandatory Single ]
+
+let set_generic =
+  generic
+  @ [ spec "members" Optional Multiple;
+      spec "mp-members" Optional Multiple;
+      spec "mbrs-by-ref" Optional Multiple ]
+
+let templates =
+  [ ( "aut-num",
+      [ spec "aut-num" Mandatory Single;
+        spec "as-name" Mandatory Single;
+        spec "member-of" Optional Multiple;
+        spec "import" Optional Multiple;
+        spec "export" Optional Multiple;
+        spec "mp-import" Optional Multiple;
+        spec "mp-export" Optional Multiple;
+        spec "default" Optional Multiple;
+        spec "mp-default" Optional Multiple ]
+      @ generic );
+    ("as-set", spec "as-set" Mandatory Single :: set_generic);
+    ("route-set", spec "route-set" Mandatory Single :: set_generic);
+    ( "peering-set",
+      [ spec "peering-set" Mandatory Single;
+        spec "peering" Optional Multiple;
+        spec "mp-peering" Optional Multiple ]
+      @ generic );
+    ( "filter-set",
+      [ spec "filter-set" Mandatory Single;
+        spec "filter" Optional Single;
+        spec "mp-filter" Optional Single ]
+      @ generic );
+    ( "route",
+      [ spec "route" Mandatory Single;
+        spec "origin" Mandatory Single;
+        spec "member-of" Optional Multiple;
+        spec "holes" Optional Multiple;
+        spec "inject" Optional Multiple;
+        spec "aggr-mtd" Optional Single;
+        spec "aggr-bndry" Optional Single;
+        spec "export-comps" Optional Single;
+        spec "components" Optional Single ]
+      @ generic );
+    ( "route6",
+      [ spec "route6" Mandatory Single;
+        spec "origin" Mandatory Single;
+        spec "member-of" Optional Multiple;
+        spec "holes" Optional Multiple ]
+      @ generic );
+    ( "inet-rtr",
+      [ spec "inet-rtr" Mandatory Single;
+        spec "localas" Optional Single;
+        spec "local-as" Mandatory Single;
+        spec "ifaddr" Mandatory Multiple;
+        spec "interface" Optional Multiple;
+        spec "peer" Optional Multiple;
+        spec "mp-peer" Optional Multiple;
+        spec "member-of" Optional Multiple;
+        spec "alias" Optional Multiple ]
+      @ generic );
+    ("rtr-set", spec "rtr-set" Mandatory Single :: set_generic);
+    ( "mntner",
+      [ spec "mntner" Mandatory Single;
+        spec "auth" Mandatory Multiple;
+        spec "upd-to" Optional Multiple;
+        spec "mnt-nfy" Optional Multiple ]
+      @ generic ) ]
+
+let template cls = List.assoc_opt (Rz_util.Strings.lowercase cls) templates
+
+type problem =
+  | Missing_mandatory of string
+  | Repeated_single of string
+  | Unknown_attribute of string
+
+let problem_to_string = function
+  | Missing_mandatory key -> Printf.sprintf "mandatory attribute %S is missing" key
+  | Repeated_single key -> Printf.sprintf "single-valued attribute %S appears more than once" key
+  | Unknown_attribute key -> Printf.sprintf "attribute %S is not defined for this class" key
+
+let check (obj : Obj.t) =
+  match template obj.cls with
+  | None -> None
+  | Some specs ->
+    let count key =
+      List.length (List.filter (fun (a : Attr.t) -> a.key = key) obj.attrs)
+    in
+    let missing =
+      List.filter_map
+        (fun s ->
+          if s.presence = Mandatory && count s.key = 0 then Some (Missing_mandatory s.key)
+          else None)
+        specs
+    in
+    let repeated =
+      List.filter_map
+        (fun s ->
+          if s.arity = Single && count s.key > 1 then Some (Repeated_single s.key)
+          else None)
+        specs
+    in
+    let known key = List.exists (fun s -> s.key = key) specs in
+    let unknown =
+      obj.attrs
+      |> List.map (fun (a : Attr.t) -> a.key)
+      |> List.sort_uniq compare
+      |> List.filter_map (fun key -> if known key then None else Some (Unknown_attribute key))
+    in
+    Some (missing @ repeated @ unknown)

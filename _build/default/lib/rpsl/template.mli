@@ -1,0 +1,31 @@
+(** RPSL object templates (RFC 2622 §3 "whois -t"-style class schemas):
+    which attributes each routing-related class requires, allows, and how
+    many times. Used to validate objects beyond what the interpreting
+    pipeline needs — the checks an IRR server runs on submission. *)
+
+type presence = Mandatory | Optional
+type arity = Single | Multiple
+
+type attr_spec = {
+  key : string;
+  presence : presence;
+  arity : arity;
+}
+
+val template : string -> attr_spec list option
+(** The schema for a class ([aut-num], [as-set], [route-set],
+    [peering-set], [filter-set], [route], [route6], [mntner]); [None] for
+    classes this implementation does not model. Every template includes
+    the generic administrative attributes ([descr], [admin-c], [tech-c],
+    [mnt-by], [changed], [source], [remarks], [notify]). *)
+
+type problem =
+  | Missing_mandatory of string   (** a mandatory attribute is absent *)
+  | Repeated_single of string     (** a single-valued attribute appears twice *)
+  | Unknown_attribute of string   (** an attribute the class does not define *)
+
+val problem_to_string : problem -> string
+
+val check : Obj.t -> problem list option
+(** Validate an object against its class template; [None] when the class
+    has no template. Problems are ordered: missing, repeated, unknown. *)

@@ -1,0 +1,1 @@
+lib/stats/bgpq4_compat.ml: List Rz_ir Rz_policy

@@ -1,0 +1,1 @@
+lib/stats/bgpq4_compat.mli: Rz_ir Rz_policy

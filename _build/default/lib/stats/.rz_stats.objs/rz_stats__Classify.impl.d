@@ -1,0 +1,1 @@
+lib/stats/classify.ml: Bgpq4_compat List Rz_asrel Rz_ir Rz_irr Rz_net Rz_policy

@@ -1,0 +1,1 @@
+lib/stats/classify.mli: Rz_asrel Rz_ir Rz_irr Rz_net

@@ -1,0 +1,1 @@
+lib/stats/coverage.ml: Hashtbl List Option Rz_ir Rz_irr Rz_rpsl

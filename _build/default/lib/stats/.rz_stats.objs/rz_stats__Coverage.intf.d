@@ -1,0 +1,1 @@
+lib/stats/coverage.mli: Rz_irr

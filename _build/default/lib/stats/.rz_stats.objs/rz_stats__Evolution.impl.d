@@ -1,0 +1,1 @@
+lib/stats/evolution.ml: Hashtbl List Printf Rz_ir Rz_net Rz_policy Rz_rpsl String

@@ -1,0 +1,1 @@
+lib/stats/evolution.mli: Rz_ir Rz_net

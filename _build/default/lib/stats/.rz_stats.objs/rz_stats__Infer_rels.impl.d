@@ -1,0 +1,1 @@
+lib/stats/infer_rels.ml: Hashtbl List Option Rz_asrel Rz_ir Rz_irr Rz_net Rz_policy

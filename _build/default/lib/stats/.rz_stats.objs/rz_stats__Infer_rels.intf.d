@@ -1,0 +1,1 @@
+lib/stats/infer_rels.mli: Rz_asrel Rz_irr Rz_net

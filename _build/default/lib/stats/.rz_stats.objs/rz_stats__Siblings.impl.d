@@ -1,0 +1,1 @@
+lib/stats/siblings.ml: Hashtbl List Option Rz_ir Rz_irr Rz_net Rz_util

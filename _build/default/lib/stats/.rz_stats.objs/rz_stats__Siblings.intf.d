@@ -1,0 +1,1 @@
+lib/stats/siblings.mli: Rz_irr Rz_net

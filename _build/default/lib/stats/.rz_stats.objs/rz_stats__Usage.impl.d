@@ -1,0 +1,1 @@
+lib/stats/usage.ml: Bgpq4_compat Hashtbl List Option Result Rz_aspath Rz_ir Rz_irr Rz_net Rz_policy Rz_rpsl Rz_util String

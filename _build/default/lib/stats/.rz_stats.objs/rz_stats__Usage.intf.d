@@ -1,0 +1,1 @@
+lib/stats/usage.mli: Rz_irr Rz_net

@@ -1,0 +1,120 @@
+module Ast = Rz_policy.Ast
+module Ir = Rz_ir.Ir
+
+type style =
+  | Unregistered
+  | Silent
+  | Open_policy
+  | Provider_only
+  | Simple
+  | Expressive
+
+type profile = {
+  asn : Rz_net.Asn.t;
+  style : style;
+  n_rules : int;
+  n_neighbors_declared : int;
+  uses_sets : bool;
+  multiprotocol : bool;
+}
+
+let style_to_string = function
+  | Unregistered -> "unregistered"
+  | Silent -> "silent"
+  | Open_policy -> "open-policy"
+  | Provider_only -> "provider-only"
+  | Simple -> "simple"
+  | Expressive -> "expressive"
+
+let all_styles = [ Unregistered; Silent; Open_policy; Provider_only; Simple; Expressive ]
+
+(* Structural facts about one aut-num's rules. *)
+let rec as_expr_asns acc = function
+  | Ast.Asn asn -> asn :: acc
+  | Ast.As_set _ | Ast.Any_as -> acc
+  | Ast.And (a, b) | Ast.Or (a, b) | Ast.Except_as (a, b) ->
+    as_expr_asns (as_expr_asns acc a) b
+
+let rec as_expr_has_any = function
+  | Ast.Any_as -> true
+  | Ast.Asn _ | Ast.As_set _ -> false
+  | Ast.And (a, b) | Ast.Or (a, b) | Ast.Except_as (a, b) ->
+    as_expr_has_any a || as_expr_has_any b
+
+let rec filter_uses_sets = function
+  | Ast.As_set_ref _ | Ast.Route_set_ref _ | Ast.Filter_set_ref _ -> true
+  | Ast.And_f (a, b) | Ast.Or_f (a, b) -> filter_uses_sets a || filter_uses_sets b
+  | Ast.Not_f a -> filter_uses_sets a
+  | Ast.Any | Ast.Peer_as_filter | Ast.As_num _ | Ast.Prefix_set _ | Ast.Path_regex _
+  | Ast.Community _ | Ast.Fltr_martian -> false
+
+let classify_aut_num ?rels (an : Ir.aut_num) =
+  let rules = an.imports @ an.exports in
+  let n_rules = List.length rules in
+  let peer_asns = ref [] in
+  let has_any_peering = ref false in
+  let uses_sets = ref false in
+  let expressive = ref false in
+  List.iter
+    (fun (rule : Ast.rule) ->
+      if not (Bgpq4_compat.rule_compatible rule) then expressive := true;
+      List.iter
+        (fun (term : Ast.term) ->
+          List.iter
+            (fun (factor : Ast.factor) ->
+              if filter_uses_sets factor.filter then uses_sets := true;
+              List.iter
+                (fun (pa : Ast.peering_action) ->
+                  match pa.peering with
+                  | Ast.Peering_spec { as_expr; _ } ->
+                    peer_asns := as_expr_asns !peer_asns as_expr;
+                    if as_expr_has_any as_expr then has_any_peering := true
+                  | Ast.Peering_set_ref _ -> ())
+                factor.peerings)
+            term.factors)
+        (Ast.expr_terms rule.expr))
+    rules;
+  let neighbors = List.sort_uniq compare !peer_asns in
+  let style =
+    if n_rules = 0 then Silent
+    else if !expressive then Expressive
+    else if !has_any_peering && neighbors = [] then Open_policy
+    else begin
+      let provider_only =
+        match rels with
+        | Some rels ->
+          neighbors <> []
+          && (not !has_any_peering)
+          && List.for_all
+               (fun n ->
+                 Rz_asrel.Rel_db.relationship rels n an.asn
+                 = Rz_asrel.Rel_db.A_provider_of_b)
+               neighbors
+          && Rz_asrel.Rel_db.customers rels an.asn <> []
+        | None -> false
+      in
+      if provider_only then Provider_only else Simple
+    end
+  in
+  { asn = an.asn;
+    style;
+    n_rules;
+    n_neighbors_declared = List.length neighbors;
+    uses_sets = !uses_sets;
+    multiprotocol = List.exists (fun (r : Ast.rule) -> r.multiprotocol) rules }
+
+let classify_all ?rels ~observed db =
+  List.map
+    (fun asn ->
+      match Rz_irr.Db.find_aut_num db asn with
+      | Some an -> classify_aut_num ?rels an
+      | None ->
+        { asn; style = Unregistered; n_rules = 0; n_neighbors_declared = 0;
+          uses_sets = false; multiprotocol = false })
+    observed
+
+let histogram profiles =
+  List.map
+    (fun style ->
+      (style, List.length (List.filter (fun p -> p.style = style) profiles)))
+    all_styles

@@ -1,0 +1,75 @@
+module Ir = Rz_ir.Ir
+
+type row = {
+  irr : string;
+  aut_nums : int;
+  as_sets : int;
+  route_sets : int;
+  routes : int;
+}
+
+type t = {
+  rows : row list;
+  shadowed_routes : int;
+}
+
+let compute ~dumps db =
+  let ir = Rz_irr.Db.ir db in
+  let counts : (string, row) Hashtbl.t = Hashtbl.create 13 in
+  let get irr =
+    match Hashtbl.find_opt counts irr with
+    | Some row -> row
+    | None ->
+      let row = { irr; aut_nums = 0; as_sets = 0; route_sets = 0; routes = 0 } in
+      Hashtbl.replace counts irr row;
+      row
+  in
+  Hashtbl.iter
+    (fun _ (an : Ir.aut_num) ->
+      let row = get an.source in
+      Hashtbl.replace counts an.source { row with aut_nums = row.aut_nums + 1 })
+    ir.aut_nums;
+  Hashtbl.iter
+    (fun _ (s : Ir.as_set) ->
+      let row = get s.source in
+      Hashtbl.replace counts s.source { row with as_sets = row.as_sets + 1 })
+    ir.as_sets;
+  Hashtbl.iter
+    (fun _ (s : Ir.route_set) ->
+      let row = get s.source in
+      Hashtbl.replace counts s.source { row with route_sets = row.route_sets + 1 })
+    ir.route_sets;
+  List.iter
+    (fun (r : Ir.route_obj) ->
+      let row = get r.source in
+      Hashtbl.replace counts r.source { row with routes = row.routes + 1 })
+    ir.routes;
+  (* raw route-object count across the dumps, to size the shadowing *)
+  let raw_routes =
+    List.fold_left
+      (fun acc (_, text) ->
+        let parsed = Rz_rpsl.Reader.parse_string text in
+        acc
+        + List.length
+            (List.filter
+               (fun (o : Rz_rpsl.Obj.t) -> o.cls = "route" || o.cls = "route6")
+               parsed.objects))
+      0 dumps
+  in
+  let owned_routes = List.length ir.routes in
+  let extra_sources =
+    Hashtbl.fold
+      (fun irr _ acc ->
+        if List.mem irr Rz_irr.Db.priority_order then acc else irr :: acc)
+      counts []
+    |> List.sort compare
+  in
+  let rows =
+    List.map
+      (fun irr ->
+        Option.value
+          ~default:{ irr; aut_nums = 0; as_sets = 0; route_sets = 0; routes = 0 }
+          (Hashtbl.find_opt counts irr))
+      (Rz_irr.Db.priority_order @ extra_sources)
+  in
+  { rows; shadowed_routes = max 0 (raw_routes - owned_routes) }

@@ -1,0 +1,108 @@
+module Ir = Rz_ir.Ir
+module Ast = Rz_policy.Ast
+
+type rule_change = {
+  asn : Rz_net.Asn.t;
+  before_rules : int;
+  after_rules : int;
+}
+
+type t = {
+  aut_nums_added : Rz_net.Asn.t list;
+  aut_nums_removed : Rz_net.Asn.t list;
+  rules_changed : rule_change list;
+  as_sets_added : string list;
+  as_sets_removed : string list;
+  as_sets_changed : string list;
+  route_sets_added : string list;
+  route_sets_removed : string list;
+  routes_added : int;
+  routes_removed : int;
+}
+
+let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
+
+let rules_fingerprint (an : Ir.aut_num) =
+  String.concat "\n" (List.map Ast.rule_to_string (an.imports @ an.exports))
+
+let as_set_fingerprint (s : Ir.as_set) =
+  String.concat ","
+    (List.map Rz_net.Asn.to_string (List.sort compare s.member_asns)
+     @ List.sort compare (List.map Rz_rpsl.Set_name.canonical s.member_sets))
+
+let route_keys (ir : Ir.t) =
+  List.fold_left
+    (fun acc (r : Ir.route_obj) ->
+      (Rz_net.Prefix.to_string r.prefix, r.origin) :: acc)
+    [] ir.routes
+  |> List.sort_uniq compare
+
+let diff ~(before : Ir.t) ~(after : Ir.t) =
+  let b_asns = keys before.aut_nums and a_asns = keys after.aut_nums in
+  let added = List.filter (fun a -> not (Hashtbl.mem before.aut_nums a)) a_asns in
+  let removed = List.filter (fun a -> not (Hashtbl.mem after.aut_nums a)) b_asns in
+  let rules_changed =
+    List.filter_map
+      (fun asn ->
+        match (Hashtbl.find_opt before.aut_nums asn, Hashtbl.find_opt after.aut_nums asn) with
+        | Some b, Some a when rules_fingerprint b <> rules_fingerprint a ->
+          Some { asn; before_rules = Ir.n_rules b; after_rules = Ir.n_rules a }
+        | _ -> None)
+      b_asns
+  in
+  let set_diff b_tbl a_tbl fingerprint =
+    let added = List.filter (fun k -> not (Hashtbl.mem b_tbl k)) (keys a_tbl) in
+    let removed = List.filter (fun k -> not (Hashtbl.mem a_tbl k)) (keys b_tbl) in
+    let changed =
+      List.filter
+        (fun k ->
+          match (Hashtbl.find_opt b_tbl k, Hashtbl.find_opt a_tbl k) with
+          | Some b, Some a -> fingerprint b <> fingerprint a
+          | _ -> false)
+        (keys b_tbl)
+    in
+    (added, removed, changed)
+  in
+  let as_added, as_removed, as_changed =
+    set_diff before.as_sets after.as_sets as_set_fingerprint
+  in
+  let rs_added, rs_removed, _ =
+    set_diff before.route_sets after.route_sets (fun (s : Ir.route_set) ->
+        string_of_int (List.length s.members))
+  in
+  let b_routes = route_keys before and a_routes = route_keys after in
+  let b_set = Hashtbl.create 1024 and a_set = Hashtbl.create 1024 in
+  List.iter (fun k -> Hashtbl.replace b_set k ()) b_routes;
+  List.iter (fun k -> Hashtbl.replace a_set k ()) a_routes;
+  { aut_nums_added = added;
+    aut_nums_removed = removed;
+    rules_changed;
+    as_sets_added = as_added;
+    as_sets_removed = as_removed;
+    as_sets_changed = as_changed;
+    route_sets_added = rs_added;
+    route_sets_removed = rs_removed;
+    routes_added = List.length (List.filter (fun k -> not (Hashtbl.mem b_set k)) a_routes);
+    routes_removed = List.length (List.filter (fun k -> not (Hashtbl.mem a_set k)) b_routes) }
+
+let is_empty t =
+  t.aut_nums_added = [] && t.aut_nums_removed = [] && t.rules_changed = []
+  && t.as_sets_added = [] && t.as_sets_removed = [] && t.as_sets_changed = []
+  && t.route_sets_added = [] && t.route_sets_removed = []
+  && t.routes_added = 0 && t.routes_removed = 0
+
+let summary t =
+  if is_empty t then "no changes between snapshots"
+  else
+    Printf.sprintf
+      "aut-nums: +%d -%d (%d policy changes); as-sets: +%d -%d (~%d); route-sets: \
+       +%d -%d; route objects: +%d -%d"
+      (List.length t.aut_nums_added)
+      (List.length t.aut_nums_removed)
+      (List.length t.rules_changed)
+      (List.length t.as_sets_added)
+      (List.length t.as_sets_removed)
+      (List.length t.as_sets_changed)
+      (List.length t.route_sets_added)
+      (List.length t.route_sets_removed)
+      t.routes_added t.routes_removed

@@ -1,0 +1,32 @@
+(** Snapshot diffing — the paper's future-work item "tracking the
+    evolution of RPSL policy usage over time". IRRs publish no history, so
+    the paper's methodology (and prior work it cites) is periodic
+    scraping; this module compares two scraped snapshots. *)
+
+type rule_change = {
+  asn : Rz_net.Asn.t;
+  before_rules : int;
+  after_rules : int;
+}
+
+type t = {
+  aut_nums_added : Rz_net.Asn.t list;
+  aut_nums_removed : Rz_net.Asn.t list;
+  rules_changed : rule_change list;
+      (** aut-nums present in both snapshots whose rendered rule sets
+          differ *)
+  as_sets_added : string list;
+  as_sets_removed : string list;
+  as_sets_changed : string list;  (** same name, different member list *)
+  route_sets_added : string list;
+  route_sets_removed : string list;
+  routes_added : int;             (** new (prefix, origin) pairs *)
+  routes_removed : int;
+}
+
+val diff : before:Rz_ir.Ir.t -> after:Rz_ir.Ir.t -> t
+
+val is_empty : t -> bool
+
+val summary : t -> string
+(** One-paragraph human-readable change summary. *)

@@ -1,0 +1,1 @@
+lib/synthirr/config.ml:

@@ -1,0 +1,1 @@
+lib/synthirr/generate.ml: Array Buffer Config Hashtbl List Printf Rz_asrel Rz_net Rz_topology Rz_util String

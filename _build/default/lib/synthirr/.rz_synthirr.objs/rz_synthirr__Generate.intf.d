@@ -1,0 +1,1 @@
+lib/synthirr/generate.mli: Config Hashtbl Rz_net Rz_topology

@@ -1,0 +1,56 @@
+type t = {
+  seed : int;
+  p_no_aut_num : float;
+  p_no_rules : float;
+  p_any_any : float;
+  p_complex : float;
+  p_only_provider : float;
+  p_export_self : float;
+  p_import_customer : float;
+  p_neighbor_rule_missing : float;
+  p_route_missing : float;
+  p_route_stale_origin : float;
+  p_route_foreign_mnt : float;
+  p_as_set_member_missing : float;
+  p_route_set_defined : float;
+  p_singleton_set : float;
+  p_filter_uses_route_set : float;
+  p_dup_in_radb : float;
+  p_mp_rules : float;
+  n_empty_as_sets : int;
+  n_loop_as_sets : int;
+  n_any_member_sets : int;
+  n_syntax_errors : int;
+  n_invalid_set_names : int;
+  n_deep_set_chains : int;
+  n_peering_sets : int;
+  n_filter_sets : int;
+}
+
+let default =
+  { seed = 7;
+    p_no_aut_num = 0.25;
+    p_no_rules = 0.17;
+    p_any_any = 0.02;
+    p_complex = 0.035;
+    p_only_provider = 0.01;
+    p_export_self = 0.6;
+    p_import_customer = 0.3;
+    p_neighbor_rule_missing = 0.40;
+    p_route_missing = 0.05;
+    p_route_stale_origin = 0.15;
+    p_route_foreign_mnt = 0.06;
+    p_as_set_member_missing = 0.08;
+    p_route_set_defined = 0.3;
+    p_singleton_set = 0.12;
+    p_filter_uses_route_set = 0.25;
+    p_dup_in_radb = 0.06;
+    p_mp_rules = 0.4;
+    n_empty_as_sets = 25;
+    n_loop_as_sets = 3;
+    n_any_member_sets = 2;
+    n_syntax_errors = 10;
+    n_invalid_set_names = 3;
+    n_deep_set_chains = 2;
+    n_peering_sets = 4;
+    n_filter_sets = 3 }

@@ -1,0 +1,50 @@
+(** Tunable mix of RPSL usage styles and misuses for the synthetic IRR.
+    Defaults are calibrated to the population fractions the paper reports
+    (Sections 4-5 and Appendix D), so the regenerated tables and figures
+    reproduce the paper's shape. *)
+
+type t = {
+  seed : int;
+  (* --- persona mix --- *)
+  p_no_aut_num : float;      (** AS absent from every IRR (paper: 27.2% of
+                                 BGP-visible ASes) *)
+  p_no_rules : float;        (** aut-num present, zero rules (paper: 35.2%
+                                 of aut-nums; 24.2% of ASes) *)
+  p_any_any : float;         (** [from AS-ANY accept ANY] networks (AS6939 style) *)
+  p_complex : float;         (** compound policies: regex, refine, communities *)
+  p_only_provider : float;   (** transit ASes with rules only toward
+                                 providers (paper: 0.44% of transit ASes) *)
+  (* --- misuses (conditioned on the AS being transit) --- *)
+  p_export_self : float;     (** [to P announce AS<self>] on transit ASes
+                                 (paper: 64.4%) *)
+  p_import_customer : float; (** [from C accept C] on transit ASes
+                                 (paper: 29.8%) *)
+  p_neighbor_rule_missing : float;
+      (** a rule-writing AS nevertheless omits this neighbor — the
+          "undeclared peering" that dominates the paper's unverified
+          category (98.98% of unverified cases) *)
+  (* --- object maintenance --- *)
+  p_route_missing : float;   (** originated prefix with no route object *)
+  p_route_stale_origin : float;  (** extra route object with a wrong origin *)
+  p_route_foreign_mnt : float;   (** extra route object by another maintainer *)
+  p_as_set_member_missing : float; (** cone member dropped from the as-set *)
+  p_route_set_defined : float;     (** transit AS also defines a route-set *)
+  p_singleton_set : float;         (** stub publishes a singleton self as-set,
+                                       the unnecessary sets the paper counts
+                                       (32.7% of as-sets have one member) *)
+  p_filter_uses_route_set : float; (** filter written against the route-set *)
+  p_dup_in_radb : float;     (** object also published in RADB *)
+  (* --- v6 / mp usage --- *)
+  p_mp_rules : float;        (** AS writes mp-import/mp-export with afi any *)
+  (* --- deliberate anomalies (absolute counts) --- *)
+  n_empty_as_sets : int;
+  n_loop_as_sets : int;      (** pairs of mutually-referencing sets *)
+  n_any_member_sets : int;   (** as-sets containing the reserved word ANY *)
+  n_syntax_errors : int;     (** objects with injected malformed attributes *)
+  n_invalid_set_names : int;
+  n_deep_set_chains : int;   (** chains of depth >= 5 *)
+  n_peering_sets : int;
+  n_filter_sets : int;
+}
+
+val default : t

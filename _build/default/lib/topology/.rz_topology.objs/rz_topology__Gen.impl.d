@@ -1,0 +1,1 @@
+lib/topology/gen.ml: Array Hashtbl Int64 List Option Rz_asrel Rz_net Rz_util

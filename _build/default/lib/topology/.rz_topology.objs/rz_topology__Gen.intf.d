@@ -1,0 +1,1 @@
+lib/topology/gen.mli: Hashtbl Rz_asrel Rz_net

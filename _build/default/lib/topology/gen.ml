@@ -1,0 +1,175 @@
+module Splitmix = Rz_util.Splitmix
+module Rel_db = Rz_asrel.Rel_db
+
+type tier = Tier1 | Mid | Stub
+
+type params = {
+  seed : int;
+  n_tier1 : int;
+  n_mid : int;
+  n_stub : int;
+  mid_peering_prob : float;
+  stub_multihome_prob : float;
+  v6_fraction : float;
+  max_prefixes : int;
+}
+
+let default_params =
+  { seed = 42;
+    n_tier1 = 5;
+    n_mid = 120;
+    n_stub = 500;
+    mid_peering_prob = 0.35;
+    stub_multihome_prob = 0.3;
+    v6_fraction = 0.2;
+    max_prefixes = 12 }
+
+type t = {
+  params : params;
+  rels : Rel_db.t;
+  ases : Rz_net.Asn.t array;
+  tier_of : (Rz_net.Asn.t, tier) Hashtbl.t;
+  origins : (Rz_net.Asn.t, Rz_net.Prefix.t list) Hashtbl.t;
+}
+
+(* Prefix pool: sequential IPv4 /24s out of 20.0.0.0/6-ish public space and
+   IPv6 /48s out of 2a00::/16. Indices never collide across ASes. *)
+let v4_prefix i =
+  let base = 20 lsl 24 in
+  Rz_net.Prefix.v4 ((base + (i lsl 8)) land 0xFFFFFFFF) 24
+
+let v6_prefix i =
+  let hi = Int64.logor 0x2a00_0000_0000_0000L (Int64.shift_left (Int64.of_int i) 16) in
+  Rz_net.Prefix.v6 (hi, 0L) 48
+
+let generate params =
+  let rng = Splitmix.create params.seed in
+  let rels = Rel_db.create () in
+  let tier_of = Hashtbl.create 256 in
+  let origins = Hashtbl.create 256 in
+  let n_total = params.n_tier1 + params.n_mid + params.n_stub in
+  (* ASN assignment: spread out to look like real allocations. *)
+  let asn_of_index i = 1000 + (i * 7) in
+  let ases = Array.init n_total asn_of_index in
+  let tier_of_index i =
+    if i < params.n_tier1 then Tier1
+    else if i < params.n_tier1 + params.n_mid then Mid
+    else Stub
+  in
+  Array.iteri (fun i asn -> Hashtbl.replace tier_of asn (tier_of_index i)) ases;
+  (* Customer counts drive preferential attachment. *)
+  let customer_count = Array.make n_total 0 in
+  let pick_provider ~among_upto ~eligible =
+    (* Preferential attachment among indexes < among_upto passing
+       [eligible]: weight = customers + 1. *)
+    let total = ref 0 in
+    for j = 0 to among_upto - 1 do
+      if eligible j then total := !total + customer_count.(j) + 1
+    done;
+    if !total = 0 then None
+    else begin
+      let target = Splitmix.int rng !total in
+      let acc = ref 0 and found = ref None in
+      (try
+         for j = 0 to among_upto - 1 do
+           if eligible j then begin
+             acc := !acc + customer_count.(j) + 1;
+             if !acc > target then begin
+               found := Some j;
+               raise Exit
+             end
+           end
+         done
+       with Exit -> ());
+      !found
+    end
+  in
+  (* Tier-1 clique: full mesh of peerings. *)
+  for i = 0 to params.n_tier1 - 1 do
+    for j = i + 1 to params.n_tier1 - 1 do
+      Rel_db.add_p2p rels ases.(i) ases.(j)
+    done
+  done;
+  Rel_db.set_clique rels (Array.to_list (Array.sub ases 0 params.n_tier1));
+  (* Mid (transit) layer: 1-3 providers among Tier-1s and earlier mids. *)
+  let mid_start = params.n_tier1 in
+  let mid_end = params.n_tier1 + params.n_mid in
+  for i = mid_start to mid_end - 1 do
+    let n_providers = 1 + Splitmix.int rng 3 in
+    let chosen = ref [] in
+    for _ = 1 to n_providers do
+      match pick_provider ~among_upto:i ~eligible:(fun j -> not (List.mem j !chosen)) with
+      | Some j ->
+        chosen := j :: !chosen;
+        Rel_db.add_p2c rels ~provider:ases.(j) ~customer:ases.(i);
+        customer_count.(j) <- customer_count.(j) + 1
+      | None -> ()
+    done
+  done;
+  (* Lateral peering among mids. *)
+  for i = mid_start to mid_end - 1 do
+    if Splitmix.chance rng params.mid_peering_prob then begin
+      let n_peers = 1 + Splitmix.int rng 3 in
+      for _ = 1 to n_peers do
+        let j = mid_start + Splitmix.int rng params.n_mid in
+        if
+          j <> i
+          && Rel_db.relationship rels ases.(i) ases.(j) = Rel_db.Unknown
+        then Rel_db.add_p2p rels ases.(i) ases.(j)
+      done
+    end
+  done;
+  (* Stubs: 1 provider among mids (occasionally a Tier-1), sometimes 2. *)
+  for i = mid_end to n_total - 1 do
+    let allow_tier1 = Splitmix.chance rng 0.05 in
+    let eligible j =
+      if allow_tier1 then j < mid_end (* allow Tier-1 directly *)
+      else j >= mid_start && j < mid_end
+    in
+    (match pick_provider ~among_upto:mid_end ~eligible with
+     | Some j ->
+       Rel_db.add_p2c rels ~provider:ases.(j) ~customer:ases.(i);
+       customer_count.(j) <- customer_count.(j) + 1
+     | None -> ());
+    if Splitmix.chance rng params.stub_multihome_prob then begin
+      match
+        pick_provider ~among_upto:mid_end ~eligible:(fun j ->
+            j >= mid_start && Rel_db.relationship rels ases.(j) ases.(i) = Rel_db.Unknown)
+      with
+      | Some j ->
+        Rel_db.add_p2c rels ~provider:ases.(j) ~customer:ases.(i);
+        customer_count.(j) <- customer_count.(j) + 1
+      | None -> ()
+    end
+  done;
+  (* Prefix origination: heavier for transit tiers, capped. *)
+  let next_v4 = ref 0 and next_v6 = ref 0 in
+  Array.iteri
+    (fun i asn ->
+      let base_count =
+        match tier_of_index i with
+        | Tier1 -> 4 + Splitmix.int rng 5
+        | Mid -> 2 + Splitmix.int rng 4
+        | Stub -> 1 + Splitmix.geometric rng 0.6
+      in
+      let count = min params.max_prefixes (max 1 base_count) in
+      let prefixes =
+        List.init count (fun _ ->
+            if Splitmix.chance rng params.v6_fraction then begin
+              let p = v6_prefix !next_v6 in
+              incr next_v6;
+              p
+            end
+            else begin
+              let p = v4_prefix !next_v4 in
+              incr next_v4;
+              p
+            end)
+      in
+      Hashtbl.replace origins asn prefixes)
+    ases;
+  { params; rels; ases; tier_of; origins }
+
+let tier t asn = Option.value ~default:Stub (Hashtbl.find_opt t.tier_of asn)
+let prefixes_of t asn = Option.value ~default:[] (Hashtbl.find_opt t.origins asn)
+let n_ases t = Array.length t.ases

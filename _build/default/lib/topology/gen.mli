@@ -1,0 +1,39 @@
+(** Synthetic AS-level Internet topology.
+
+    Substitute for the real AS graph underlying the paper's BGP dumps:
+    a Tier-1 clique, a layer of transit ("mid") ASes attached by
+    preferential attachment, and a large stub edge, with lateral peering —
+    the structural mix (uphill links, peer links, Tier-1 core, power-law
+    degree tail) the verification analysis depends on. Deterministic for a
+    given seed. *)
+
+type tier = Tier1 | Mid | Stub
+
+type params = {
+  seed : int;
+  n_tier1 : int;
+  n_mid : int;
+  n_stub : int;
+  mid_peering_prob : float;  (** probability a mid AS opens lateral peerings *)
+  stub_multihome_prob : float;  (** probability a stub has a second provider *)
+  v6_fraction : float;       (** fraction of originated prefixes that are IPv6 *)
+  max_prefixes : int;        (** cap on prefixes per AS *)
+}
+
+val default_params : params
+(** 5 Tier-1s, 120 mids, 500 stubs, seed 42. *)
+
+type t = {
+  params : params;
+  rels : Rz_asrel.Rel_db.t;    (** ground-truth relationships, clique set *)
+  ases : Rz_net.Asn.t array;   (** all ASNs, Tier-1s first, then mids, then stubs *)
+  tier_of : (Rz_net.Asn.t, tier) Hashtbl.t;
+  origins : (Rz_net.Asn.t, Rz_net.Prefix.t list) Hashtbl.t;
+      (** prefixes each AS originates (its "ground truth" announcements) *)
+}
+
+val generate : params -> t
+
+val tier : t -> Rz_net.Asn.t -> tier
+val prefixes_of : t -> Rz_net.Asn.t -> Rz_net.Prefix.t list
+val n_ases : t -> int

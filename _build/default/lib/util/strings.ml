@@ -1,0 +1,53 @@
+let lowercase = String.lowercase_ascii
+let uppercase = String.uppercase_ascii
+
+let is_space c = c = ' ' || c = '\t' || c = '\r' || c = '\n'
+
+let strip s =
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n && is_space s.[!i] do incr i done;
+  let j = ref (n - 1) in
+  while !j >= !i && is_space s.[!j] do decr j done;
+  String.sub s !i (!j - !i + 1)
+
+let split_on_string ~sep s =
+  if sep = "" then invalid_arg "split_on_string: empty separator";
+  let seplen = String.length sep in
+  let rec go start acc =
+    match
+      (* Find next occurrence of sep at or after start. *)
+      let limit = String.length s - seplen in
+      let rec find i =
+        if i > limit then None
+        else if String.sub s i seplen = sep then Some i
+        else find (i + 1)
+      in
+      find start
+    with
+    | None -> List.rev (String.sub s start (String.length s - start) :: acc)
+    | Some i -> go (i + seplen) (String.sub s start (i - start) :: acc)
+  in
+  go 0 []
+
+let starts_with_ci ~prefix s =
+  String.length s >= String.length prefix
+  && String.lowercase_ascii (String.sub s 0 (String.length prefix))
+     = String.lowercase_ascii prefix
+
+let equal_ci a b = String.lowercase_ascii a = String.lowercase_ascii b
+let is_blank s = String.for_all is_space s
+
+let split_words s =
+  String.split_on_char ' ' (String.map (fun c -> if is_space c then ' ' else c) s)
+  |> List.filter (fun w -> w <> "")
+
+let chop_comment c s =
+  match String.index_opt s c with
+  | None -> s
+  | Some i -> String.sub s 0 i
+
+let concat_map_lines f s =
+  String.split_on_char '\n' s
+  |> List.filter_map f
+  |> String.concat "\n"

@@ -1,0 +1,55 @@
+type align = Left | Right
+
+let widths header rows =
+  let ncols = List.length header in
+  let w = Array.make ncols 0 in
+  let feed row =
+    List.iteri
+      (fun i cell -> if i < ncols && String.length cell > w.(i) then w.(i) <- String.length cell)
+      row
+  in
+  feed header;
+  List.iter feed rows;
+  w
+
+let pad align width s =
+  let fill = width - String.length s in
+  if fill <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+
+let render ?align ~header rows =
+  let ncols = List.length header in
+  let aligns =
+    match align with
+    | Some a when List.length a = ncols -> Array.of_list a
+    | _ -> Array.init ncols (fun i -> if i = 0 then Left else Right)
+  in
+  let w = widths header rows in
+  let line row =
+    String.concat "  "
+      (List.mapi (fun i cell -> pad aligns.(i) w.(i) cell) row)
+  in
+  let rule =
+    String.concat "  " (Array.to_list (Array.map (fun n -> String.make n '-') w))
+  in
+  String.concat "\n" (line header :: rule :: List.map line rows)
+
+let print ?align ~header rows =
+  print_endline (render ?align ~header rows)
+
+let pct f = Printf.sprintf "%.1f%%" (100.0 *. f)
+
+let commas n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + len / 3) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf

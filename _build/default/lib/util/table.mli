@@ -1,0 +1,17 @@
+(** Plain-text aligned table rendering for the benchmark harness output
+    (used to print the paper's tables and figure series as rows). *)
+
+type align = Left | Right
+
+val render : ?align:align list -> header:string list -> string list list -> string
+(** [render ~header rows] produces an ASCII table with a header rule.
+    [align] defaults to left for the first column and right elsewhere. *)
+
+val print : ?align:align list -> header:string list -> string list list -> unit
+
+val pct : float -> string
+(** Format a fraction as a percentage with one decimal, e.g. [0.532] ->
+    ["53.2%"]. *)
+
+val commas : int -> string
+(** Thousands-separated integer, e.g. [78701] -> ["78,701"]. *)

@@ -1,0 +1,1 @@
+lib/verify/aggregate.ml: Hashtbl List Option Report Rz_net Status

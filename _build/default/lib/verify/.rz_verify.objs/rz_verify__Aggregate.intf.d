@@ -1,0 +1,1 @@
+lib/verify/aggregate.mli: Report Rz_net Status

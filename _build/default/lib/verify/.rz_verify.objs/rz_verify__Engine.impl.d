@@ -1,0 +1,1 @@
+lib/verify/engine.ml: Array Hashtbl List Report Result Rz_aspath Rz_asrel Rz_bgp Rz_irr Rz_net Rz_policy Status

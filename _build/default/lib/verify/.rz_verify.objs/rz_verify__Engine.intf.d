@@ -1,0 +1,1 @@
+lib/verify/engine.mli: Report Rz_asrel Rz_bgp Rz_irr Rz_net

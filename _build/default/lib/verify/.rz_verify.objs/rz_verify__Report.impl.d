@@ -1,0 +1,1 @@
+lib/verify/report.ml: Fun List Option Printf Rz_bgp Rz_net Rz_policy Status String

@@ -1,0 +1,1 @@
+lib/verify/report.mli: Rz_bgp Rz_net Rz_policy Status

@@ -1,0 +1,1 @@
+lib/verify/status.ml: Printf Rz_net

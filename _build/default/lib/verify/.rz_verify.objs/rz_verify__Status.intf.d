@@ -1,0 +1,1 @@
+lib/verify/status.mli: Rz_net

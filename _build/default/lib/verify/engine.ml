@@ -1,0 +1,503 @@
+module Ast = Rz_policy.Ast
+module Db = Rz_irr.Db
+module Rel_db = Rz_asrel.Rel_db
+module Range_op = Rz_net.Range_op
+
+type config = { paper_compat : bool }
+
+let default_config = { paper_compat = false }
+
+type t = {
+  db : Db.t;
+  rels : Rel_db.t;
+  config : config;
+  only_provider_memo : (Rz_net.Asn.t, bool) Hashtbl.t;
+}
+
+let create ?(config = default_config) db rels =
+  { db; rels; config; only_provider_memo = Hashtbl.create 64 }
+
+(* ------------------------------------------------------------------ *)
+(* Tri-valued evaluation: a filter/peering either matches, mismatches,  *)
+(* or abstains (unhandled construct / missing RPSL object).             *)
+(* ------------------------------------------------------------------ *)
+
+type abstain = A_skip of Status.skip_reason | A_unrec of Status.unrec_reason
+type outcome = Match | NoMatch | Abstain of abstain
+
+let o_and a b =
+  match (a, b) with
+  | NoMatch, _ | _, NoMatch -> NoMatch
+  | Abstain x, _ | _, Abstain x -> Abstain x
+  | Match, Match -> Match
+
+let o_or a b =
+  match (a, b) with
+  | Match, _ | _, Match -> Match
+  | Abstain x, _ | _, Abstain x -> Abstain x
+  | NoMatch, NoMatch -> NoMatch
+
+let o_not = function Match -> NoMatch | NoMatch -> Match | Abstain x -> Abstain x
+
+(* Evaluation context for one hop check. *)
+type ctx = {
+  prefix : Rz_net.Prefix.t;
+  path : Rz_net.Asn.t array;  (** exporter first, origin last *)
+  remote : Rz_net.Asn.t;      (** PeerAS binding *)
+  origin : Rz_net.Asn.t;
+}
+
+(* ---------------- filters ---------------- *)
+
+let prefix_from_origin t ctx asn op =
+  let covering = Db.covering_routes t.db ctx.prefix in
+  List.exists
+    (fun (declared, o) ->
+      o = asn && Range_op.matches op ~declared ~observed:ctx.prefix)
+    covering
+
+let rec eval_filter t ctx (filter : Ast.filter) : outcome =
+  match filter with
+  | Ast.Any -> Match
+  | Ast.Peer_as_filter ->
+    if prefix_from_origin t ctx ctx.remote Range_op.None_ then Match
+    else if not (Db.origin_has_routes t.db ctx.remote) then
+      Abstain (A_unrec (Status.Zero_route_as ctx.remote))
+    else NoMatch
+  | Ast.As_num (asn, op) ->
+    if prefix_from_origin t ctx asn op then Match
+    else if not (Db.origin_has_routes t.db asn) then
+      Abstain (A_unrec (Status.Zero_route_as asn))
+    else NoMatch
+  | Ast.As_set_ref (name, op) ->
+    if not (Db.as_set_exists t.db name) then
+      Abstain (A_unrec (Status.Unrecorded_as_set name))
+    else begin
+      let members = Db.flatten_as_set t.db name in
+      let covering = Db.covering_routes t.db ctx.prefix in
+      if
+        List.exists
+          (fun (declared, o) ->
+            Db.Asn_set.mem o members && Range_op.matches op ~declared ~observed:ctx.prefix)
+          covering
+      then Match
+      else NoMatch
+    end
+  | Ast.Route_set_ref (name, op) ->
+    if not (Db.route_set_exists t.db name) then
+      Abstain (A_unrec (Status.Unrecorded_route_set name))
+    else begin
+      let members = Db.flatten_route_set t.db name in
+      if
+        List.exists
+          (fun (declared, member_op) ->
+            let effective = Range_op.compose op member_op in
+            Range_op.matches effective ~declared ~observed:ctx.prefix)
+          members
+      then Match
+      else NoMatch
+    end
+  | Ast.Filter_set_ref name ->
+    (match Db.find_filter_set t.db name with
+     | None -> Abstain (A_unrec (Status.Unrecorded_filter_set name))
+     | Some fs -> eval_filter t ctx fs.filter)
+  | Ast.Prefix_set (members, outer_op) ->
+    if
+      List.exists
+        (fun (declared, member_op) ->
+          let effective = Range_op.compose outer_op member_op in
+          Range_op.matches effective ~declared ~observed:ctx.prefix)
+        members
+    then Match
+    else NoMatch
+  | Ast.Path_regex regex ->
+    if t.config.paper_compat && Rz_aspath.Regex_ast.uses_future_work_features regex then
+      Abstain (A_skip Status.Future_work_regex)
+    else begin
+      let env =
+        { Rz_aspath.Regex_match.asn_in_set = (fun name asn -> Db.asn_in_as_set t.db name asn);
+          peer_as = Some ctx.remote }
+      in
+      if Rz_aspath.Regex_match.matches ~env regex ctx.path then Match else NoMatch
+    end
+  | Ast.Community _ -> Abstain (A_skip Status.Community_filter)
+  | Ast.Fltr_martian -> if Rz_net.Martian.is_martian ctx.prefix then Match else NoMatch
+  | Ast.And_f (a, b) -> o_and (eval_filter t ctx a) (eval_filter t ctx b)
+  | Ast.Or_f (a, b) -> o_or (eval_filter t ctx a) (eval_filter t ctx b)
+  | Ast.Not_f a -> o_not (eval_filter t ctx a)
+
+(* ---------------- peerings ---------------- *)
+
+let rec eval_as_expr t remote (expr : Ast.as_expr) : outcome =
+  match expr with
+  | Ast.Asn asn -> if asn = remote then Match else NoMatch
+  | Ast.As_set name ->
+    if not (Db.as_set_exists t.db name) then
+      Abstain (A_unrec (Status.Unrecorded_as_set name))
+    else if Db.asn_in_as_set t.db name remote then Match
+    else NoMatch
+  | Ast.Any_as -> Match
+  | Ast.And (a, b) -> o_and (eval_as_expr t remote a) (eval_as_expr t remote b)
+  | Ast.Or (a, b) -> o_or (eval_as_expr t remote a) (eval_as_expr t remote b)
+  | Ast.Except_as (a, b) ->
+    o_and (eval_as_expr t remote a) (o_not (eval_as_expr t remote b))
+
+let eval_peering t remote (peering : Ast.peering) : outcome =
+  match peering with
+  | Ast.Peering_spec { as_expr; _ } -> eval_as_expr t remote as_expr
+  | Ast.Peering_set_ref name ->
+    (match Db.find_peering_set t.db name with
+     | None -> Abstain (A_unrec (Status.Unrecorded_peering_set name))
+     | Some ps ->
+       List.fold_left
+         (fun acc p ->
+           o_or acc
+             (match p with
+              | Ast.Peering_spec { as_expr; _ } -> eval_as_expr t remote as_expr
+              | Ast.Peering_set_ref _ -> NoMatch (* no nested peering-sets *)))
+         NoMatch ps.peerings)
+
+(* Remote ASNs / as-sets a peering references, for diagnostics. *)
+let rec as_expr_refs acc = function
+  | Ast.Asn asn -> Report.Match_remote_as_num asn :: acc
+  | Ast.As_set name -> Report.Match_remote_as_set name :: acc
+  | Ast.Any_as -> acc
+  | Ast.And (a, b) | Ast.Or (a, b) | Ast.Except_as (a, b) ->
+    as_expr_refs (as_expr_refs acc a) b
+
+let peering_refs = function
+  | Ast.Peering_spec { as_expr; _ } -> as_expr_refs [] as_expr
+  | Ast.Peering_set_ref name -> [ Report.Match_remote_as_set name ]
+
+(* ---------------- rules ---------------- *)
+
+(* Facts gathered per factor whose afi applied, used by the precedence
+   decision and the relaxation checks. *)
+type factor_fact = {
+  peering_outcome : outcome;
+  filter_outcome : outcome option;  (* evaluated only when peering matched *)
+  filter : Ast.filter;
+  refs : Report.item list;          (* peering references, for diagnostics *)
+  matched_actions : Ast.action list;
+      (* actions of the peering clauses that matched the remote *)
+}
+
+let afi_applies (rule : Ast.rule) (term : Ast.term) prefix =
+  match term.afi with
+  | [] ->
+    if rule.multiprotocol then true
+    else
+      (* plain import/export covers IPv4 unicast only (RFC 2622) *)
+      Rz_net.Prefix.is_v4 prefix
+  | afis -> Rz_net.Afi.matches_any afis prefix
+
+let eval_factor t ctx (factor : Ast.factor) : factor_fact * outcome =
+  let peering_outcome = ref NoMatch in
+  let matched_actions = ref [] in
+  List.iter
+    (fun (pa : Ast.peering_action) ->
+      let o = eval_peering t ctx.remote pa.peering in
+      if o = Match then matched_actions := !matched_actions @ pa.actions;
+      peering_outcome := o_or !peering_outcome o)
+    factor.peerings;
+  let peering_outcome = !peering_outcome in
+  let matched_actions = !matched_actions in
+  let refs = List.concat_map (fun (pa : Ast.peering_action) -> peering_refs pa.peering) factor.peerings in
+  match peering_outcome with
+  | Match ->
+    let filter_outcome = eval_filter t ctx factor.filter in
+    ( { peering_outcome; filter_outcome = Some filter_outcome; filter = factor.filter;
+        refs; matched_actions },
+      filter_outcome )
+  | NoMatch ->
+    ({ peering_outcome; filter_outcome = None; filter = factor.filter; refs;
+       matched_actions = [] },
+     NoMatch)
+  | Abstain a ->
+    ({ peering_outcome; filter_outcome = None; filter = factor.filter; refs;
+       matched_actions = [] },
+     Abstain a)
+
+let eval_term t ctx (rule : Ast.rule) (term : Ast.term) facts : outcome =
+  if not (afi_applies rule term ctx.prefix) then NoMatch
+  else
+    List.fold_left
+      (fun acc factor ->
+        let fact, outcome = eval_factor t ctx factor in
+        facts := fact :: !facts;
+        o_or acc outcome)
+      NoMatch term.factors
+
+(* Structured policies: EXCEPT's right-hand side takes precedence for the
+   routes it matches; REFINE requires both sides (RFC 2622 §6.6), each
+   side constrained to its own afi scope. *)
+let rec scope_applies (rule : Ast.rule) prefix = function
+  | Ast.Term_e term -> afi_applies rule term prefix
+  | Ast.Except_e (term, rest) | Ast.Refine_e (term, rest) ->
+    afi_applies rule term prefix || scope_applies rule prefix rest
+
+let rec eval_expr t ctx rule facts = function
+  | Ast.Term_e term -> eval_term t ctx rule term facts
+  | Ast.Except_e (term, rest) ->
+    if scope_applies rule ctx.prefix rest then begin
+      match eval_expr t ctx rule facts rest with
+      | Match -> Match
+      | Abstain a -> Abstain a
+      | NoMatch -> eval_term t ctx rule term facts
+    end
+    else eval_term t ctx rule term facts
+  | Ast.Refine_e (term, rest) ->
+    if scope_applies rule ctx.prefix rest then
+      o_and (eval_term t ctx rule term facts) (eval_expr t ctx rule facts rest)
+    else eval_term t ctx rule term facts
+
+let eval_rule t ctx (rule : Ast.rule) facts = eval_expr t ctx rule facts rule.expr
+
+(* ---------------- special cases (Section 5.1) ---------------- *)
+
+(* Export Self: the filter is the exporter's own ASN; relax when the AS
+   the route was received from is a customer and a route object by some
+   cone member covers the prefix (Appendix C semantics). *)
+let export_self_applies t ctx ~subject (fact : factor_fact) =
+  match fact.filter with
+  | Ast.As_num (asn, _) when asn = subject && Array.length ctx.path >= 2 ->
+    let received_from = ctx.path.(1) in
+    Rel_db.relationship t.rels subject received_from = Rel_db.A_provider_of_b
+    &&
+    let cone = Rel_db.customer_cone t.rels subject in
+    List.exists
+      (fun (_, o) -> Rel_db.Asn_set.mem o cone)
+      (Db.covering_routes t.db ctx.prefix)
+  | _ -> false
+
+(* Import Customer: filter names the (transit) customer the route comes
+   from; relax the filter to ANY. *)
+let import_customer_applies t ctx ~subject (fact : factor_fact) =
+  match fact.filter with
+  | Ast.As_num (asn, _) ->
+    asn = ctx.remote
+    && Rel_db.relationship t.rels subject ctx.remote = Rel_db.A_provider_of_b
+  | _ -> false
+
+(* Missing routes: the filter names the origin AS (or a set containing
+   it) but its route objects are stale/missing. *)
+let missing_routes_applies t ctx (fact : factor_fact) =
+  match fact.filter with
+  | Ast.As_num (asn, _) -> asn = ctx.origin
+  | Ast.As_set_ref (name, _) ->
+    Db.as_set_exists t.db name && Db.asn_in_as_set t.db name ctx.origin
+  | _ -> false
+
+(* Only Provider Policies: every ASN referenced in the subject's rules'
+   peerings is one of its providers. *)
+let only_provider_policies t ~subject =
+  match Hashtbl.find_opt t.only_provider_memo subject with
+  | Some cached -> cached
+  | None ->
+    let result =
+      match Db.find_aut_num t.db subject with
+      | None -> false
+      | Some an ->
+        let referenced = ref [] and disqualified = ref false in
+        let scan_as_expr = function
+          | Ast.Asn asn -> referenced := asn :: !referenced
+          | Ast.As_set _ | Ast.Any_as | Ast.And _ | Ast.Or _ | Ast.Except_as _ ->
+            disqualified := true
+        in
+        let scan_rule (rule : Ast.rule) =
+          List.iter
+            (fun (term : Ast.term) ->
+              List.iter
+                (fun (factor : Ast.factor) ->
+                  List.iter
+                    (fun (pa : Ast.peering_action) ->
+                      match pa.peering with
+                      | Ast.Peering_spec { as_expr; _ } -> scan_as_expr as_expr
+                      | Ast.Peering_set_ref _ -> disqualified := true)
+                    factor.peerings)
+                term.factors)
+            (Ast.expr_terms rule.expr)
+        in
+        List.iter scan_rule an.imports;
+        List.iter scan_rule an.exports;
+        (not !disqualified)
+        && !referenced <> []
+        && List.for_all
+             (fun asn -> Rel_db.relationship t.rels asn subject = Rel_db.A_provider_of_b)
+             !referenced
+    in
+    Hashtbl.replace t.only_provider_memo subject result;
+    result
+
+(* ---------------- hop verification ---------------- *)
+
+let verify_hop t ~direction ~subject ~remote ~prefix ~path : Report.hop =
+  let from_as, to_as =
+    match direction with `Export -> (subject, remote) | `Import -> (remote, subject)
+  in
+  let finish ?attrs status items =
+    { Report.direction; from_as; to_as; status; items; attrs }
+  in
+  match Db.find_aut_num t.db subject with
+  | None ->
+    finish (Status.Unrecorded (Status.No_aut_num subject))
+      [ Report.Unrec (Status.No_aut_num subject) ]
+  | Some an ->
+    let rules = match direction with `Import -> an.imports | `Export -> an.exports in
+    if rules = [] then
+      finish (Status.Unrecorded Status.No_rules) [ Report.Unrec Status.No_rules ]
+    else begin
+      let origin = path.(Array.length path - 1) in
+      let ctx = { prefix; path; remote; origin } in
+      let facts = ref [] in
+      let overall =
+        List.fold_left (fun acc rule -> o_or acc (eval_rule t ctx rule facts)) NoMatch rules
+      in
+      let facts = List.rev !facts in
+      (* Diagnostics: peering references of factors whose peering failed,
+         and filter identities of factors whose filter failed. *)
+      let items =
+        List.concat_map
+          (fun (fact : factor_fact) ->
+            match (fact.peering_outcome, fact.filter_outcome) with
+            | Match, Some NoMatch ->
+              [ (match fact.filter with
+                 | Ast.As_num (asn, op) -> Report.Match_filter_as_num (asn, op)
+                 | Ast.As_set_ref (name, _) -> Report.Match_filter_as_set name
+                 | _ -> Report.Match_filter) ]
+            | NoMatch, _ -> fact.refs
+            | _ -> [])
+          facts
+      in
+      match overall with
+      | Match ->
+        (* the attributes the first fully-matching factor assigns *)
+        let attrs =
+          List.find_map
+            (fun (fact : factor_fact) ->
+              if fact.filter_outcome = Some Match && fact.matched_actions <> [] then
+                Result.to_option
+                  (Rz_policy.Action_eval.apply fact.matched_actions
+                     Rz_policy.Action_eval.empty)
+              else None)
+            facts
+        in
+        finish ?attrs Status.Verified []
+      | NoMatch | Abstain _ ->
+        (* Precedence after Verified: Skip, Unrecorded, Relaxed,
+           Safelisted, Unverified (Section 5). *)
+        let abstains =
+          List.filter_map
+            (fun (fact : factor_fact) ->
+              match (fact.peering_outcome, fact.filter_outcome) with
+              | Abstain a, _ | _, Some (Abstain a) -> Some a
+              | _ -> None)
+            facts
+          @ (match overall with Abstain a -> [ a ] | _ -> [])
+        in
+        let first_skip =
+          List.find_map (function A_skip r -> Some r | A_unrec _ -> None) abstains
+        in
+        let first_unrec =
+          List.find_map (function A_unrec r -> Some r | A_skip _ -> None) abstains
+        in
+        (match first_skip with
+         | Some reason -> finish (Status.Skipped reason) (items @ [ Report.Skip reason ])
+         | None ->
+           (match first_unrec with
+            | Some reason ->
+              finish (Status.Unrecorded reason) (items @ [ Report.Unrec reason ])
+            | None ->
+              (* Relaxed filters: only for factors whose peering matched
+                 but filter said no. *)
+              let filter_failed =
+                List.filter
+                  (fun (fact : factor_fact) -> fact.filter_outcome = Some NoMatch)
+                  facts
+              in
+              let relaxed =
+                if
+                  direction = `Export
+                  && List.exists (export_self_applies t ctx ~subject) filter_failed
+                then Some Status.Export_self
+                else if
+                  direction = `Import
+                  && List.exists (import_customer_applies t ctx ~subject) filter_failed
+                then Some Status.Import_customer
+                else if List.exists (missing_routes_applies t ctx) filter_failed then
+                  Some Status.Missing_routes
+                else None
+              in
+              (match relaxed with
+               | Some special ->
+                 finish (Status.Relaxed special) (items @ [ Report.Spec special ])
+               | None ->
+                 let is_customer_or_peer =
+                   match Rel_db.relationship t.rels subject remote with
+                   | Rel_db.A_provider_of_b | Rel_db.Peers -> true
+                   | _ -> false
+                 in
+                 let safelisted =
+                   if is_customer_or_peer && only_provider_policies t ~subject then
+                     Some Status.Only_provider_policies
+                   else if Rel_db.is_tier1 t.rels subject && Rel_db.is_tier1 t.rels remote
+                   then Some Status.Tier1_pair
+                   else begin
+                     let uphill =
+                       match direction with
+                       | `Export ->
+                         (* A customer passing a customer-learned route up
+                            to its provider. The origin's own first-hop
+                            export is NOT safelisted (there is no previous
+                            AS), matching the paper's Appendix C where the
+                            origin's export stays BadExport — the place
+                            where filtering is most valuable. *)
+                         Rel_db.relationship t.rels remote subject
+                         = Rel_db.A_provider_of_b
+                         && Array.length ctx.path >= 2
+                         && Rel_db.relationship t.rels subject ctx.path.(1)
+                            = Rel_db.A_provider_of_b
+                       | `Import ->
+                         (* provider importing from its customer *)
+                         Rel_db.relationship t.rels subject remote
+                         = Rel_db.A_provider_of_b
+                     in
+                     if uphill then Some Status.Uphill else None
+                   end
+                 in
+                 (match safelisted with
+                  | Some special ->
+                    finish (Status.Safelisted special) (items @ [ Report.Spec special ])
+                  | None -> finish Status.Unverified items))))
+    end
+
+let verify_route t (route : Rz_bgp.Route.t) : Report.route_report option =
+  if Rz_bgp.Route.contains_as_set route then None
+  else begin
+    let path = Array.of_list (Rz_bgp.Route.dedup_path route) in
+    let n = Array.length path in
+    if n < 2 then None
+    else begin
+      (* Walk from the origin: path.(n-1) is the origin; hop i is
+         exporter path.(i+1 ... wait, collector order) — element i is
+         nearer the collector, element i+1 nearer the origin. *)
+      let hops = ref [] in
+      for i = n - 2 downto 0 do
+        let exporter = path.(i + 1) and importer = path.(i) in
+        (* Path as announced across this hop: exporter .. origin. *)
+        let hop_path = Array.sub path (i + 1) (n - i - 1) in
+        let export_hop =
+          verify_hop t ~direction:`Export ~subject:exporter ~remote:importer
+            ~prefix:route.prefix ~path:hop_path
+        in
+        let import_hop =
+          verify_hop t ~direction:`Import ~subject:importer ~remote:exporter
+            ~prefix:route.prefix ~path:hop_path
+        in
+        hops := import_hop :: export_hop :: !hops
+      done;
+      (* hops were accumulated collector-side-first; the paper reports
+         origin-side first. *)
+      Some { Report.route; hops = List.rev !hops }
+    end
+  end

@@ -1,0 +1,43 @@
+(** The route verification engine (paper Section 5).
+
+    For each inter-AS hop of a BGP route, checks the exporter's [export]
+    rules and the importer's [import] rules against the route, classifying
+    the hop with {!Status.t} in the paper's precedence order and emitting
+    Appendix-C style diagnostics. *)
+
+type config = {
+  paper_compat : bool;
+      (** [true] reproduces the paper exactly: community filters and
+          future-work regex constructs (ASN ranges, [~] operators) make the
+          rule {e skipped}. [false] (the default) evaluates them — except
+          community filters, which remain skipped because BGP communities
+          are stripped unpredictably en route and cannot be checked against
+          collector dumps. *)
+}
+
+val default_config : config
+(** [{paper_compat = false}]. *)
+
+type t
+
+val create : ?config:config -> Rz_irr.Db.t -> Rz_asrel.Rel_db.t -> t
+(** [create db rels] — IRR database plus the business-relationship
+    database used by the special-case checks. *)
+
+val verify_hop :
+  t ->
+  direction:[ `Import | `Export ] ->
+  subject:Rz_net.Asn.t ->
+  remote:Rz_net.Asn.t ->
+  prefix:Rz_net.Prefix.t ->
+  path:Rz_net.Asn.t array ->
+  Report.hop
+(** Check one side of one hop. [subject] is the AS whose rules are
+    examined; [remote] the other side of the BGP session; [path] is the
+    AS-path as the route travels this hop — exporter first, origin last. *)
+
+val verify_route : t -> Rz_bgp.Route.t -> Report.route_report option
+(** Full walk from the origin: for each adjacent pair, the exporter's
+    export check then the importer's import check. Returns [None] for
+    routes the paper excludes: single-AS paths (nothing to verify) and
+    paths containing BGP AS_SETs. Prepending is removed first. *)

@@ -1,0 +1,43 @@
+(** Per-hop verification reports, printed in the style of the paper's
+    Appendix C example ([OkImport { from: 133840, to: 6939 }],
+    [MehExport { ... items: [...] }], ...). *)
+
+type item =
+  | Match_remote_as_num of Rz_net.Asn.t
+      (** a rule's peering referenced this remote ASN, which is not the hop's
+          other AS *)
+  | Match_remote_as_set of string
+      (** a rule's peering referenced this as-set, which does not contain the
+          hop's other AS *)
+  | Match_filter_as_num of Rz_net.Asn.t * Rz_net.Range_op.t
+      (** peering matched, but this ASN filter rejected the prefix *)
+  | Match_filter_as_set of string
+  | Match_filter
+      (** peering matched but a (non-ASN/as-set) filter rejected the route *)
+  | Unrec of Status.unrec_reason
+  | Skip of Status.skip_reason
+  | Spec of Status.special
+
+type hop = {
+  direction : [ `Import | `Export ];
+  from_as : Rz_net.Asn.t;   (** exporter side of the hop *)
+  to_as : Rz_net.Asn.t;     (** importer side of the hop *)
+  status : Status.t;
+  items : item list;        (** diagnostics explaining non-Verified outcomes *)
+  attrs : Rz_policy.Action_eval.attrs option;
+      (** for Verified hops: the BGP attributes the matching rule's
+          actions assign (LocalPref via the pref inversion, MED,
+          communities, prepends); [None] when no actions applied or the
+          hop did not verify *)
+}
+
+type route_report = {
+  route : Rz_bgp.Route.t;
+  hops : hop list;          (** origin-side hops first; export then import per hop *)
+}
+
+val item_to_string : item -> string
+val hop_to_string : hop -> string
+(** E.g. [MehImport { from: 1299, to: 3257, items: [MatchRemoteAsNum(AS12), SpecTier1Pair] }]. *)
+
+val route_report_to_string : route_report -> string

@@ -1,0 +1,1 @@
+test/suite_actions.ml: Alcotest Printf Result Rz_policy String

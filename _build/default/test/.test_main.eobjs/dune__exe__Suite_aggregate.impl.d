@@ -1,0 +1,1 @@
+test/suite_aggregate.ml: Alcotest List Rz_bgp Rz_net Rz_verify

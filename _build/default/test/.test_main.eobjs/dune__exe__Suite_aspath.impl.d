@@ -1,0 +1,1 @@
+test/suite_aspath.ml: Alcotest Array List Printf QCheck QCheck_alcotest Regex_ast Regex_match Regex_nfa Regex_parse Result Rz_aspath String

@@ -1,0 +1,1 @@
+test/suite_asrel.ml: Alcotest Filename List Result Rz_asrel Sys

@@ -1,0 +1,1 @@
+test/suite_bgp.ml: Alcotest Filename List QCheck QCheck_alcotest Result Rz_bgp Rz_net Sys

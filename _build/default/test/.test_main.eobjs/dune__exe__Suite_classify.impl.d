@@ -1,0 +1,1 @@
+test/suite_classify.ml: Alcotest Hashtbl List Printf Rz_asrel Rz_ir Rz_irr Rz_stats Rz_synthirr Rz_topology String

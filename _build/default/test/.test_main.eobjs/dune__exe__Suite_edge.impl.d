@@ -1,0 +1,1 @@
+test/suite_edge.ml: Alcotest Array List Result Rpslyzer Rz_asrel Rz_bgp Rz_irr Rz_net Rz_policy Rz_topology Rz_verify

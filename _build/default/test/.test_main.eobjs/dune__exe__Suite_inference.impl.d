@@ -1,0 +1,1 @@
+test/suite_inference.ml: Alcotest List Printf Rz_asrel Rz_irr Rz_stats Rz_synthirr Rz_topology

@@ -1,0 +1,1 @@
+test/suite_ir.ml: Alcotest List Rz_ir Rz_json Rz_net Rz_policy

@@ -1,0 +1,1 @@
+test/suite_irr.ml: Alcotest Buffer List Printf QCheck QCheck_alcotest Rz_irr Rz_net Rz_synthirr Rz_util

@@ -1,0 +1,1 @@
+test/suite_irrd.ml: Alcotest Lazy List Rz_irr Rz_util String

@@ -1,0 +1,1 @@
+test/suite_json.ml: Alcotest Format Json List Option Printf QCheck QCheck_alcotest Result Rz_json

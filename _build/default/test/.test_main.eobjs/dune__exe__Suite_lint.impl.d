@@ -1,0 +1,1 @@
+test/suite_lint.ml: Alcotest List Rz_asrel Rz_irr Rz_lint Rz_rpsl Rz_synthirr Rz_topology Rz_util

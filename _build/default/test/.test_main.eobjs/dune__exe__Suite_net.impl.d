@@ -1,0 +1,1 @@
+test/suite_net.ml: Afi Alcotest Asn Ipaddr List Martian Option Prefix Prefix_agg Prefix_trie QCheck QCheck_alcotest Range_op Result Rz_net Rz_util

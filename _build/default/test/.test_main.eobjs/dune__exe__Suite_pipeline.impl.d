@@ -1,0 +1,1 @@
+test/suite_pipeline.ml: Alcotest Hashtbl Lazy List Result Rpslyzer Rz_bgp Rz_ir Rz_irr Rz_json Rz_stats Rz_topology Rz_util Rz_verify

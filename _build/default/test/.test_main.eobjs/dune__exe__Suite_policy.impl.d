@@ -1,0 +1,1 @@
+test/suite_policy.ml: Alcotest Lexer List Parser Result Rz_net Rz_policy String

@@ -1,0 +1,1 @@
+test/suite_property.ml: Alcotest Array Filename Hashtbl Lazy List Printf QCheck QCheck_alcotest Rpslyzer Rz_bgp Rz_ir Rz_irr Rz_net Rz_policy Rz_rpsl Rz_synthirr Rz_topology Rz_verify String Sys

@@ -1,0 +1,1 @@
+test/suite_routegen.ml: Alcotest Array Hashtbl Lazy List Printf Rz_asrel Rz_bgp Rz_net Rz_routegen Rz_topology

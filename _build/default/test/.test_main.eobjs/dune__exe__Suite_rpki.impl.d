@@ -1,0 +1,1 @@
+test/suite_rpki.ml: Alcotest Array Lazy List Printf Rz_bgp Rz_net Rz_routegen Rz_rpki Rz_topology

@@ -1,0 +1,1 @@
+test/suite_rpsl.ml: Alcotest Attr List Obj Option QCheck QCheck_alcotest Reader Rz_rpsl Set_name String Template

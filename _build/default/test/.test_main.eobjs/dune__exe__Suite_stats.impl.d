@@ -1,0 +1,1 @@
+test/suite_stats.ml: Alcotest Lazy List Rz_irr Rz_policy Rz_stats

@@ -1,0 +1,1 @@
+test/suite_synthirr.ml: Alcotest Array Hashtbl Lazy List Printf Rz_asrel Rz_ir Rz_irr Rz_policy Rz_rpsl Rz_synthirr Rz_topology

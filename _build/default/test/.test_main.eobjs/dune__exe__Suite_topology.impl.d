@@ -1,0 +1,1 @@
+test/suite_topology.ml: Alcotest Array Hashtbl List Printf Queue Rz_asrel Rz_net Rz_topology

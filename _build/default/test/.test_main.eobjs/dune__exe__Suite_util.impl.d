@@ -1,0 +1,1 @@
+test/suite_util.ml: Alcotest Array Fun List QCheck QCheck_alcotest Rz_util Splitmix Stats_util String Strings Table

@@ -1,0 +1,1 @@
+test/suite_verify.ml: Alcotest List Rz_asrel Rz_bgp Rz_irr Rz_net Rz_util Rz_verify String

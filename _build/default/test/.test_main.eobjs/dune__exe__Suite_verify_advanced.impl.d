@@ -1,0 +1,1 @@
+test/suite_verify_advanced.ml: Alcotest List Printf Rz_asrel Rz_bgp Rz_irr Rz_net Rz_policy Rz_verify

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Integration smoke of every CLI subcommand against a generated world.
+set -eu
+CLI="$1"
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+
+fail() { echo "CLI TEST FAILED: $1" >&2; exit 1; }
+expect() { # expect <label> <pattern> <file>
+  grep -q "$2" "$3" || fail "$1"
+}
+
+"$CLI" gen --seed 5 --tier1 3 --mid 15 --stub 40 -o "$DIR/world" > "$DIR/gen.txt"
+expect gen 'wrote 13 IRR dumps' "$DIR/gen.txt"
+test -f "$DIR/world/RIPE.db" || fail "RIPE dump missing"
+test -f "$DIR/world/as-rel.txt" || fail "as-rel missing"
+
+"$CLI" stats -d "$DIR/world" > "$DIR/stats.txt"
+expect stats 'Table 1' "$DIR/stats.txt"
+expect stats-errors 'syntax 15' "$DIR/stats.txt"
+
+"$CLI" verify -d "$DIR/world" -v > "$DIR/verify.txt"
+expect verify 'hop statuses' "$DIR/verify.txt"
+expect verify-classes 'unrecorded' "$DIR/verify.txt"
+
+"$CLI" parse -d "$DIR/world" -o "$DIR/ir.json" > "$DIR/parse.txt"
+expect parse 'wrote IR' "$DIR/parse.txt"
+expect json '"aut_nums"' "$DIR/ir.json"
+
+# pick a route whose path has two distinct ASes (prepending makes some
+# multi-token paths single-AS) and explain it
+ROUTE=$(awk -F'|' 'NF==2 { n=split($2, a, " "); for (i=2; i<=n; i++) if (a[i] != a[1]) { print; exit } }' \
+          "$DIR/world/synth-rrc00.routes")
+PFX=${ROUTE%%|*}; PATH_ASNS=${ROUTE#*|}
+"$CLI" explain -d "$DIR/world" "$PFX" $PATH_ASNS > "$DIR/explain.txt"
+grep -qE '(Ok|Meh|Bad|Unrec|Skip)(Import|Export)' "$DIR/explain.txt" || fail "explain"
+
+"$CLI" whois -d "$DIR/world" AS1000 > "$DIR/whois.txt"
+expect whois 'aut-num' "$DIR/whois.txt"
+
+"$CLI" query -d "$DIR/world" '!gAS1000' > "$DIR/query.txt"
+grep -qE '^A[0-9]+' "$DIR/query.txt" || fail "query !g"
+"$CLI" query -d "$DIR/world" '!iAS-NOWHERE' > "$DIR/query2.txt"
+expect query-miss '^D' "$DIR/query2.txt"
+
+"$CLI" peval -d "$DIR/world" 'AS1000' -A > "$DIR/peval.txt" || [ $? -eq 2 ] || fail "peval"
+
+# lint exits 1 when errors exist — both outcomes acceptable, output must parse
+"$CLI" lint -d "$DIR/world" > "$DIR/lint.txt" || true
+expect lint 'diagnostics' "$DIR/lint.txt"
+
+"$CLI" classify -d "$DIR/world" > "$DIR/classify.txt"
+expect classify 'unregistered' "$DIR/classify.txt"
+
+"$CLI" gen --seed 6 --tier1 3 --mid 15 --stub 40 -o "$DIR/world2" >/dev/null
+"$CLI" diff "$DIR/world" "$DIR/world2" > "$DIR/diff.txt"
+expect diff 'aut-nums:' "$DIR/diff.txt"
+
+echo "cli smoke: all subcommands ok"

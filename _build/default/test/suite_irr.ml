@@ -1,0 +1,248 @@
+(* Tests for rz_irr: priority merge, as-set flattening (recursion, loops,
+   depth), members-by-reference, route-set flattening, route queries. *)
+module Db = Rz_irr.Db
+
+let db_of text = Db.of_dumps [ ("TEST", text) ]
+let p = Rz_net.Prefix.of_string_exn
+
+let asn_set_elems s = Db.Asn_set.elements s
+
+let test_flatten_direct () =
+  let db = db_of "as-set: AS-X\nmembers: AS1, AS2\n" in
+  Alcotest.(check (list int)) "members" [ 1; 2 ] (asn_set_elems (Db.flatten_as_set db "AS-X"))
+
+let test_flatten_nested () =
+  let db = db_of "as-set: AS-TOP\nmembers: AS1, AS-MID\n\nas-set: AS-MID\nmembers: AS2, AS-LEAF\n\nas-set: AS-LEAF\nmembers: AS3\n" in
+  Alcotest.(check (list int)) "transitive" [ 1; 2; 3 ]
+    (asn_set_elems (Db.flatten_as_set db "AS-TOP"));
+  Alcotest.(check int) "depth" 3 (Db.as_set_depth db "AS-TOP");
+  Alcotest.(check bool) "no loop" false (Db.as_set_has_loop db "AS-TOP")
+
+let test_flatten_loop () =
+  let db = db_of "as-set: AS-A\nmembers: AS1, AS-B\n\nas-set: AS-B\nmembers: AS2, AS-A\n" in
+  Alcotest.(check (list int)) "loop members converge" [ 1; 2 ]
+    (asn_set_elems (Db.flatten_as_set db "AS-A"));
+  Alcotest.(check bool) "loop detected A" true (Db.as_set_has_loop db "AS-A");
+  Alcotest.(check bool) "loop detected B" true (Db.as_set_has_loop db "AS-B")
+
+let test_flatten_loop_reachable () =
+  let db =
+    db_of "as-set: AS-OUTER\nmembers: AS-A\n\nas-set: AS-A\nmembers: AS-B\n\nas-set: AS-B\nmembers: AS-A\n"
+  in
+  Alcotest.(check bool) "reaches loop" true (Db.as_set_has_loop db "AS-OUTER")
+
+let test_flatten_unknown () =
+  let db = db_of "as-set: AS-X\nmembers: AS1, AS-MISSING\n" in
+  Alcotest.(check bool) "unknown set absent" false (Db.as_set_exists db "AS-MISSING");
+  Alcotest.(check (list int)) "missing nested ignored" [ 1 ]
+    (asn_set_elems (Db.flatten_as_set db "AS-X"));
+  Alcotest.(check (list int)) "flatten unknown = empty" []
+    (asn_set_elems (Db.flatten_as_set db "AS-NOPE"));
+  Alcotest.(check int) "depth of unknown" 0 (Db.as_set_depth db "AS-NOPE")
+
+let test_flatten_case_insensitive () =
+  let db = db_of "as-set: AS-X\nmembers: as1, AS-y\n\nas-set: as-Y\nmembers: AS2\n" in
+  Alcotest.(check (list int)) "case folded" [ 1; 2 ]
+    (asn_set_elems (Db.flatten_as_set db "as-x"))
+
+let test_mbrs_by_ref () =
+  let text =
+    "as-set: AS-COOP\nmbrs-by-ref: MNT-A\n\n\
+     aut-num: AS10\nmember-of: AS-COOP\nmnt-by: MNT-A\n\n\
+     aut-num: AS11\nmember-of: AS-COOP\nmnt-by: MNT-OTHER\n"
+  in
+  let db = db_of text in
+  (* AS10's maintainer is authorized; AS11's is not *)
+  Alcotest.(check (list int)) "authorized only" [ 10 ]
+    (asn_set_elems (Db.flatten_as_set db "AS-COOP"))
+
+let test_mbrs_by_ref_any () =
+  let text =
+    "as-set: AS-OPEN\nmbrs-by-ref: ANY\n\naut-num: AS10\nmember-of: AS-OPEN\nmnt-by: MNT-X\n"
+  in
+  let db = db_of text in
+  Alcotest.(check (list int)) "ANY admits all" [ 10 ]
+    (asn_set_elems (Db.flatten_as_set db "AS-OPEN"))
+
+let test_asn_in_as_set () =
+  let db = db_of "as-set: AS-X\nmembers: AS1, AS-Y\n\nas-set: AS-Y\nmembers: AS2\n" in
+  Alcotest.(check bool) "direct" true (Db.asn_in_as_set db "AS-X" 1);
+  Alcotest.(check bool) "nested" true (Db.asn_in_as_set db "AS-X" 2);
+  Alcotest.(check bool) "absent" false (Db.asn_in_as_set db "AS-X" 3)
+
+let test_route_queries () =
+  let text =
+    "route: 10.0.0.0/8\norigin: AS1\n\nroute: 10.1.0.0/16\norigin: AS2\n\nroute6: 2001:db8::/32\norigin: AS1\n"
+  in
+  let db = db_of text in
+  Alcotest.(check bool) "AS1 has routes" true (Db.origin_has_routes db 1);
+  Alcotest.(check bool) "AS3 has none" false (Db.origin_has_routes db 3);
+  Alcotest.(check int) "AS1 prefixes" 2 (List.length (Db.origin_prefixes db 1));
+  Alcotest.(check (list int)) "exact origins" [ 2 ] (Db.exact_origins db (p "10.1.0.0/16"));
+  let covering = Db.covering_routes db (p "10.1.2.0/24") in
+  Alcotest.(check int) "two covering" 2 (List.length covering);
+  Alcotest.(check (list int)) "least specific first" [ 1; 2 ] (List.map snd covering)
+
+let test_route_set_flatten () =
+  let text =
+    "route-set: RS-TOP\nmembers: 192.0.2.0/24, RS-SUB^+, AS5\n\n\
+     route-set: RS-SUB\nmembers: 198.51.100.0/24\n\n\
+     route: 203.0.113.0/24\norigin: AS5\n"
+  in
+  let db = db_of text in
+  let members = Db.flatten_route_set db "RS-TOP" in
+  Alcotest.(check int) "three flattened" 3 (List.length members);
+  (* the ^+ on RS-SUB applies to its members *)
+  Alcotest.(check bool) "nested carries op" true
+    (List.exists
+       (fun (pfx, op) ->
+         Rz_net.Prefix.equal pfx (p "198.51.100.0/24") && op = Rz_net.Range_op.Plus)
+       members);
+  Alcotest.(check bool) "asn member resolved" true
+    (List.exists (fun (pfx, _) -> Rz_net.Prefix.equal pfx (p "203.0.113.0/24")) members)
+
+let test_route_set_loop () =
+  let db = db_of "route-set: RS-A\nmembers: RS-B\n\nroute-set: RS-B\nmembers: RS-A, 10.0.0.0/8\n" in
+  let members = Db.flatten_route_set db "RS-A" in
+  Alcotest.(check int) "loop converges" 1 (List.length members)
+
+let test_route_set_with_as_set_member () =
+  let text =
+    "route-set: RS-X\nmembers: AS-GROUP\n\nas-set: AS-GROUP\nmembers: AS7\n\nroute: 10.7.0.0/16\norigin: AS7\n"
+  in
+  let db = db_of text in
+  Alcotest.(check bool) "as-set member expands to prefixes" true
+    (List.exists
+       (fun (pfx, _) -> Rz_net.Prefix.equal pfx (p "10.7.0.0/16"))
+       (Db.flatten_route_set db "RS-X"))
+
+let test_route_set_member_of () =
+  let text =
+    "route-set: RS-COOP\nmbrs-by-ref: MNT-A\n\n\
+     route: 192.0.2.0/24\norigin: AS1\nmember-of: RS-COOP\nmnt-by: MNT-A\n"
+  in
+  let db = db_of text in
+  Alcotest.(check bool) "indirect route member" true
+    (List.exists
+       (fun (pfx, _) -> Rz_net.Prefix.equal pfx (p "192.0.2.0/24"))
+       (Db.flatten_route_set db "RS-COOP"))
+
+let test_of_dumps_priority () =
+  let db =
+    Db.of_dumps
+      [ ("HIGH", "aut-num: AS1\nas-name: FIRST\n"); ("LOW", "aut-num: AS1\nas-name: SECOND\n") ]
+  in
+  match Db.find_aut_num db 1 with
+  | Some an -> Alcotest.(check string) "priority" "FIRST" an.as_name
+  | None -> Alcotest.fail "missing"
+
+let test_priority_order_matches_synthirr () =
+  Alcotest.(check (list string)) "paper's 13 IRRs" Rz_synthirr.Generate.irr_names
+    Db.priority_order
+
+(* ---------------- filter materialization (peval) ---------------- *)
+
+let peval_fixture =
+  "as-set: AS-GROUP\nmembers: AS1, AS2\n\n\
+   route-set: RS-STATIC\nmembers: 203.0.113.0/24^+\n\n\
+   filter-set: FLTR-NETS\nfilter: AS1 OR RS-STATIC\n\n\
+   route: 192.0.2.0/24\norigin: AS1\n\n\
+   route: 198.51.100.0/24\norigin: AS2\n\n\
+   route: 198.51.101.0/24\norigin: AS2\n"
+
+let peval text =
+  let db = db_of peval_fixture in
+  match Rz_irr.Filter_eval.eval_string db text with
+  | Ok result -> result
+  | Error e -> Alcotest.fail e
+
+let term_strings (r : Rz_irr.Filter_eval.result) =
+  List.map
+    (fun (pfx, op) -> Rz_net.Prefix.to_string pfx ^ Rz_net.Range_op.to_string op)
+    r.prefixes
+
+let test_peval_asn () =
+  Alcotest.(check (list string)) "origin prefixes" [ "192.0.2.0/24" ]
+    (term_strings (peval "AS1"))
+
+let test_peval_as_set_union () =
+  Alcotest.(check (list string)) "flattened set"
+    [ "192.0.2.0/24"; "198.51.100.0/24"; "198.51.101.0/24" ]
+    (term_strings (peval "AS-GROUP"))
+
+let test_peval_difference () =
+  Alcotest.(check (list string)) "AND NOT"
+    [ "198.51.100.0/24"; "198.51.101.0/24" ]
+    (term_strings (peval "AS-GROUP AND NOT AS1"))
+
+let test_peval_intersection () =
+  Alcotest.(check (list string)) "AND" [ "192.0.2.0/24" ]
+    (term_strings (peval "AS-GROUP AND AS1"))
+
+let test_peval_route_set_and_filter_set () =
+  Alcotest.(check (list string)) "route-set op kept" [ "203.0.113.0/24^+" ]
+    (term_strings (peval "RS-STATIC"));
+  Alcotest.(check (list string)) "filter-set recursion"
+    [ "192.0.2.0/24"; "203.0.113.0/24^+" ]
+    (term_strings (peval "FLTR-NETS"))
+
+let test_peval_unresolved () =
+  let r = peval "AS1 OR <^AS1$>" in
+  Alcotest.(check (list string)) "set part kept" [ "192.0.2.0/24" ] (term_strings r);
+  Alcotest.(check int) "regex reported" 1 (List.length r.unresolved);
+  let r2 = peval "ANY" in
+  Alcotest.(check int) "ANY unresolved" 1 (List.length r2.unresolved);
+  Alcotest.(check (list string)) "nothing materialized" [] (term_strings r2)
+
+let test_peval_prefix_list_aggregates () =
+  let r = peval "AS-GROUP" in
+  Alcotest.(check (list string)) "aggregated bare prefixes"
+    [ "192.0.2.0/24"; "198.51.100.0/23" ]
+    (List.map Rz_net.Prefix.to_string (Rz_irr.Filter_eval.to_prefix_list r))
+
+let flatten_memo_consistent =
+  QCheck.Test.make ~name:"flatten is deterministic across calls" ~count:50
+    (QCheck.make (QCheck.Gen.int_range 1 10000))
+    (fun seed ->
+      let rng = Rz_util.Splitmix.create seed in
+      (* random small set graph *)
+      let n = 6 in
+      let buf = Buffer.create 256 in
+      for i = 0 to n - 1 do
+        Buffer.add_string buf (Printf.sprintf "as-set: AS-S%d\nmembers: AS%d" i (100 + i));
+        for j = 0 to n - 1 do
+          if i <> j && Rz_util.Splitmix.chance rng 0.3 then
+            Buffer.add_string buf (Printf.sprintf ", AS-S%d" j)
+        done;
+        Buffer.add_string buf "\n\n"
+      done;
+      let db = db_of (Buffer.contents buf) in
+      let first = asn_set_elems (Db.flatten_as_set db "AS-S0") in
+      let second = asn_set_elems (Db.flatten_as_set db "AS-S0") in
+      first = second && List.mem 100 first)
+
+let suite =
+  [ Alcotest.test_case "flatten direct" `Quick test_flatten_direct;
+    Alcotest.test_case "flatten nested" `Quick test_flatten_nested;
+    Alcotest.test_case "flatten loop" `Quick test_flatten_loop;
+    Alcotest.test_case "loop reachable" `Quick test_flatten_loop_reachable;
+    Alcotest.test_case "flatten unknown" `Quick test_flatten_unknown;
+    Alcotest.test_case "flatten case-insensitive" `Quick test_flatten_case_insensitive;
+    Alcotest.test_case "mbrs-by-ref authorized" `Quick test_mbrs_by_ref;
+    Alcotest.test_case "mbrs-by-ref ANY" `Quick test_mbrs_by_ref_any;
+    Alcotest.test_case "asn_in_as_set" `Quick test_asn_in_as_set;
+    Alcotest.test_case "route queries" `Quick test_route_queries;
+    Alcotest.test_case "route-set flatten" `Quick test_route_set_flatten;
+    Alcotest.test_case "route-set loop" `Quick test_route_set_loop;
+    Alcotest.test_case "route-set with as-set member" `Quick test_route_set_with_as_set_member;
+    Alcotest.test_case "route-set member-of" `Quick test_route_set_member_of;
+    Alcotest.test_case "of_dumps priority" `Quick test_of_dumps_priority;
+    Alcotest.test_case "priority order list" `Quick test_priority_order_matches_synthirr;
+    Alcotest.test_case "peval asn" `Quick test_peval_asn;
+    Alcotest.test_case "peval as-set union" `Quick test_peval_as_set_union;
+    Alcotest.test_case "peval difference" `Quick test_peval_difference;
+    Alcotest.test_case "peval intersection" `Quick test_peval_intersection;
+    Alcotest.test_case "peval route/filter sets" `Quick test_peval_route_set_and_filter_set;
+    Alcotest.test_case "peval unresolved" `Quick test_peval_unresolved;
+    Alcotest.test_case "peval aggregation" `Quick test_peval_prefix_list_aggregates;
+    QCheck_alcotest.to_alcotest flatten_memo_consistent ]

@@ -1,0 +1,152 @@
+(* Tests for the IRRd-style query protocol (Rz_irr.Irrd_query). *)
+module Q = Rz_irr.Irrd_query
+module Db = Rz_irr.Db
+
+let fixture =
+  "aut-num: AS65001\n\
+   as-name: EXAMPLE\n\
+   import: from AS65002 accept AS-CONE\n\
+   export: to AS65002 announce AS65001\n\
+   mnt-by: MNT-EX\n\
+   \n\
+   as-set: AS-CONE\n\
+   members: AS65001, AS-SUB\n\
+   \n\
+   as-set: AS-SUB\n\
+   members: AS65003\n\
+   \n\
+   route-set: RS-NETS\n\
+   members: 192.0.2.0/24^+, AS65003\n\
+   \n\
+   route: 192.0.2.0/24\norigin: AS65001\n\
+   \n\
+   route: 198.51.100.0/24\norigin: AS65001\n\
+   \n\
+   route: 198.51.100.0/25\norigin: AS65003\n\
+   \n\
+   route6: 2001:db8::/32\norigin: AS65001\n"
+
+let db = lazy (Db.of_dumps [ ("TEST", fixture) ])
+
+let expect_data query check =
+  match Q.answer (Lazy.force db) query with
+  | Q.Data payload -> check payload
+  | other -> Alcotest.failf "%s: expected data, got %s" query (Q.render other)
+
+let test_g_origin_v4 () =
+  expect_data "!gAS65001" (fun payload ->
+      Alcotest.(check string) "v4 prefixes" "192.0.2.0/24 198.51.100.0/24" payload)
+
+let test_6_origin_v6 () =
+  expect_data "!6AS65001" (fun payload ->
+      Alcotest.(check string) "v6 prefixes" "2001:db8::/32" payload)
+
+let test_g_no_routes () =
+  Alcotest.(check bool) "unknown origin -> D" true
+    (Q.answer (Lazy.force db) "!gAS64999" = Q.Not_found_key)
+
+let test_i_direct () =
+  expect_data "!iAS-CONE" (fun payload ->
+      Alcotest.(check string) "direct members" "AS65001 AS-SUB" payload)
+
+let test_i_recursive () =
+  expect_data "!iAS-CONE,1" (fun payload ->
+      Alcotest.(check string) "flattened" "AS65001 AS65003" payload)
+
+let test_i_route_set_recursive () =
+  expect_data "!iRS-NETS,1" (fun payload ->
+      Alcotest.(check bool) "has prefix with op" true
+        (Rz_util.Strings.split_on_string ~sep:"192.0.2.0/24^+" payload |> List.length > 1);
+      Alcotest.(check bool) "asn member expanded" true
+        (Rz_util.Strings.split_on_string ~sep:"198.51.100.0/25" payload |> List.length > 1))
+
+let test_i_missing () =
+  Alcotest.(check bool) "missing set -> D" true
+    (Q.answer (Lazy.force db) "!iAS-NOWHERE" = Q.Not_found_key)
+
+let test_m_aut_num () =
+  expect_data "!maut-num,AS65001" (fun payload ->
+      Alcotest.(check bool) "renders rules" true
+        (Rz_util.Strings.split_on_string ~sep:"import:" payload |> List.length > 1);
+      Alcotest.(check bool) "renders source" true
+        (Rz_util.Strings.split_on_string ~sep:"source:" payload |> List.length > 1))
+
+let test_m_route () =
+  expect_data "!mroute,192.0.2.0/24" (fun payload ->
+      Alcotest.(check bool) "origin present" true
+        (Rz_util.Strings.split_on_string ~sep:"AS65001" payload |> List.length > 1))
+
+let test_m_bad_class () =
+  match Q.answer (Lazy.force db) "!mperson,foo" with
+  | Q.Error_resp _ -> ()
+  | other -> Alcotest.failf "expected error, got %s" (Q.render other)
+
+let test_r_exact_and_covering () =
+  expect_data "!r198.51.100.0/25" (fun payload ->
+      Alcotest.(check bool) "exact match" true
+        (Rz_util.Strings.split_on_string ~sep:"AS65003" payload |> List.length > 1));
+  expect_data "!r198.51.100.0/25,l" (fun payload ->
+      (* covering includes the /24 by AS65001 *)
+      Alcotest.(check bool) "covering includes /24" true
+        (Rz_util.Strings.split_on_string ~sep:"198.51.100.0/24 AS65001" payload
+         |> List.length > 1));
+  expect_data "!r198.51.100.0/25,o" (fun payload ->
+      Alcotest.(check string) "origins only" "AS65003" payload)
+
+let test_a_aggregated_prefixes () =
+  expect_data "!aAS-CONE" (fun payload ->
+      (* AS65001's /24s and AS65003's /25 aggregate: the /25 is inside
+         198.51.100.0/24 so only the two /24s remain *)
+      Alcotest.(check string) "aggregated" "192.0.2.0/24 198.51.100.0/24" payload);
+  expect_data "!a6AS-CONE" (fun payload ->
+      Alcotest.(check string) "v6" "2001:db8::/32" payload);
+  Alcotest.(check bool) "unknown set" true
+    (Q.answer (Lazy.force db) "!aAS-NOWHERE" = Q.Not_found_key)
+
+let test_plain_whois () =
+  expect_data "AS-CONE" (fun payload ->
+      Alcotest.(check bool) "as-set block" true
+        (Rz_util.Strings.split_on_string ~sep:"as-set:" payload |> List.length > 1));
+  expect_data "192.0.2.0/24" (fun payload ->
+      Alcotest.(check bool) "route block" true
+        (Rz_util.Strings.split_on_string ~sep:"route:" payload |> List.length > 1));
+  Alcotest.(check bool) "unknown -> D" true
+    (Q.answer (Lazy.force db) "WHAT-IS-THIS" = Q.Not_found_key)
+
+let test_framing () =
+  Alcotest.(check string) "no data" "C\n" (Q.render Q.No_data);
+  Alcotest.(check string) "not found" "D\n" (Q.render Q.Not_found_key);
+  Alcotest.(check string) "error" "F nope\n" (Q.render (Q.Error_resp "nope"));
+  Alcotest.(check string) "data framing" "A5\nhello\nC\n" (Q.render (Q.Data "hello"));
+  Alcotest.(check string) "quit renders empty" "" (Q.render Q.Quit)
+
+let test_session () =
+  let transcript = Q.session (Lazy.force db) [ "!nbgpq4"; "!gAS65001"; "!q"; "!gAS65001" ] in
+  (* the !n ack, then one data block; nothing after !q *)
+  Alcotest.(check bool) "starts with ack" true
+    (String.length transcript > 2 && String.sub transcript 0 2 = "C\n");
+  Alcotest.(check int) "one data block only" 2
+    (List.length (Rz_util.Strings.split_on_string ~sep:"192.0.2.0/24" transcript))
+
+let test_unsupported_bang () =
+  match Q.answer (Lazy.force db) "!zwhatever" with
+  | Q.Error_resp _ -> ()
+  | other -> Alcotest.failf "expected error, got %s" (Q.render other)
+
+let suite =
+  [ Alcotest.test_case "!g origin v4" `Quick test_g_origin_v4;
+    Alcotest.test_case "!6 origin v6" `Quick test_6_origin_v6;
+    Alcotest.test_case "!g unknown" `Quick test_g_no_routes;
+    Alcotest.test_case "!i direct" `Quick test_i_direct;
+    Alcotest.test_case "!i recursive" `Quick test_i_recursive;
+    Alcotest.test_case "!i route-set recursive" `Quick test_i_route_set_recursive;
+    Alcotest.test_case "!i missing" `Quick test_i_missing;
+    Alcotest.test_case "!m aut-num" `Quick test_m_aut_num;
+    Alcotest.test_case "!m route" `Quick test_m_route;
+    Alcotest.test_case "!m bad class" `Quick test_m_bad_class;
+    Alcotest.test_case "!r exact/covering/origins" `Quick test_r_exact_and_covering;
+    Alcotest.test_case "!a aggregated prefixes" `Quick test_a_aggregated_prefixes;
+    Alcotest.test_case "plain whois" `Quick test_plain_whois;
+    Alcotest.test_case "framing" `Quick test_framing;
+    Alcotest.test_case "session" `Quick test_session;
+    Alcotest.test_case "unsupported !x" `Quick test_unsupported_bang ]

@@ -1,0 +1,180 @@
+(* End-to-end tests over the full pipeline (the Rpslyzer facade), plus
+   aggregate-level checks of the Figures 2-6 machinery on real engine
+   output. *)
+module Aggregate = Rz_verify.Aggregate
+module Status = Rz_verify.Status
+
+let world =
+  lazy
+    (Rpslyzer.Pipeline.build_synthetic
+       ~topo_params:
+         { Rz_topology.Gen.default_params with n_tier1 = 3; n_mid = 25; n_stub = 80 }
+       ())
+
+let verified = lazy (Rpslyzer.Pipeline.verify (Lazy.force world))
+
+let test_world_builds () =
+  let w = Lazy.force world in
+  let ir = Rz_irr.Db.ir w.db in
+  Alcotest.(check bool) "aut-nums parsed" true (Hashtbl.length ir.Rz_ir.Ir.aut_nums > 50);
+  Alcotest.(check bool) "routes parsed" true (List.length ir.routes > 100);
+  Alcotest.(check int) "two collectors" 2 (List.length w.table_dumps)
+
+let test_verification_covers_routes () =
+  let agg, `Total total, `Excluded excluded = Lazy.force verified in
+  Alcotest.(check bool) "routes verified" true (Aggregate.n_routes agg > 1000);
+  Alcotest.(check int) "total = verified + excluded" total
+    (Aggregate.n_routes agg + excluded);
+  Alcotest.(check bool) "hops counted" true
+    (Aggregate.n_hops agg > Aggregate.n_routes agg)
+
+let test_overall_shape () =
+  (* the headline shape of the paper's results: verified and unrecorded
+     are the dominant classes; every class except skip is populated *)
+  let agg, _, _ = Lazy.force verified in
+  let c = Aggregate.overall agg in
+  let total = float_of_int (Aggregate.n_hops agg) in
+  let frac n = float_of_int n /. total in
+  Alcotest.(check bool) "verified substantial" true (frac c.verified > 0.15);
+  Alcotest.(check bool) "unrecorded substantial" true (frac c.unrecorded > 0.2);
+  Alcotest.(check bool) "special cases exist" true (c.relaxed + c.safelisted > 0);
+  Alcotest.(check bool) "some unverified" true (c.unverified > 0)
+
+let test_per_as_summary () =
+  let agg, _, _ = Lazy.force verified in
+  let s = Aggregate.per_as_summary agg in
+  Alcotest.(check bool) "ases observed" true (s.n_ases > 50);
+  (* the paper: a majority of ASes have a single consistent status *)
+  Alcotest.(check bool) "many single-status ASes" true
+    (float_of_int s.all_same_status /. float_of_int s.n_ases > 0.5);
+  Alcotest.(check bool) "some all-verified" true (s.all_verified > 0);
+  Alcotest.(check bool) "some all-unrecorded" true (s.all_unrecorded > 0);
+  Alcotest.(check bool) "counts consistent" true
+    (s.all_verified + s.all_unrecorded + s.all_relaxed + s.all_safelisted + s.all_unverified
+     <= s.all_same_status)
+
+let test_per_pair_summary () =
+  let agg, _, _ = Lazy.force verified in
+  let s = Aggregate.per_pair_summary agg in
+  Alcotest.(check bool) "pairs observed" true (s.n_pairs > 100);
+  (* the paper: ~92% of pairs have one consistent status; undeclared
+     peerings dominate unverified cases (98.98%) *)
+  Alcotest.(check bool) "most import pairs single-status" true (s.single_status_import > 0.7);
+  Alcotest.(check bool) "most export pairs single-status" true (s.single_status_export > 0.7);
+  Alcotest.(check bool) "peering mismatches dominate unverified" true
+    (s.unverified_peering_mismatch > 0.5)
+
+let test_per_route_summary () =
+  let agg, _, _ = Lazy.force verified in
+  let s = Aggregate.per_route_summary agg in
+  Alcotest.(check bool) "routes" true (s.n_routes > 1000);
+  let total = s.single_status +. s.two_statuses +. s.three_plus in
+  Alcotest.(check (float 1e-6)) "fractions sum to 1" 1.0 total;
+  (* the paper: only 6.6% of routes have one status across all hops *)
+  Alcotest.(check bool) "mixed statuses dominate" true (s.single_status < 0.5)
+
+let test_unrec_breakdown () =
+  let agg, _, _ = Lazy.force verified in
+  let b = Aggregate.unrec_breakdown agg in
+  (* the paper's ordering: missing aut-nums and no-rules dominate over
+     zero-route ASes and missing sets *)
+  Alcotest.(check bool) "no_aut_num populated" true (b.ases_no_aut_num > 0);
+  Alcotest.(check bool) "no_rules populated" true (b.ases_no_rules > 0);
+  Alcotest.(check bool) "no_aut_num >= missing sets" true
+    (b.ases_no_aut_num >= b.ases_missing_set)
+
+let test_special_breakdown () =
+  let agg, _, _ = Lazy.force verified in
+  let b = Aggregate.special_breakdown agg in
+  Alcotest.(check bool) "uphill dominates" true
+    (b.ases_uphill >= b.ases_export_self && b.ases_uphill >= b.ases_import_customer);
+  (* paper: more export-self than import-customer ASes *)
+  Alcotest.(check bool) "export-self populated" true (b.ases_export_self > 0);
+  Alcotest.(check bool) "any-special is the union" true
+    (b.ases_any_special >= b.ases_uphill)
+
+let test_usage_stats_on_world () =
+  let w = Lazy.force world in
+  let u = Rpslyzer.Pipeline.usage w in
+  Alcotest.(check int) "13 table1 rows" 13 (List.length u.table1);
+  let total_aut_nums =
+    List.fold_left (fun acc (r : Rz_stats.Usage.table1_row) -> acc + r.n_aut_num) 0 u.table1
+  in
+  let ir = Rz_irr.Db.ir w.db in
+  Alcotest.(check bool) "table1 aut-nums >= merged" true
+    (total_aut_nums >= Hashtbl.length ir.Rz_ir.Ir.aut_nums);
+  Alcotest.(check bool) "most peerings simple" true (u.peering_simple_fraction > 0.9);
+  Alcotest.(check bool) "most ASes bgpq4-only" true (u.ases_bgpq4_only > 0.7);
+  Alcotest.(check bool) "route stats populated" true (u.route_stats.n_objects > 0);
+  Alcotest.(check bool) "multi-origin prefixes exist" true
+    (u.route_stats.multi_origin_prefixes > 0)
+
+let test_explain_route () =
+  let w = Lazy.force world in
+  let dump = List.hd w.table_dumps in
+  (* find a multi-hop route *)
+  let route =
+    List.find (fun r -> List.length (Rz_bgp.Route.dedup_path r) >= 3) dump.routes
+  in
+  match Rpslyzer.Pipeline.explain_route w route with
+  | Some text ->
+    Alcotest.(check bool) "report mentions the route" true
+      (Rz_util.Strings.split_on_string ~sep:"route " text |> List.length > 1);
+    Alcotest.(check bool) "reports Export and Import lines" true
+      (Rz_util.Strings.split_on_string ~sep:"Export {" text |> List.length > 1
+       && Rz_util.Strings.split_on_string ~sep:"Import {" text |> List.length > 1)
+  | None -> Alcotest.fail "route unexpectedly excluded"
+
+let test_parse_rpsl_one_shot () =
+  let ir = Rpslyzer.parse_rpsl "aut-num: AS65000\nimport: from AS1 accept ANY\n" in
+  Alcotest.(check bool) "facade parse" true (Rz_ir.Ir.find_aut_num ir 65000 <> None);
+  let json = Rpslyzer.ir_to_json ir in
+  Alcotest.(check bool) "facade json" true (Result.is_ok (Rz_json.Json.of_string json))
+
+let test_parallel_agrees_with_sequential () =
+  let w = Lazy.force world in
+  let seq, `Total t1, `Excluded e1 = Rpslyzer.Pipeline.verify w in
+  let par, `Total t2, `Excluded e2 = Rpslyzer.Pipeline.verify_parallel ~domains:4 w in
+  Alcotest.(check int) "same total" t1 t2;
+  Alcotest.(check int) "same excluded" e1 e2;
+  Alcotest.(check (list (pair string int))) "same hop classes"
+    (Aggregate.counts_classes (Aggregate.overall seq))
+    (Aggregate.counts_classes (Aggregate.overall par));
+  Alcotest.(check int) "same routes" (Aggregate.n_routes seq) (Aggregate.n_routes par);
+  let sum_as agg =
+    List.fold_left
+      (fun acc (_, i, e) -> acc + Aggregate.counts_total i + Aggregate.counts_total e)
+      0 (Aggregate.per_as_list agg)
+  in
+  Alcotest.(check int) "same per-AS volume" (sum_as seq) (sum_as par);
+  let sp_seq = Aggregate.special_breakdown seq and sp_par = Aggregate.special_breakdown par in
+  Alcotest.(check int) "same uphill ASes" sp_seq.ases_uphill sp_par.ases_uphill
+
+let test_paper_compat_mode_runs () =
+  let w = Lazy.force world in
+  let compat, _, _ =
+    Rpslyzer.Pipeline.verify ~config:{ Rz_verify.Engine.paper_compat = true } w
+  in
+  let full, _, _ = Rpslyzer.Pipeline.verify w in
+  Alcotest.(check bool) "compat mode verifies" true (Aggregate.n_hops compat > 0);
+  Alcotest.(check int) "same hop volume" (Aggregate.n_hops full) (Aggregate.n_hops compat);
+  (* the future-work extensions only add Skips in compat mode *)
+  Alcotest.(check bool) "compat skips >= full skips" true
+    ((Aggregate.overall compat).skipped >= (Aggregate.overall full).skipped);
+  Alcotest.(check bool) "compat verifies <= full verifies" true
+    ((Aggregate.overall compat).verified <= (Aggregate.overall full).verified)
+
+let suite =
+  [ Alcotest.test_case "world builds" `Quick test_world_builds;
+    Alcotest.test_case "verification covers routes" `Quick test_verification_covers_routes;
+    Alcotest.test_case "overall shape" `Quick test_overall_shape;
+    Alcotest.test_case "per-AS summary (fig 2)" `Quick test_per_as_summary;
+    Alcotest.test_case "per-pair summary (fig 3)" `Quick test_per_pair_summary;
+    Alcotest.test_case "per-route summary (fig 4)" `Quick test_per_route_summary;
+    Alcotest.test_case "unrecorded breakdown (fig 5)" `Quick test_unrec_breakdown;
+    Alcotest.test_case "special breakdown (fig 6)" `Quick test_special_breakdown;
+    Alcotest.test_case "usage stats on world" `Quick test_usage_stats_on_world;
+    Alcotest.test_case "explain route" `Quick test_explain_route;
+    Alcotest.test_case "facade one-shots" `Quick test_parse_rpsl_one_shot;
+    Alcotest.test_case "parallel = sequential" `Quick test_parallel_agrees_with_sequential;
+    Alcotest.test_case "paper-compat mode" `Quick test_paper_compat_mode_runs ]

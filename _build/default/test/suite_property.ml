@@ -1,0 +1,227 @@
+(* Cross-cutting property tests: random policy ASTs round-trip through the
+   printer and parser; the verification engine is deterministic and total;
+   file-based reading agrees with in-memory parsing. *)
+module Ast = Rz_policy.Ast
+module Gen = QCheck.Gen
+
+(* ---------------- random policy AST generation ---------------- *)
+
+let gen_asn = Gen.int_range 1 99999
+let gen_set_name =
+  Gen.map (fun n -> Printf.sprintf "AS-SET%d" n) (Gen.int_range 1 99)
+let gen_route_set_name =
+  Gen.map (fun n -> Printf.sprintf "RS-SET%d" n) (Gen.int_range 1 99)
+
+let gen_range_op =
+  Gen.oneof
+    [ Gen.return Rz_net.Range_op.None_;
+      Gen.return Rz_net.Range_op.Minus;
+      Gen.return Rz_net.Range_op.Plus;
+      Gen.map (fun n -> Rz_net.Range_op.Exact n) (Gen.int_range 8 32);
+      Gen.map2
+        (fun a b -> Rz_net.Range_op.Range (min a b, max a b))
+        (Gen.int_range 8 32) (Gen.int_range 8 32) ]
+
+let gen_prefix =
+  Gen.map2
+    (fun addr24 len -> Rz_net.Prefix.v4 (addr24 lsl 8) len)
+    (Gen.int_range 1 0xFFFFFF) (Gen.int_range 8 24)
+
+let rec gen_as_expr depth =
+  if depth = 0 then
+    Gen.oneof
+      [ Gen.map (fun a -> Ast.Asn a) gen_asn;
+        Gen.map (fun s -> Ast.As_set s) gen_set_name;
+        Gen.return Ast.Any_as ]
+  else
+    Gen.oneof
+      [ gen_as_expr 0;
+        Gen.map2 (fun a b -> Ast.And (a, b)) (gen_as_expr (depth - 1)) (gen_as_expr (depth - 1));
+        Gen.map2 (fun a b -> Ast.Or (a, b)) (gen_as_expr (depth - 1)) (gen_as_expr (depth - 1)) ]
+
+let rec gen_filter depth =
+  if depth = 0 then
+    Gen.oneof
+      [ Gen.return Ast.Any;
+        Gen.return Ast.Peer_as_filter;
+        Gen.return Ast.Fltr_martian;
+        Gen.map2 (fun a op -> Ast.As_num (a, op)) gen_asn gen_range_op;
+        Gen.map2 (fun s op -> Ast.As_set_ref (s, op)) gen_set_name gen_range_op;
+        Gen.map2 (fun s op -> Ast.Route_set_ref (s, op)) gen_route_set_name gen_range_op;
+        Gen.map
+          (fun members -> Ast.Prefix_set (members, Rz_net.Range_op.None_))
+          (Gen.list_size (Gen.int_range 1 3) (Gen.pair gen_prefix gen_range_op)) ]
+  else
+    Gen.oneof
+      [ gen_filter 0;
+        Gen.map2 (fun a b -> Ast.And_f (a, b)) (gen_filter (depth - 1)) (gen_filter (depth - 1));
+        Gen.map2 (fun a b -> Ast.Or_f (a, b)) (gen_filter (depth - 1)) (gen_filter (depth - 1));
+        Gen.map (fun a -> Ast.Not_f a) (gen_filter (depth - 1)) ]
+
+let gen_factor =
+  Gen.map2
+    (fun as_exprs filter ->
+      { Ast.peerings =
+          List.map
+            (fun e ->
+              { Ast.peering =
+                  Ast.Peering_spec { as_expr = e; remote_router = None; local_router = None };
+                actions = [] })
+            as_exprs;
+        filter })
+    (Gen.list_size (Gen.int_range 1 2) (gen_as_expr 1))
+    (gen_filter 2)
+
+let gen_rule =
+  Gen.map2
+    (fun direction factors ->
+      { Ast.direction;
+        multiprotocol = false;
+        protocol = None;
+        into_protocol = None;
+        expr = Ast.Term_e { afi = []; factors } })
+    (Gen.oneofl [ `Import; `Export ])
+    (Gen.list_size (Gen.int_range 1 1) gen_factor)
+
+(* The canonical text of a rule (strip the leading "attr:" produced by
+   rule_to_string). *)
+let rule_body rule =
+  let rendered = Ast.rule_to_string rule in
+  match String.index_opt rendered ':' with
+  | Some i -> String.sub rendered (i + 1) (String.length rendered - i - 1)
+  | None -> rendered
+
+let rule_roundtrip =
+  QCheck.Test.make ~name:"random rule: print |> parse |> print is stable" ~count:500
+    (QCheck.make gen_rule)
+    (fun rule ->
+      let body = rule_body rule in
+      match
+        Rz_policy.Parser.parse_rule ~direction:rule.Ast.direction ~multiprotocol:false body
+      with
+      | Error e -> QCheck.Test.fail_reportf "did not re-parse: %s\n%s" e body
+      | Ok reparsed ->
+        (* printing must be a fixpoint after one round *)
+        String.equal (Ast.rule_to_string rule) (Ast.rule_to_string reparsed))
+
+let filter_roundtrip =
+  QCheck.Test.make ~name:"random filter: print |> parse |> print is stable" ~count:500
+    (QCheck.make (gen_filter 3))
+    (fun filter ->
+      let text = Ast.filter_to_string filter in
+      match Rz_policy.Parser.parse_filter text with
+      | Error e -> QCheck.Test.fail_reportf "did not re-parse: %s\n%s" e text
+      | Ok reparsed ->
+        String.equal text (Ast.filter_to_string reparsed))
+
+(* ---------------- engine totality / determinism ---------------- *)
+
+let small_world =
+  lazy
+    (let topo =
+       Rz_topology.Gen.generate
+         { Rz_topology.Gen.default_params with n_tier1 = 3; n_mid = 15; n_stub = 40 }
+     in
+     let world = Rz_synthirr.Generate.generate topo in
+     let db = Rz_irr.Db.of_dumps world.dumps in
+     (topo, db))
+
+let engine_total_and_deterministic =
+  QCheck.Test.make ~name:"verify_hop is total and deterministic" ~count:300
+    (QCheck.make
+       (Gen.tup4 (Gen.int_range 0 57) (Gen.int_range 0 57)
+          (Gen.int_range 1 0xFFFFFF) (Gen.list_size (Gen.int_range 1 5) (Gen.int_range 0 57))))
+    (fun (subject_i, remote_i, addr24, path_is) ->
+      let topo, db = Lazy.force small_world in
+      let engine = Rz_verify.Engine.create db topo.rels in
+      let asn i = topo.ases.(i mod Array.length topo.ases) in
+      let subject = asn subject_i and remote = asn remote_i in
+      let prefix = Rz_net.Prefix.v4 (addr24 lsl 8) 24 in
+      let path = Array.of_list (List.map asn path_is) in
+      let run () =
+        Rz_verify.Engine.verify_hop engine ~direction:`Import ~subject ~remote ~prefix ~path
+      in
+      let a = run () and b = run () in
+      Rz_verify.Status.to_string a.status = Rz_verify.Status.to_string b.status)
+
+let status_precedence_no_aut_num =
+  QCheck.Test.make ~name:"missing aut-num always classifies Unrecorded" ~count:100
+    (QCheck.make (Gen.int_range 5_000_000 6_000_000))
+    (fun ghost_asn ->
+      let topo, db = Lazy.force small_world in
+      let engine = Rz_verify.Engine.create db topo.rels in
+      let hop =
+        Rz_verify.Engine.verify_hop engine ~direction:`Export ~subject:ghost_asn
+          ~remote:topo.ases.(0)
+          ~prefix:(Rz_net.Prefix.of_string_exn "203.0.113.0/24")
+          ~path:[| ghost_asn |]
+      in
+      match hop.status with Rz_verify.Status.Unrecorded _ -> true | _ -> false)
+
+(* ---------------- file IO agreement ---------------- *)
+
+let test_parse_file_agrees () =
+  let text = "aut-num: AS1\nimport: from AS2 accept ANY\n\nroute: 192.0.2.0/24\norigin: AS1\n" in
+  let path = Filename.temp_file "rpsl" ".db" in
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc;
+  let from_file = Rz_rpsl.Reader.parse_file path in
+  let from_string = Rz_rpsl.Reader.parse_string text in
+  Sys.remove path;
+  Alcotest.(check int) "same object count" (List.length from_string.objects)
+    (List.length from_file.objects);
+  List.iter2
+    (fun (a : Rz_rpsl.Obj.t) (b : Rz_rpsl.Obj.t) ->
+      Alcotest.(check string) "same name" a.name b.name)
+    from_string.objects from_file.objects
+
+let test_fold_file () =
+  let text = "aut-num: AS1\n\naut-num: AS2\n\naut-num: AS3\n" in
+  let path = Filename.temp_file "rpsl" ".db" in
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc;
+  let count, errors = Rz_rpsl.Reader.fold_file path ~init:0 ~f:(fun acc _ -> acc + 1) in
+  Sys.remove path;
+  Alcotest.(check int) "three objects" 3 count;
+  Alcotest.(check int) "no errors" 0 (List.length errors)
+
+let test_world_save_load_roundtrip () =
+  let world =
+    Rpslyzer.Pipeline.build_synthetic
+      ~topo_params:{ Rz_topology.Gen.default_params with n_tier1 = 2; n_mid = 8; n_stub = 20 }
+      ()
+  in
+  let dir = Filename.temp_file "world" "" in
+  Sys.remove dir;
+  Rpslyzer.Pipeline.save_world world dir;
+  let loaded = Rpslyzer.Pipeline.load_world dir in
+  let ir_a = Rz_irr.Db.ir world.db and ir_b = Rz_irr.Db.ir loaded.db in
+  Alcotest.(check int) "same aut-num count" (Hashtbl.length ir_a.Rz_ir.Ir.aut_nums)
+    (Hashtbl.length ir_b.Rz_ir.Ir.aut_nums);
+  Alcotest.(check int) "same route count" (List.length ir_a.routes) (List.length ir_b.routes);
+  let routes d =
+    List.concat_map (fun (t : Rz_bgp.Table_dump.t) -> t.routes) d
+  in
+  Alcotest.(check int) "same collector routes"
+    (List.length (routes world.table_dumps))
+    (List.length (routes loaded.table_dumps));
+  (* verification produces identical aggregates on the reloaded world *)
+  let agg_a, _, _ = Rpslyzer.Pipeline.verify world in
+  let agg_b, _, _ = Rpslyzer.Pipeline.verify loaded in
+  Alcotest.(check (list (pair string int))) "same hop classes"
+    (Rz_verify.Aggregate.counts_classes (Rz_verify.Aggregate.overall agg_a))
+    (Rz_verify.Aggregate.counts_classes (Rz_verify.Aggregate.overall agg_b));
+  (* cleanup *)
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+let suite =
+  [ QCheck_alcotest.to_alcotest rule_roundtrip;
+    QCheck_alcotest.to_alcotest filter_roundtrip;
+    QCheck_alcotest.to_alcotest engine_total_and_deterministic;
+    QCheck_alcotest.to_alcotest status_precedence_no_aut_num;
+    Alcotest.test_case "parse_file agrees with parse_string" `Quick test_parse_file_agrees;
+    Alcotest.test_case "fold_file" `Quick test_fold_file;
+    Alcotest.test_case "world save/load roundtrip" `Quick test_world_save_load_roundtrip ]

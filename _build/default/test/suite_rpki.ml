@@ -1,0 +1,248 @@
+(* Tests for rz_rpki (ROV + ASPA) and the anomaly injection workload. *)
+module Roa = Rz_rpki.Roa
+module Aspa = Rz_rpki.Aspa
+module Anomaly = Rz_routegen.Anomaly
+module Gen = Rz_topology.Gen
+
+let p = Rz_net.Prefix.of_string_exn
+
+(* ---------------- ROV ---------------- *)
+
+let roa_table () =
+  let t = Roa.create () in
+  Roa.add t { Roa.prefix = p "192.0.2.0/24"; max_length = 24; origin = 65001 };
+  Roa.add t { Roa.prefix = p "198.51.0.0/16"; max_length = 20; origin = 65002 };
+  t
+
+let check_validity name expected got =
+  Alcotest.(check string) name (Roa.validity_to_string expected) (Roa.validity_to_string got)
+
+let test_rov_valid () =
+  let t = roa_table () in
+  check_validity "exact match" Roa.Valid (Roa.validate t (p "192.0.2.0/24") 65001);
+  check_validity "within maxLength" Roa.Valid (Roa.validate t (p "198.51.16.0/20") 65002)
+
+let test_rov_invalid () =
+  let t = roa_table () in
+  check_validity "wrong origin" Roa.Invalid (Roa.validate t (p "192.0.2.0/24") 64999);
+  check_validity "too specific" Roa.Invalid (Roa.validate t (p "198.51.100.0/24") 65002);
+  check_validity "hijacked subprefix" Roa.Invalid (Roa.validate t (p "192.0.2.128/25") 64999)
+
+let test_rov_not_found () =
+  let t = roa_table () in
+  check_validity "uncovered space" Roa.Not_found (Roa.validate t (p "203.0.113.0/24") 65001)
+
+let test_rov_competing_roas () =
+  (* two ROAs for the same prefix: any match validates *)
+  let t = roa_table () in
+  Roa.add t { Roa.prefix = p "192.0.2.0/24"; max_length = 24; origin = 64999 };
+  check_validity "either origin valid" Roa.Valid (Roa.validate t (p "192.0.2.0/24") 64999);
+  Alcotest.(check int) "size" 3 (Roa.size t)
+
+let small_topo =
+  lazy (Gen.generate { Gen.default_params with n_tier1 = 3; n_mid = 20; n_stub = 60 })
+
+let test_rov_of_topology () =
+  let topo = Lazy.force small_topo in
+  let full = Roa.of_topology ~adoption:1.0 topo in
+  let none = Roa.of_topology ~adoption:0.0 topo in
+  Alcotest.(check int) "no adoption -> empty" 0 (Roa.size none);
+  Alcotest.(check bool) "full adoption covers" true (Roa.size full > 100);
+  (* ground truth validates *)
+  let asn = topo.ases.(10) in
+  List.iter
+    (fun prefix ->
+      check_validity "own announcement valid" Roa.Valid (Roa.validate full prefix asn);
+      check_validity "foreign origin invalid" Roa.Invalid (Roa.validate full prefix (asn + 1)))
+    (Gen.prefixes_of topo asn)
+
+(* ---------------- ASPA ---------------- *)
+
+(* topology: 1 -- 2 tier1 peers; 1 > 3, 2 > 4 (providers); 3 > 5, 4 > 6 *)
+let aspa_full () =
+  let t = Aspa.create () in
+  Aspa.attest t ~customer:3 ~providers:[ 1 ];
+  Aspa.attest t ~customer:4 ~providers:[ 2 ];
+  Aspa.attest t ~customer:5 ~providers:[ 3 ];
+  Aspa.attest t ~customer:6 ~providers:[ 4 ];
+  t
+
+let check_aspa name expected got =
+  Alcotest.(check string) name (Aspa.result_to_string expected) (Aspa.result_to_string got)
+
+let test_aspa_valid_up_down () =
+  let t = aspa_full () in
+  (* wire order collector-side first: 6 4 2 | 1 3 5 reversed = origin 5 *)
+  check_aspa "valley-free across apex" Aspa.Valid
+    (Aspa.verify_path t [| 6; 4; 2; 1; 3; 5 |]);
+  check_aspa "pure uphill" Aspa.Valid (Aspa.verify_path t [| 1; 3; 5 |]);
+  check_aspa "single AS" Aspa.Valid (Aspa.verify_path t [| 5 |])
+
+let test_aspa_single_suspect_pair_is_unknown () =
+  let t = aspa_full () in
+  (* origin 6 climbs to 4 (attested), 4-3 has provably-no-authorization in
+     both directions — but a single such pair is indistinguishable from a
+     lateral peer link at the apex, so the draft (and we) stay Unknown:
+     the hop after it (3 -> 1) cannot be proven to climb. *)
+  check_aspa "one suspect pair tolerated as apex" Aspa.Unknown
+    (Aspa.verify_path t [| 1; 3; 4; 6 |])
+
+let test_aspa_invalid_deep_leak () =
+  let t = aspa_full () in
+  (* two provably-unauthorized pairs far apart force K + L < N:
+     path origin 5, up to 3 (ok), fake hop 3 -> 6 (3 attests [1): NP up;
+     6 attests [4]: NP down), then 6 -> 4 up (P), then 4 -> 2 up...
+     wire order: [2; 4; 6; 3; 5] -> a = [5;3;6;4;2]:
+       pair(5,3)=P up; pair(3,6): up NP; -> K=2
+       from top: pair(4,2): down = is 4 provider of 2? 2 no ASPA ->
+       plausible; pair(6,4): down = is 6 a provider of 4? 4 attests [2] ->
+       NP -> L=2. K+L=4 < N=5 -> Invalid *)
+  check_aspa "valley deep in the path" Aspa.Invalid
+    (Aspa.verify_path t [| 2; 4; 6; 3; 5 |])
+
+let test_aspa_unknown_without_attestations () =
+  let t = Aspa.create () in
+  Aspa.attest t ~customer:5 ~providers:[ 3 ];
+  (* only one attestation: the rest of the path is unverifiable *)
+  check_aspa "partial adoption" Aspa.Unknown (Aspa.verify_path t [| 6; 4; 2; 1; 3; 5 |])
+
+let test_aspa_authorized () =
+  let t = aspa_full () in
+  Alcotest.(check bool) "provider" true (Aspa.authorized t ~customer:3 ~provider:1 = Aspa.Provider);
+  Alcotest.(check bool) "not provider" true
+    (Aspa.authorized t ~customer:3 ~provider:2 = Aspa.Not_provider);
+  Alcotest.(check bool) "no attestation" true
+    (Aspa.authorized t ~customer:1 ~provider:2 = Aspa.No_attestation);
+  Alcotest.(check bool) "has_aspa" true (Aspa.has_aspa t 3);
+  Alcotest.(check int) "size" 4 (Aspa.size t)
+
+let test_aspa_of_topology_validates_real_routes () =
+  let topo = Lazy.force small_topo in
+  let aspa = Aspa.of_topology ~adoption:1.0 topo in
+  (* real collector routes must never be Invalid under full adoption *)
+  let peers = Rz_routegen.Propagate.default_collector_peers topo ~n:3 in
+  let dump = Rz_routegen.Propagate.collector_dump topo ~collector:"t" ~peers in
+  List.iter
+    (fun (r : Rz_bgp.Route.t) ->
+      let path = Array.of_list (Rz_bgp.Route.dedup_path r) in
+      match Aspa.verify_path aspa path with
+      | Aspa.Invalid ->
+        Alcotest.failf "legitimate route flagged invalid: %s" (Rz_bgp.Route.to_line r)
+      | _ -> ())
+    dump.routes
+
+(* ---------------- anomalies ---------------- *)
+
+let test_inject_prefix_hijack () =
+  let topo = Lazy.force small_topo in
+  let observer = topo.ases.(0) in
+  let events = Anomaly.inject topo ~observer ~n:20 Anomaly.Prefix_hijack in
+  Alcotest.(check bool) "events produced" true (List.length events > 5);
+  List.iter
+    (fun (e : Anomaly.event) ->
+      (* the observed origin is the attacker, but the prefix belongs to
+         the victim *)
+      Alcotest.(check (option int)) "origin is attacker" (Some e.attacker)
+        (Rz_bgp.Route.origin e.route);
+      Alcotest.(check bool) "prefix is the victim's" true
+        (List.exists (Rz_net.Prefix.equal e.prefix) (Gen.prefixes_of topo e.victim)))
+    events
+
+let test_inject_forged_origin () =
+  let topo = Lazy.force small_topo in
+  let observer = topo.ases.(0) in
+  let events = Anomaly.inject topo ~observer ~n:20 Anomaly.Forged_origin in
+  Alcotest.(check bool) "events produced" true (List.length events > 5);
+  List.iter
+    (fun (e : Anomaly.event) ->
+      Alcotest.(check (option int)) "forged origin is the victim" (Some e.victim)
+        (Rz_bgp.Route.origin e.route);
+      (* the attacker sits adjacent to the forged origin *)
+      let path = Rz_bgp.Route.dedup_path e.route in
+      let rec last_two = function
+        | [ a; b ] -> (a, b)
+        | _ :: rest -> last_two rest
+        | [] -> Alcotest.fail "path too short"
+      in
+      let penultimate, last = last_two path in
+      Alcotest.(check int) "attacker before origin" e.attacker penultimate;
+      Alcotest.(check int) "victim last" e.victim last)
+    events
+
+let test_inject_route_leak () =
+  let topo = Lazy.force small_topo in
+  let observer = topo.ases.(0) in
+  let events = Anomaly.inject topo ~observer ~n:20 Anomaly.Route_leak in
+  Alcotest.(check bool) "events produced" true (List.length events > 0);
+  List.iter
+    (fun (e : Anomaly.event) ->
+      let path = Rz_bgp.Route.dedup_path e.route in
+      Alcotest.(check bool) "attacker on path" true (List.mem e.attacker path);
+      Alcotest.(check (option int)) "victim is origin" (Some e.victim)
+        (Rz_bgp.Route.origin e.route))
+    events
+
+let test_rov_catches_hijacks () =
+  let topo = Lazy.force small_topo in
+  let observer = topo.ases.(0) in
+  let roa = Roa.of_topology ~adoption:1.0 topo in
+  let events = Anomaly.inject topo ~observer ~n:20 Anomaly.Prefix_hijack in
+  List.iter
+    (fun (e : Anomaly.event) ->
+      match Rz_bgp.Route.origin e.route with
+      | Some origin ->
+        check_validity "hijack invalid under full ROV" Roa.Invalid
+          (Roa.validate roa e.prefix origin)
+      | None -> Alcotest.fail "no origin")
+    events
+
+let test_rov_misses_forged_origin () =
+  (* the known ROV blind spot: the forged origin IS the authorized one *)
+  let topo = Lazy.force small_topo in
+  let observer = topo.ases.(0) in
+  let roa = Roa.of_topology ~adoption:1.0 topo in
+  let events = Anomaly.inject topo ~observer ~n:10 Anomaly.Forged_origin in
+  List.iter
+    (fun (e : Anomaly.event) ->
+      match Rz_bgp.Route.origin e.route with
+      | Some origin ->
+        check_validity "forged origin evades ROV" Roa.Valid (Roa.validate roa e.prefix origin)
+      | None -> Alcotest.fail "no origin")
+    events
+
+let test_aspa_catches_leaks () =
+  let topo = Lazy.force small_topo in
+  let observer = topo.ases.(0) in
+  let aspa = Aspa.of_topology ~adoption:1.0 topo in
+  let events = Anomaly.inject topo ~observer ~n:20 Anomaly.Route_leak in
+  let detected =
+    List.length
+      (List.filter
+         (fun (e : Anomaly.event) ->
+           Aspa.verify_path aspa (Array.of_list (Rz_bgp.Route.dedup_path e.route))
+           = Aspa.Invalid)
+         events)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "ASPA detects most leaks (%d/%d)" detected (List.length events))
+    true
+    (List.length events = 0 || float_of_int detected /. float_of_int (List.length events) > 0.5)
+
+let suite =
+  [ Alcotest.test_case "rov valid" `Quick test_rov_valid;
+    Alcotest.test_case "rov invalid" `Quick test_rov_invalid;
+    Alcotest.test_case "rov not-found" `Quick test_rov_not_found;
+    Alcotest.test_case "rov competing roas" `Quick test_rov_competing_roas;
+    Alcotest.test_case "rov from topology" `Quick test_rov_of_topology;
+    Alcotest.test_case "aspa valid paths" `Quick test_aspa_valid_up_down;
+    Alcotest.test_case "aspa apex ambiguity" `Quick test_aspa_single_suspect_pair_is_unknown;
+    Alcotest.test_case "aspa deep valley" `Quick test_aspa_invalid_deep_leak;
+    Alcotest.test_case "aspa partial adoption" `Quick test_aspa_unknown_without_attestations;
+    Alcotest.test_case "aspa authorized" `Quick test_aspa_authorized;
+    Alcotest.test_case "aspa no false invalids" `Quick test_aspa_of_topology_validates_real_routes;
+    Alcotest.test_case "inject prefix hijack" `Quick test_inject_prefix_hijack;
+    Alcotest.test_case "inject forged origin" `Quick test_inject_forged_origin;
+    Alcotest.test_case "inject route leak" `Quick test_inject_route_leak;
+    Alcotest.test_case "rov catches hijacks" `Quick test_rov_catches_hijacks;
+    Alcotest.test_case "rov misses forged origins" `Quick test_rov_misses_forged_origin;
+    Alcotest.test_case "aspa catches leaks" `Quick test_aspa_catches_leaks ]

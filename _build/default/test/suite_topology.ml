@@ -1,0 +1,131 @@
+(* Tests for rz_topology: structural invariants of the synthetic AS graph. *)
+module Gen = Rz_topology.Gen
+module Rel_db = Rz_asrel.Rel_db
+
+let small_params = { Gen.default_params with n_tier1 = 4; n_mid = 30; n_stub = 100 }
+let topo () = Gen.generate small_params
+
+let test_counts () =
+  let t = topo () in
+  Alcotest.(check int) "total ASes" 134 (Gen.n_ases t);
+  let count tier =
+    Array.to_list t.ases |> List.filter (fun a -> Gen.tier t a = tier) |> List.length
+  in
+  Alcotest.(check int) "tier1" 4 (count Gen.Tier1);
+  Alcotest.(check int) "mid" 30 (count Gen.Mid);
+  Alcotest.(check int) "stub" 100 (count Gen.Stub)
+
+let test_deterministic () =
+  let a = Gen.generate small_params and b = Gen.generate small_params in
+  Alcotest.(check bool) "same ases" true (a.ases = b.ases);
+  Alcotest.(check string) "same relationships" (Rel_db.to_string a.rels)
+    (Rel_db.to_string b.rels)
+
+let test_seed_changes_graph () =
+  let a = Gen.generate small_params in
+  let b = Gen.generate { small_params with seed = 43 } in
+  Alcotest.(check bool) "different graphs" false
+    (Rel_db.to_string a.rels = Rel_db.to_string b.rels)
+
+let test_tier1_clique () =
+  let t = topo () in
+  let tier1s = Array.to_list (Array.sub t.ases 0 4) in
+  Alcotest.(check (list int)) "clique registered" tier1s (Rel_db.clique t.rels);
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if a <> b then
+            Alcotest.(check bool) "tier1s peer" true (Rel_db.relationship t.rels a b = Rel_db.Peers))
+        tier1s;
+      Alcotest.(check (list int)) "tier1 has no providers" [] (Rel_db.providers t.rels a))
+    tier1s
+
+let test_everyone_reaches_tier1 () =
+  (* every non-tier1 AS has at least one provider, and following providers
+     reaches a Tier-1 (no orphan islands) *)
+  let t = topo () in
+  Array.iter
+    (fun asn ->
+      if Gen.tier t asn <> Gen.Tier1 then begin
+        Alcotest.(check bool)
+          (Printf.sprintf "AS%d has a provider" asn)
+          true
+          (Rel_db.providers t.rels asn <> []);
+        let rec climbs asn depth =
+          if depth > 20 then false
+          else if Gen.tier t asn = Gen.Tier1 then true
+          else
+            match Rel_db.providers t.rels asn with
+            | [] -> false
+            | p :: _ -> climbs p (depth + 1)
+        in
+        Alcotest.(check bool) (Printf.sprintf "AS%d reaches tier1" asn) true (climbs asn 0)
+      end)
+    t.ases
+
+let test_p2c_acyclic () =
+  (* provider->customer edges form a DAG: Kahn's algorithm consumes all *)
+  let t = topo () in
+  let indegree = Hashtbl.create 256 in
+  Array.iter
+    (fun asn -> Hashtbl.replace indegree asn (List.length (Rel_db.providers t.rels asn)))
+    t.ases;
+  let queue = Queue.create () in
+  Array.iter (fun asn -> if Hashtbl.find indegree asn = 0 then Queue.add asn queue) t.ases;
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let x = Queue.pop queue in
+    incr seen;
+    List.iter
+      (fun c ->
+        let d = Hashtbl.find indegree c - 1 in
+        Hashtbl.replace indegree c d;
+        if d = 0 then Queue.add c queue)
+      (Rel_db.customers t.rels x)
+  done;
+  Alcotest.(check int) "all ASes sorted (acyclic)" (Gen.n_ases t) !seen
+
+let test_stubs_have_no_customers () =
+  let t = topo () in
+  Array.iter
+    (fun asn ->
+      if Gen.tier t asn = Gen.Stub then
+        Alcotest.(check (list int)) "stub has no customers" [] (Rel_db.customers t.rels asn))
+    t.ases
+
+let test_prefix_origination () =
+  let t = topo () in
+  let seen = Hashtbl.create 1024 in
+  Array.iter
+    (fun asn ->
+      let prefixes = Gen.prefixes_of t asn in
+      Alcotest.(check bool) "at least one prefix" true (prefixes <> []);
+      Alcotest.(check bool) "within cap" true
+        (List.length prefixes <= small_params.max_prefixes);
+      List.iter
+        (fun pfx ->
+          let key = Rz_net.Prefix.to_string pfx in
+          Alcotest.(check bool) ("unique " ^ key) false (Hashtbl.mem seen key);
+          Hashtbl.replace seen key ();
+          Alcotest.(check bool) "not martian space" false (Rz_net.Martian.is_martian pfx))
+        prefixes)
+    t.ases
+
+let test_v6_fraction_positive () =
+  let t = topo () in
+  let all = Array.to_list t.ases |> List.concat_map (Gen.prefixes_of t) in
+  let v6 = List.length (List.filter Rz_net.Prefix.is_v6 all) in
+  Alcotest.(check bool) "some v6" true (v6 > 0);
+  Alcotest.(check bool) "v4 majority" true (v6 * 2 < List.length all)
+
+let suite =
+  [ Alcotest.test_case "counts" `Quick test_counts;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "seed changes graph" `Quick test_seed_changes_graph;
+    Alcotest.test_case "tier1 clique" `Quick test_tier1_clique;
+    Alcotest.test_case "everyone reaches tier1" `Quick test_everyone_reaches_tier1;
+    Alcotest.test_case "p2c acyclic" `Quick test_p2c_acyclic;
+    Alcotest.test_case "stubs have no customers" `Quick test_stubs_have_no_customers;
+    Alcotest.test_case "prefix origination" `Quick test_prefix_origination;
+    Alcotest.test_case "v6 fraction" `Quick test_v6_fraction_positive ]
