@@ -21,6 +21,19 @@ let csv_dir =
   in
   find 1
 
+(* --metrics FILE: enable the Rz_obs registry for the whole run and
+   write a machine-readable JSON perf snapshot (phase timings, counters,
+   latency quantiles) that future PRs can diff against. *)
+let metrics_path =
+  let rec find i =
+    if i >= Array.length Sys.argv - 1 then None
+    else if Sys.argv.(i) = "--metrics" then Some Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
+
+let () = if metrics_path <> None then Rpslyzer.Obs.enable ()
+
 let write_csv name header rows =
   match csv_dir with
   | None -> ()
@@ -72,6 +85,34 @@ let agg, n_total_routes, n_excluded =
   Printf.printf "verified %s routes in %.2fs\n" (Table.commas total)
     (Unix.gettimeofday () -. t0);
   (agg, total, excluded)
+
+(* The snapshot is captured (and the file written) right here, straight
+   after the headline generate -> parse -> lower -> db-build -> routegen
+   -> verify pipeline: the later report sections re-run engine pieces ad
+   hoc, which would detach verify.hops_total from the aggregate's hop
+   count. The text rendering is printed as its own section at the end. *)
+let metrics_snapshot =
+  match metrics_path with
+  | None -> None
+  | Some path ->
+    let snap = Rpslyzer.Obs.Registry.snapshot () in
+    let json = Rpslyzer.Json.to_string (Rpslyzer.Obs.Registry.to_json snap) in
+    let oc = open_out path in
+    output_string oc json;
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "(wrote metrics snapshot to %s)\n" path;
+    Some snap
+
+let metrics_section () =
+  match metrics_snapshot with
+  | None -> ()
+  | Some snap ->
+    section "Metrics (Rz_obs snapshot after the headline verification)";
+    Printf.printf "verify.hops_total vs aggregate hops: %d / %d\n\n"
+      (List.assoc "verify.hops_total" (Rpslyzer.Obs.Registry.counters snap))
+      (Aggregate.n_hops agg);
+    print_string (Rpslyzer.Obs.Registry.to_text snap)
 
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                              *)
@@ -678,5 +719,6 @@ let () =
   security_comparison ();
   future_work_analytics ();
   evolution ();
+  metrics_section ();
   bechamel_benches ();
   print_newline ()

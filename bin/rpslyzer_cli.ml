@@ -17,10 +17,50 @@ let dir_arg =
     & opt (some string) None
     & info [ "d"; "dir" ] ~docv:"DIR" ~doc:"World directory (see $(b,gen)).")
 
+(* ---------------- metrics ---------------- *)
+
+(* Shared --metrics [FILE] flag: enables the Rz_obs registry before the
+   command body runs and dumps the JSON snapshot when it finishes.
+   FILE "-" (also the value when the flag is given bare) means stdout,
+   where the snapshot is printed as one final line. *)
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Collect pipeline metrics (phase timings, counters, latency \
+           histograms) and write them as a JSON snapshot to $(docv) when the \
+           command finishes. $(docv) '-', or the flag without a value, \
+           prints the JSON to stdout.")
+
+let with_metrics metrics body =
+  (match metrics with Some _ -> Rpslyzer.Obs.enable () | None -> ());
+  Fun.protect body ~finally:(fun () ->
+      match metrics with
+      | None -> ()
+      | Some dest ->
+        let json =
+          Rpslyzer.Json.to_string
+            (Rpslyzer.Obs.Registry.to_json (Rpslyzer.Obs.Registry.snapshot ()))
+        in
+        if dest = "-" then print_endline json
+        else
+          try
+            let oc = open_out dest in
+            output_string oc json;
+            output_char oc '\n';
+            close_out oc
+          with Sys_error e ->
+            Printf.eprintf "rpslyzer: cannot write metrics: %s\n%!" e;
+            exit 1)
+
 (* ---------------- gen ---------------- *)
 
 let gen_cmd =
-  let run seed n_tier1 n_mid n_stub out =
+  let run metrics seed n_tier1 n_mid n_stub out =
+    with_metrics metrics @@ fun () ->
     let topo_params =
       { Rz_topology.Gen.default_params with seed; n_tier1; n_mid; n_stub }
     in
@@ -47,12 +87,13 @@ let gen_cmd =
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a synthetic world (IRRs, relationships, BGP dumps).")
-    Term.(const run $ seed $ n_tier1 $ n_mid $ n_stub $ out)
+    Term.(const run $ metrics_arg $ seed $ n_tier1 $ n_mid $ n_stub $ out)
 
 (* ---------------- parse ---------------- *)
 
 let parse_cmd =
-  let run dir output indent =
+  let run metrics dir output indent =
+    with_metrics metrics @@ fun () ->
     let dumps = Rpslyzer.Pipeline.load_dumps dir in
     let ir = Rz_ir.Ir.create () in
     List.iter
@@ -79,7 +120,7 @@ let parse_cmd =
   in
   Cmd.v
     (Cmd.info "parse" ~doc:"Parse the IRR dumps of a world and export the IR as JSON.")
-    Term.(const run $ dir_arg $ output $ indent)
+    Term.(const run $ metrics_arg $ dir_arg $ output $ indent)
 
 (* ---------------- stats ---------------- *)
 
@@ -97,7 +138,8 @@ let print_table1 (rows : Rz_stats.Usage.table1_row list) =
        rows)
 
 let stats_cmd =
-  let run dir =
+  let run metrics dir =
+    with_metrics metrics @@ fun () ->
     let world = Rpslyzer.Pipeline.load_world dir in
     let u = Rpslyzer.Pipeline.usage world in
     print_endline "== Table 1: IRRs ==";
@@ -129,12 +171,13 @@ let stats_cmd =
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Characterize RPSL usage (the paper's Section 4).")
-    Term.(const run $ dir_arg)
+    Term.(const run $ metrics_arg $ dir_arg)
 
 (* ---------------- verify ---------------- *)
 
 let verify_cmd =
-  let run dir paper_compat verbose =
+  let run metrics dir paper_compat verbose =
+    with_metrics metrics @@ fun () ->
     let world = Rpslyzer.Pipeline.load_world dir in
     let config = { Rz_verify.Engine.paper_compat } in
     let t0 = Unix.gettimeofday () in
@@ -170,7 +213,7 @@ let verify_cmd =
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Extra summaries.") in
   Cmd.v
     (Cmd.info "verify" ~doc:"Verify collector routes against the RPSL (Section 5).")
-    Term.(const run $ dir_arg $ paper_compat $ verbose)
+    Term.(const run $ metrics_arg $ dir_arg $ paper_compat $ verbose)
 
 (* ---------------- explain ---------------- *)
 

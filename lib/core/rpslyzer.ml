@@ -24,6 +24,7 @@ module Verify = Rz_verify
 module Stats = Rz_stats
 module Lint = Rz_lint
 module Rpki = Rz_rpki
+module Obs = Rz_obs.Obs
 
 (** {1 End-to-end pipeline} *)
 
@@ -57,6 +58,7 @@ module Pipeline = struct
       behind Figures 2-6 plus the total number of routes examined and the
       number excluded (single-AS or AS_SET paths). *)
   let verify ?config world =
+    Rz_obs.Obs.Span.with_ "verify" @@ fun () ->
     let engine = Rz_verify.Engine.create ?config world.db world.rels in
     let agg = Rz_verify.Aggregate.create () in
     let excluded = ref 0 and total = ref 0 in
@@ -77,7 +79,12 @@ module Pipeline = struct
       relationship caches are pre-warmed so the shared structures are
       read-only; each domain runs its own engine over a chunk of routes
       and the per-domain aggregates are merged. *)
+  let c_par_domains = Rz_obs.Obs.Counter.make "verify.parallel.domains_total"
+  let h_par_domain_routes = Rz_obs.Obs.Histogram.make "verify.parallel.domain_routes"
+  let h_par_domain_ns = Rz_obs.Obs.Histogram.make "verify.parallel.domain_ns"
+
   let verify_parallel ?config ?(domains = 4) world =
+    Rz_obs.Obs.Span.with_ "verify" @@ fun () ->
     let routes =
       Array.of_list
         (List.concat_map (fun (d : Rz_bgp.Table_dump.t) -> d.routes) world.table_dumps)
@@ -88,6 +95,11 @@ module Pipeline = struct
     let domains = max 1 (min domains n) in
     let chunk = (n + domains - 1) / domains in
     let work lo hi () =
+      (* per-domain hop/status tallies accumulate into the shared
+         Atomic-backed counters; the per-domain route share and wall
+         time go to histograms so stragglers are visible *)
+      Rz_obs.Obs.Counter.incr c_par_domains;
+      let t0 = Rz_obs.Obs.now_ns () in
       let engine = Rz_verify.Engine.create ?config world.db world.rels in
       let agg = Rz_verify.Aggregate.create () in
       let excluded = ref 0 in
@@ -96,6 +108,9 @@ module Pipeline = struct
         | Some report -> Rz_verify.Aggregate.add_route_report agg report
         | None -> incr excluded
       done;
+      Rz_obs.Obs.Histogram.observe h_par_domain_routes (float_of_int (hi - lo));
+      Rz_obs.Obs.Histogram.observe h_par_domain_ns
+        (float_of_int (Rz_obs.Obs.now_ns () - t0));
       (agg, !excluded)
     in
     let handles =

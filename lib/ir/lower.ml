@@ -1,6 +1,13 @@
 let canon = Rz_rpsl.Set_name.canonical
 
+(* Observability: lowering volume and error counters, plus the "parse"
+   and "lower" phase spans every dump passes through. *)
+let c_objects_lowered = Rz_obs.Obs.Counter.make "ir.objects_lowered_total"
+let c_rules = Rz_obs.Obs.Counter.make "ir.rules_total"
+let c_errors = Rz_obs.Obs.Counter.make "ir.errors_total"
+
 let push_error (ir : Ir.t) kind (obj : Rz_rpsl.Obj.t) source =
+  Rz_obs.Obs.Counter.incr c_errors;
   ir.errors <- { Ir.kind; cls = obj.cls; obj_name = obj.name; source } :: ir.errors
 
 let lower_rule = Rz_policy.Parser.parse_rule
@@ -13,7 +20,9 @@ let lower_rules ir obj source ~attr ~direction ~multiprotocol =
   List.filter_map
     (fun value ->
       match lower_rule ~direction ~multiprotocol (flat value) with
-      | Ok rule -> Some rule
+      | Ok rule ->
+        Rz_obs.Obs.Counter.incr c_rules;
+        Some rule
       | Error msg ->
         push_error ir (Ir.Syntax_error (attr ^ ": " ^ msg)) obj source;
         None)
@@ -268,25 +277,32 @@ let lower_rtr_set ir (obj : Rz_rpsl.Obj.t) source =
         source }
 
 let add_objects ir ~source objects =
-  List.iter
-    (fun (obj : Rz_rpsl.Obj.t) ->
-      match obj.cls with
-      | "aut-num" -> lower_aut_num ir obj source
-      | "mntner" -> lower_mntner ir obj source
-      | "inet-rtr" -> lower_inet_rtr ir obj source
-      | "rtr-set" -> lower_rtr_set ir obj source
-      | "as-set" -> lower_as_set ir obj source
-      | "route-set" -> lower_route_set ir obj source
-      | "peering-set" -> lower_peering_set ir obj source
-      | "filter-set" -> lower_filter_set ir obj source
-      | "route" | "route6" -> lower_route ir obj source
-      | _ -> ())
-    objects
+  Rz_obs.Obs.Span.with_ "lower" (fun () ->
+      List.iter
+        (fun (obj : Rz_rpsl.Obj.t) ->
+          let routing =
+            match obj.cls with
+            | "aut-num" -> lower_aut_num ir obj source; true
+            | "mntner" -> lower_mntner ir obj source; true
+            | "inet-rtr" -> lower_inet_rtr ir obj source; true
+            | "rtr-set" -> lower_rtr_set ir obj source; true
+            | "as-set" -> lower_as_set ir obj source; true
+            | "route-set" -> lower_route_set ir obj source; true
+            | "peering-set" -> lower_peering_set ir obj source; true
+            | "filter-set" -> lower_filter_set ir obj source; true
+            | "route" | "route6" -> lower_route ir obj source; true
+            | _ -> false
+          in
+          if routing then Rz_obs.Obs.Counter.incr c_objects_lowered)
+        objects)
 
 let add_dump ir ~source text =
-  let parsed = Rz_rpsl.Reader.parse_string text in
+  let parsed =
+    Rz_obs.Obs.Span.with_ "parse" (fun () -> Rz_rpsl.Reader.parse_string text)
+  in
   List.iter
     (fun (e : Rz_rpsl.Reader.error) ->
+      Rz_obs.Obs.Counter.incr c_errors;
       ir.Ir.errors <-
         { Ir.kind = Syntax_error e.reason; cls = "dump"; obj_name = e.text; source }
         :: ir.Ir.errors)

@@ -2,6 +2,15 @@ module Asn_set = Set.Make (Int)
 
 let canon = Rz_rpsl.Set_name.canonical
 
+(* Observability: index-build volume and memo-table effectiveness. The
+   hit/miss pair only tracks top-level flattening calls (recursive
+   descents inside one flatten are part of the same miss). *)
+let c_trie_inserts = Rz_obs.Obs.Counter.make "irr.trie_inserts_total"
+let c_as_flat_hits = Rz_obs.Obs.Counter.make "irr.as_flat.hits"
+let c_as_flat_misses = Rz_obs.Obs.Counter.make "irr.as_flat.misses"
+let c_rs_flat_hits = Rz_obs.Obs.Counter.make "irr.rs_flat.hits"
+let c_rs_flat_misses = Rz_obs.Obs.Counter.make "irr.rs_flat.misses"
+
 type t = {
   ir : Rz_ir.Ir.t;
   route_trie : Rz_net.Asn.t Rz_net.Prefix_trie.t;
@@ -32,11 +41,13 @@ let mbrs_by_ref_allows (set_mbrs : string list) (member_mnt : string list) =
     set_mbrs
 
 let build (ir : Rz_ir.Ir.t) =
+  Rz_obs.Obs.Span.with_ "db-build" (fun () ->
   let route_trie = Rz_net.Prefix_trie.create () in
   let by_origin = Hashtbl.create 1024 in
   List.iter
     (fun (r : Rz_ir.Ir.route_obj) ->
       Rz_net.Prefix_trie.add route_trie r.prefix r.origin;
+      Rz_obs.Obs.Counter.incr c_trie_inserts;
       let existing = Option.value ~default:[] (Hashtbl.find_opt by_origin r.origin) in
       Hashtbl.replace by_origin r.origin (r.prefix :: existing))
     ir.routes;
@@ -81,7 +92,7 @@ let build (ir : Rz_ir.Ir.t) =
     as_flat = Hashtbl.create 256;
     rs_flat = Hashtbl.create 64;
     as_depth = Hashtbl.create 256;
-    as_loop = Hashtbl.create 256 }
+    as_loop = Hashtbl.create 256 })
 
 let of_dumps dumps =
   let ir = Rz_ir.Ir.create () in
@@ -119,7 +130,11 @@ let flatten_as_set t name =
           result
       end
   in
-  go (canon name) []
+  let key = canon name in
+  if Rz_obs.Obs.enabled () then
+    Rz_obs.Obs.Counter.incr
+      (if Hashtbl.mem t.as_flat key then c_as_flat_hits else c_as_flat_misses);
+  go key []
 
 let asn_in_as_set t name asn = Asn_set.mem asn (flatten_as_set t name)
 
@@ -218,7 +233,11 @@ let flatten_route_set t name =
           result
       end
   in
-  go (canon name) []
+  let key = canon name in
+  if Rz_obs.Obs.enabled () then
+    Rz_obs.Obs.Counter.incr
+      (if Hashtbl.mem t.rs_flat key then c_rs_flat_hits else c_rs_flat_misses);
+  go key []
 
 let warm_caches t =
   Hashtbl.iter

@@ -1,0 +1,292 @@
+module Json = Rz_json.Json
+
+(* ------------------------------------------------------------------ *)
+(* Global enable flag                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let enabled_flag = Atomic.make false
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
+let enabled () = Atomic.get enabled_flag
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+(* Registration is rare (module init, first use); guard it with one
+   mutex. Hot-path reads/increments never take it. *)
+let registry_mutex = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
+let rec atomic_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Counter = struct
+  type t = { name : string; v : int Atomic.t }
+
+  let table : (string, t) Hashtbl.t = Hashtbl.create 64
+
+  let make name =
+    with_lock (fun () ->
+        match Hashtbl.find_opt table name with
+        | Some c -> c
+        | None ->
+          let c = { name; v = Atomic.make 0 } in
+          Hashtbl.replace table name c;
+          c)
+
+  let add c n = if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add c.v n)
+  let incr c = add c 1
+  let get c = Atomic.get c.v
+  let name c = c.name
+end
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Histogram = struct
+  let n_buckets = 256
+
+  type t = {
+    name : string;
+    gamma : float;
+    log_gamma : float;
+    buckets : int Atomic.t array;
+        (* bucket 0: values < 1.0 (underflow); bucket i >= 1 covers
+           [gamma^(i-1), gamma^i); the last bucket also absorbs overflow *)
+  }
+
+  let table : (string, t) Hashtbl.t = Hashtbl.create 16
+
+  let make ?(gamma = Float.pow 2.0 0.25) name =
+    if gamma <= 1.0 then invalid_arg "Obs.Histogram.make: gamma must exceed 1.0";
+    with_lock (fun () ->
+        match Hashtbl.find_opt table name with
+        | Some h -> h
+        | None ->
+          let h =
+            { name; gamma; log_gamma = Float.log gamma;
+              buckets = Array.init n_buckets (fun _ -> Atomic.make 0) }
+          in
+          Hashtbl.replace table name h;
+          h)
+
+  let bucket_of h v =
+    if not (Float.is_finite v) || v < 1.0 then 0
+    else
+      let i = 1 + int_of_float (Float.log v /. h.log_gamma) in
+      if i < 1 then 1 else if i >= n_buckets then n_buckets - 1 else i
+
+  let observe h v =
+    if Atomic.get enabled_flag then
+      ignore (Atomic.fetch_and_add h.buckets.(bucket_of h v) 1)
+
+  let count h = Array.fold_left (fun acc b -> acc + Atomic.get b) 0 h.buckets
+
+  (* Geometric midpoint of bucket [i]: sqrt(lo * hi) = gamma^(i - 1/2).
+     The underflow bucket reports 0.5 (its values lie in [0, 1)). *)
+  let representative h i =
+    if i = 0 then 0.5 else Float.pow h.gamma (float_of_int i -. 0.5)
+
+  let quantile h q =
+    let total = count h in
+    if total = 0 then 0.0
+    else begin
+      let q = Float.max 0.0 (Float.min 1.0 q) in
+      let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int total))) in
+      let rank = min rank total in
+      let cum = ref 0 and found = ref 0 in
+      (try
+         for i = 0 to n_buckets - 1 do
+           cum := !cum + Atomic.get h.buckets.(i);
+           if !cum >= rank then begin
+             found := i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      representative h !found
+    end
+
+  let gamma h = h.gamma
+  let name h = h.name
+end
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Span = struct
+  type stat = { count : int Atomic.t; total_ns : int Atomic.t; max_ns : int Atomic.t }
+
+  let table : (string, stat) Hashtbl.t = Hashtbl.create 32
+
+  let stat_of name =
+    (* fast path without the lock: concurrent lookups of an
+       already-registered name must not contend *)
+    match Hashtbl.find_opt table name with
+    | Some s -> s
+    | None ->
+      with_lock (fun () ->
+          match Hashtbl.find_opt table name with
+          | Some s -> s
+          | None ->
+            let s =
+              { count = Atomic.make 0; total_ns = Atomic.make 0; max_ns = Atomic.make 0 }
+            in
+            Hashtbl.replace table name s;
+            s)
+
+  (* Nesting is tracked per domain; only the aggregate is shared. *)
+  let stack_key : string list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+  let depth () = List.length !(Domain.DLS.get stack_key)
+
+  let record name elapsed_ns =
+    let s = stat_of name in
+    ignore (Atomic.fetch_and_add s.count 1);
+    ignore (Atomic.fetch_and_add s.total_ns elapsed_ns);
+    atomic_max s.max_ns elapsed_ns
+
+  let with_ name f =
+    if not (Atomic.get enabled_flag) then f ()
+    else begin
+      let stack = Domain.DLS.get stack_key in
+      stack := name :: !stack;
+      let t0 = Monotonic_clock.now () in
+      let finish () =
+        let elapsed = Int64.to_int (Int64.sub (Monotonic_clock.now ()) t0) in
+        (match !stack with [] -> () | _ :: rest -> stack := rest);
+        record name (max 0 elapsed)
+      in
+      match f () with
+      | result ->
+        finish ();
+        result
+      | exception e ->
+        finish ();
+        raise e
+    end
+
+  let count name =
+    match Hashtbl.find_opt table name with
+    | Some s -> Atomic.get s.count
+    | None -> 0
+
+  let total_ns name =
+    match Hashtbl.find_opt table name with
+    | Some s -> Atomic.get s.total_ns
+    | None -> 0
+end
+
+(* ------------------------------------------------------------------ *)
+(* Reset                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let reset () =
+  with_lock (fun () ->
+      Hashtbl.iter (fun _ (c : Counter.t) -> Atomic.set c.v 0) Counter.table;
+      Hashtbl.iter
+        (fun _ (h : Histogram.t) -> Array.iter (fun b -> Atomic.set b 0) h.buckets)
+        Histogram.table;
+      Hashtbl.iter
+        (fun _ (s : Span.stat) ->
+          Atomic.set s.count 0;
+          Atomic.set s.total_ns 0;
+          Atomic.set s.max_ns 0)
+        Span.table)
+
+(* ------------------------------------------------------------------ *)
+(* Registry snapshots                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Registry = struct
+  type hist_row = { count : int; p50 : float; p90 : float; p99 : float }
+
+  type snapshot = {
+    counters : (string * int) list;
+    histograms : (string * hist_row) list;
+    spans : (string * (int * int * int)) list;  (* count, total_ns, max_ns *)
+  }
+
+  let sorted_bindings tbl f =
+    Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+  let snapshot () =
+    with_lock (fun () ->
+        { counters = sorted_bindings Counter.table (fun c -> Atomic.get c.Counter.v);
+          histograms =
+            sorted_bindings Histogram.table (fun h ->
+                { count = Histogram.count h;
+                  p50 = Histogram.quantile h 0.5;
+                  p90 = Histogram.quantile h 0.9;
+                  p99 = Histogram.quantile h 0.99 });
+          spans =
+            sorted_bindings Span.table (fun (s : Span.stat) ->
+                (Atomic.get s.count, Atomic.get s.total_ns, Atomic.get s.max_ns)) })
+
+  let counters s = s.counters
+  let spans s = List.map (fun (n, (c, t, _)) -> (n, (c, t))) s.spans
+
+  let to_json s =
+    Json.Obj
+      [ ("counters", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) s.counters));
+        ( "histograms",
+          Json.Obj
+            (List.map
+               (fun (n, (r : hist_row)) ->
+                 ( n,
+                   Json.Obj
+                     [ ("count", Json.Int r.count);
+                       ("p50", Json.Float r.p50);
+                       ("p90", Json.Float r.p90);
+                       ("p99", Json.Float r.p99) ] ))
+               s.histograms) );
+        ( "spans",
+          Json.Obj
+            (List.map
+               (fun (n, (count, total_ns, max_ns)) ->
+                 ( n,
+                   Json.Obj
+                     [ ("count", Json.Int count);
+                       ("total_ns", Json.Int total_ns);
+                       ("max_ns", Json.Int max_ns) ] ))
+               s.spans) ) ]
+
+  let to_text s =
+    let b = Buffer.create 1024 in
+    let ms ns = float_of_int ns /. 1e6 in
+    if s.spans <> [] then begin
+      Buffer.add_string b "spans:\n";
+      List.iter
+        (fun (n, (count, total_ns, max_ns)) ->
+          Buffer.add_string b
+            (Printf.sprintf "  %-32s %8d runs %12.3f ms total %10.3f ms max\n" n count
+               (ms total_ns) (ms max_ns)))
+        s.spans
+    end;
+    if s.counters <> [] then begin
+      Buffer.add_string b "counters:\n";
+      List.iter
+        (fun (n, v) -> Buffer.add_string b (Printf.sprintf "  %-32s %12d\n" n v))
+        s.counters
+    end;
+    if s.histograms <> [] then begin
+      Buffer.add_string b "histograms:\n";
+      List.iter
+        (fun (n, (r : hist_row)) ->
+          Buffer.add_string b
+            (Printf.sprintf "  %-32s %8d obs  p50 %10.1f  p90 %10.1f  p99 %10.1f\n" n
+               r.count r.p50 r.p90 r.p99))
+        s.histograms
+    end;
+    Buffer.contents b
+end

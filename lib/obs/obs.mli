@@ -1,0 +1,118 @@
+(** Pipeline observability: domain-safe counters, log-bucketed latency
+    histograms, and monotonic-clock phase spans, collected in a global
+    registry that renders to human-readable text and JSON.
+
+    Design constraints (see DESIGN.md, "Observability"):
+
+    - {b Near-zero cost when disabled.} Every hot-path operation first
+      reads one [Atomic] flag and returns immediately when the registry
+      is disabled (the default). Instrumented libraries can therefore
+      create metrics unconditionally at module-init time.
+    - {b Domain safety.} Counters and histogram buckets are
+      [Atomic]-backed, so concurrent increments from [Domain.spawn]
+      workers (as in [Rpslyzer.Pipeline.verify_parallel]) are never
+      lost. Span nesting state is domain-local ([Domain.DLS]); the
+      accumulated per-name statistics are atomics.
+    - {b Naming.} Metric names follow [subsystem.metric_name], e.g.
+      [verify.hops_total], [irr.as_flat.hits]. Counters that only ever
+      grow end in [_total] or a [.hits]/[.misses] pair. *)
+
+val enable : unit -> unit
+(** Turn metric collection on (process-wide). Call before spawning
+    worker domains so the flag write happens-before their reads. *)
+
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Zero every registered counter, histogram, and span accumulator.
+    Registration survives; used by tests and long-running servers. *)
+
+val now_ns : unit -> int
+(** Monotonic clock, nanoseconds since an arbitrary epoch. For ad-hoc
+    latency measurements feeding {!Histogram.observe}; {!Span.with_} is
+    the higher-level interface. *)
+
+module Counter : sig
+  type t
+
+  val make : string -> t
+  (** Register (or look up) the counter with this name. Idempotent:
+      two [make "x"] calls return the same underlying counter. *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  (** No-ops while the registry is disabled. *)
+
+  val get : t -> int
+  val name : t -> string
+end
+
+module Histogram : sig
+  (** Log-bucketed histogram over non-negative values. Bucket [i >= 1]
+      covers [gamma^(i-1), gamma^i); values below [1.0] (and negatives)
+      land in the underflow bucket 0. Quantile extraction returns the
+      geometric midpoint of the selected bucket, so its relative error
+      is bounded by [sqrt gamma] < one bucket width. *)
+
+  type t
+
+  val make : ?gamma:float -> string -> t
+  (** [gamma] is the bucket growth factor, default [2^(1/4)] (~19% wide
+      buckets, <= 9% quantile error). Must exceed 1.0. Idempotent per
+      name; a differing [gamma] on a second [make] is ignored. *)
+
+  val observe : t -> float -> unit
+  (** Record one value. No-op while disabled. *)
+
+  val count : t -> int
+  val quantile : t -> float -> float
+  (** [quantile h q] for [0 <= q <= 1]; 0.0 when empty. [q = 0] is the
+      minimum-bucket representative, [q = 1] the maximum's. *)
+
+  val gamma : t -> float
+  val name : t -> string
+end
+
+module Span : sig
+  (** Phase spans on the monotonic clock. Spans nest: entering a span
+      inside another simply pushes the per-domain stack; each name
+      accumulates (count, total ns, max ns) across all its runs. *)
+
+  val with_ : string -> (unit -> 'a) -> 'a
+  (** Time [f] under [name]. Exceptions propagate; the span is still
+      recorded. When the registry is disabled this is just [f ()] —
+      no clock read. *)
+
+  val depth : unit -> int
+  (** Current nesting depth in this domain (0 outside any span). *)
+
+  val count : string -> int
+  val total_ns : string -> int
+  (** 0 for a name never recorded. *)
+end
+
+module Registry : sig
+  (** A consistent-enough point-in-time view of every registered
+      metric. (Individual atomics are read without a global lock;
+      counters racing with an in-progress snapshot may differ by the
+      increments in flight, which is fine for reporting.) *)
+
+  type snapshot
+
+  val snapshot : unit -> snapshot
+
+  val counters : snapshot -> (string * int) list
+  (** Sorted by name. *)
+
+  val spans : snapshot -> (string * (int * int)) list
+  (** [(name, (count, total_ns))], sorted by name. *)
+
+  val to_json : snapshot -> Rz_json.Json.t
+  (** [{"counters": {..}, "histograms": {name: {count, p50, p90, p99}},
+       "spans": {name: {count, total_ns, max_ns}}}] — reparseable with
+      {!Rz_json.Json.of_string}. *)
+
+  val to_text : snapshot -> string
+  (** Aligned human-readable rendering, spans first. *)
+end

@@ -205,7 +205,10 @@ let best_routes (topo : Gen.t) ~dest =
     topo.ases;
   table
 
+let c_routes = Rz_obs.Obs.Counter.make "routegen.routes_total"
+
 let collector_dump ?(prepend_prob = 0.05) (topo : Gen.t) ~collector ~peers =
+  Rz_obs.Obs.Span.with_ "routegen" @@ fun () ->
   let rng = Rz_util.Splitmix.create (topo.params.seed lxor 0x5eed) in
   let ws = workspace topo in
   let peer_is = List.map (fun asn -> Hashtbl.find ws.index_of asn) peers in
@@ -236,6 +239,7 @@ let collector_dump ?(prepend_prob = 0.05) (topo : Gen.t) ~collector ~peers =
           peer_is
       end)
     topo.ases;
+  Rz_obs.Obs.Counter.add c_routes (List.length !routes);
   { Rz_bgp.Table_dump.collector; routes = List.rev !routes }
 
 let collector_dumps ?prepend_prob (topo : Gen.t) ~n_collectors ~peers =

@@ -1,5 +1,17 @@
 type error = { line : int; text : string; reason : string }
 
+(* Observability: volume counters for the reader stage (no-ops unless
+   the Rz_obs registry is enabled). *)
+let c_objects = Rz_obs.Obs.Counter.make "rpsl.objects_total"
+let c_attrs = Rz_obs.Obs.Counter.make "rpsl.attrs_total"
+let c_errors = Rz_obs.Obs.Counter.make "rpsl.errors_total"
+
+let count_result objects errors =
+  Rz_obs.Obs.Counter.add c_objects (List.length objects);
+  Rz_obs.Obs.Counter.add c_attrs
+    (List.fold_left (fun acc (o : Obj.t) -> acc + List.length o.attrs) 0 objects);
+  Rz_obs.Obs.Counter.add c_errors (List.length errors)
+
 type result_t = {
   objects : Obj.t list;
   errors : error list;
@@ -90,7 +102,9 @@ let parse_string text =
   let st = fresh_state () in
   List.iteri (fun i line -> feed_line st (i + 1) line) (String.split_on_char '\n' text);
   flush_object st;
-  { objects = List.rev st.objects_rev; errors = List.rev st.errors_rev }
+  let objects = List.rev st.objects_rev and errors = List.rev st.errors_rev in
+  count_result objects errors;
+  { objects; errors }
 
 let parse_file path =
   let ic = open_in path in
@@ -108,7 +122,9 @@ let parse_file path =
    with e ->
      close_in ic;
      raise e);
-  { objects = List.rev st.objects_rev; errors = List.rev st.errors_rev }
+  let objects = List.rev st.objects_rev and errors = List.rev st.errors_rev in
+  count_result objects errors;
+  { objects; errors }
 
 let fold_file path ~init ~f =
   let parsed = parse_file path in

@@ -479,7 +479,11 @@ let emit_cooperative_set w members =
       ("mbrs-by-ref", String.concat ", " (List.map maintainer members));
       ("source", "RIPE") ]
 
+let c_dumps = Rz_obs.Obs.Counter.make "synthirr.dumps_total"
+let c_bytes = Rz_obs.Obs.Counter.make "synthirr.bytes_total"
+
 let generate ?(config = Config.default) (topo : Gen.t) =
+  Rz_obs.Obs.Span.with_ "generate" @@ fun () ->
   let rng = Splitmix.create config.seed in
   let profiles = assign_profiles config topo rng in
   let w : writer = Hashtbl.create 13 in
@@ -511,6 +515,9 @@ let generate ?(config = Config.default) (topo : Gen.t) =
   emit_anomalies config rng w;
   emit_cooperative_set w cooperative_members;
   let dumps = List.map (fun irr -> (irr, Buffer.contents (buffer_of w irr))) irr_names in
+  Rz_obs.Obs.Counter.add c_dumps (List.length dumps);
+  Rz_obs.Obs.Counter.add c_bytes
+    (List.fold_left (fun acc (_, text) -> acc + String.length text) 0 dumps);
   { topo; config; profiles; dumps }
 
 let profile_of world asn = Hashtbl.find world.profiles asn

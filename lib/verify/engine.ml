@@ -7,6 +7,36 @@ type config = { paper_compat : bool }
 
 let default_config = { paper_compat = false }
 
+(* Observability: one increment of [verify.hops_total] plus exactly one
+   per-status counter per hop check, so the status counters always sum
+   to the hop total (asserted by the golden pipeline test). All are
+   Atomic-backed — safe under verify_parallel's domain fan-out. *)
+module Obs = Rz_obs.Obs
+
+let c_hops = Obs.Counter.make "verify.hops_total"
+let c_verified = Obs.Counter.make "verify.status.verified"
+let c_skipped = Obs.Counter.make "verify.status.skipped"
+let c_unrecorded = Obs.Counter.make "verify.status.unrecorded"
+let c_relaxed = Obs.Counter.make "verify.status.relaxed"
+let c_safelisted = Obs.Counter.make "verify.status.safelisted"
+let c_unverified = Obs.Counter.make "verify.status.unverified"
+let c_as_set_evals = Obs.Counter.make "verify.filter_evals.as_set"
+let c_filter_abstains = Obs.Counter.make "verify.filter_abstains_total"
+let c_routes = Obs.Counter.make "verify.routes_total"
+let c_routes_excluded = Obs.Counter.make "verify.routes_excluded_total"
+let h_route_ns = Obs.Histogram.make "verify.route_ns"
+
+let count_status (status : Status.t) =
+  Obs.Counter.incr c_hops;
+  Obs.Counter.incr
+    (match status with
+     | Status.Verified -> c_verified
+     | Status.Skipped _ -> c_skipped
+     | Status.Unrecorded _ -> c_unrecorded
+     | Status.Relaxed _ -> c_relaxed
+     | Status.Safelisted _ -> c_safelisted
+     | Status.Unverified -> c_unverified)
+
 type t = {
   db : Db.t;
   rels : Rel_db.t;
@@ -73,6 +103,7 @@ let rec eval_filter t ctx (filter : Ast.filter) : outcome =
     if not (Db.as_set_exists t.db name) then
       Abstain (A_unrec (Status.Unrecorded_as_set name))
     else begin
+      Obs.Counter.incr c_as_set_evals;
       let members = Db.flatten_as_set t.db name in
       let covering = Db.covering_routes t.db ctx.prefix in
       if
@@ -206,6 +237,9 @@ let eval_factor t ctx (factor : Ast.factor) : factor_fact * outcome =
   match peering_outcome with
   | Match ->
     let filter_outcome = eval_filter t ctx factor.filter in
+    (match filter_outcome with
+     | Abstain _ -> Obs.Counter.incr c_filter_abstains
+     | Match | NoMatch -> ());
     ( { peering_outcome; filter_outcome = Some filter_outcome; filter = factor.filter;
         refs; matched_actions },
       filter_outcome )
@@ -336,6 +370,7 @@ let verify_hop t ~direction ~subject ~remote ~prefix ~path : Report.hop =
     match direction with `Export -> (subject, remote) | `Import -> (remote, subject)
   in
   let finish ?attrs status items =
+    count_status status;
     { Report.direction; from_as; to_as; status; items; attrs }
   in
   match Db.find_aut_num t.db subject with
@@ -471,7 +506,7 @@ let verify_hop t ~direction ~subject ~remote ~prefix ~path : Report.hop =
                   | None -> finish Status.Unverified items))))
     end
 
-let verify_route t (route : Rz_bgp.Route.t) : Report.route_report option =
+let verify_route_impl t (route : Rz_bgp.Route.t) : Report.route_report option =
   if Rz_bgp.Route.contains_as_set route then None
   else begin
     let path = Array.of_list (Rz_bgp.Route.dedup_path route) in
@@ -500,4 +535,18 @@ let verify_route t (route : Rz_bgp.Route.t) : Report.route_report option =
          origin-side first. *)
       Some { Report.route; hops = List.rev !hops }
     end
+  end
+
+let verify_route t route =
+  if not (Obs.enabled ()) then verify_route_impl t route
+  else begin
+    let t0 = Obs.now_ns () in
+    let result = verify_route_impl t route in
+    let elapsed = Obs.now_ns () - t0 in
+    (match result with
+     | Some _ ->
+       Obs.Counter.incr c_routes;
+       Obs.Histogram.observe h_route_ns (float_of_int elapsed)
+     | None -> Obs.Counter.incr c_routes_excluded);
+    result
   end

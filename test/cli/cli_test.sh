@@ -2,6 +2,9 @@
 # Integration smoke of every CLI subcommand against a generated world.
 set -eu
 CLI="$1"
+JSON_CHECK="${2:-}"
+# dune hands us a path relative to the sandbox cwd; make it invocable
+case "$JSON_CHECK" in ""|/*|./*) ;; *) JSON_CHECK="./$JSON_CHECK" ;; esac
 DIR=$(mktemp -d)
 trap 'rm -rf "$DIR"' EXIT
 
@@ -51,6 +54,25 @@ expect lint 'diagnostics' "$DIR/lint.txt"
 
 "$CLI" classify -d "$DIR/world" > "$DIR/classify.txt"
 expect classify 'unregistered' "$DIR/classify.txt"
+
+# --metrics: `-` appends a JSON snapshot as the last stdout line; a path
+# writes the same document to that file. Without the flag nothing changes
+# (the earlier verify run above already exercised that: exit 0, no JSON).
+"$CLI" verify -d "$DIR/world" --metrics - > "$DIR/verify_metrics.txt"
+tail -n 1 "$DIR/verify_metrics.txt" > "$DIR/metrics_stdout.json"
+expect metrics-counters '"verify.hops_total"' "$DIR/metrics_stdout.json"
+expect metrics-spans '"db-build"' "$DIR/metrics_stdout.json"
+if grep -q '"counters"' "$DIR/verify.txt"; then fail "metrics JSON leaked without --metrics"; fi
+
+"$CLI" verify -d "$DIR/world" --metrics "$DIR/metrics_file.json" > "$DIR/verify2.txt"
+expect metrics-file '"spans"' "$DIR/metrics_file.json"
+# verify output itself must be unchanged by the flag
+expect metrics-verify-intact 'hop statuses' "$DIR/verify2.txt"
+
+if [ -n "$JSON_CHECK" ]; then
+  "$JSON_CHECK" "$DIR/metrics_stdout.json" || fail "stdout metrics JSON does not re-parse via Rz_json"
+  "$JSON_CHECK" "$DIR/metrics_file.json" || fail "file metrics JSON does not re-parse via Rz_json"
+fi
 
 "$CLI" gen --seed 6 --tier1 3 --mid 15 --stub 40 -o "$DIR/world2" >/dev/null
 "$CLI" diff "$DIR/world" "$DIR/world2" > "$DIR/diff.txt"

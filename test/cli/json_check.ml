@@ -1,0 +1,13 @@
+(* Exit 0 iff the file named on the command line holds JSON that Rz_json
+   re-parses; cli_test.sh uses it to validate `--metrics` output with the
+   same parser the library ships. *)
+let () =
+  let path = Sys.argv.(1) in
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Rz_json.Json.of_string s with
+  | Ok _ -> ()
+  | Error e ->
+    Printf.eprintf "json_check: %s: %s\n" path e;
+    exit 1

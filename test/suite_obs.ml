@@ -1,0 +1,231 @@
+(* Unit and concurrency tests for the rz_obs observability layer:
+   counter/histogram/span semantics, JSON round-trip through Rz_json,
+   and a multi-domain stress test proving no increments are lost under
+   Domain.spawn fan-out (the registry's core safety claim, relied on by
+   Rpslyzer.Pipeline.verify_parallel). *)
+
+module Obs = Rz_obs.Obs
+module Json = Rz_json.Json
+
+(* Every test runs against a clean, enabled registry and leaves the
+   process-wide flag off so the other suites stay uninstrumented. *)
+let with_metrics f () =
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect f ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+
+(* ---------------- counters ---------------- *)
+
+let test_counter_basics () =
+  let c = Obs.Counter.make "test.counter_basics" in
+  Alcotest.(check int) "starts at zero" 0 (Obs.Counter.get c);
+  Obs.Counter.incr c;
+  Obs.Counter.add c 41;
+  Alcotest.(check int) "incr + add" 42 (Obs.Counter.get c);
+  Alcotest.(check string) "name" "test.counter_basics" (Obs.Counter.name c);
+  (* make is idempotent: a second handle aliases the same cell *)
+  let c' = Obs.Counter.make "test.counter_basics" in
+  Obs.Counter.incr c';
+  Alcotest.(check int) "same underlying counter" 43 (Obs.Counter.get c)
+
+let test_counter_disabled_noop () =
+  let c = Obs.Counter.make "test.counter_disabled" in
+  Obs.disable ();
+  Obs.Counter.incr c;
+  Obs.Counter.add c 10;
+  Obs.enable ();
+  Alcotest.(check int) "disabled increments dropped" 0 (Obs.Counter.get c)
+
+let test_reset () =
+  let c = Obs.Counter.make "test.counter_reset" in
+  Obs.Counter.add c 7;
+  let h = Obs.Histogram.make "test.hist_reset" in
+  Obs.Histogram.observe h 5.0;
+  Obs.reset ();
+  Alcotest.(check int) "counter zeroed" 0 (Obs.Counter.get c);
+  Alcotest.(check int) "histogram zeroed" 0 (Obs.Histogram.count h)
+
+(* ---------------- histograms ---------------- *)
+
+let test_histogram_quantiles () =
+  let h = Obs.Histogram.make "test.hist_quantiles" in
+  for v = 1 to 1000 do
+    Obs.Histogram.observe h (float_of_int v)
+  done;
+  Alcotest.(check int) "count" 1000 (Obs.Histogram.count h);
+  let g = Obs.Histogram.gamma h in
+  let within_bucket ~expect got =
+    got >= expect /. g && got <= expect *. g
+  in
+  Alcotest.(check bool) "p50 ~ 500" true
+    (within_bucket ~expect:500.0 (Obs.Histogram.quantile h 0.5));
+  Alcotest.(check bool) "p90 ~ 900" true
+    (within_bucket ~expect:900.0 (Obs.Histogram.quantile h 0.9));
+  Alcotest.(check bool) "p0 ~ 1" true
+    (within_bucket ~expect:1.0 (Obs.Histogram.quantile h 0.0));
+  Alcotest.(check bool) "p100 ~ 1000" true
+    (within_bucket ~expect:1000.0 (Obs.Histogram.quantile h 1.0))
+
+let test_histogram_constant_stream () =
+  let h = Obs.Histogram.make "test.hist_constant" in
+  for _ = 1 to 50 do
+    Obs.Histogram.observe h 1024.0
+  done;
+  let g = Obs.Histogram.gamma h in
+  List.iter
+    (fun q ->
+      let est = Obs.Histogram.quantile h q in
+      Alcotest.(check bool)
+        (Printf.sprintf "q=%.2f within one bucket of 1024" q)
+        true
+        (est >= 1024.0 /. g && est <= 1024.0 *. g))
+    [ 0.0; 0.25; 0.5; 0.99; 1.0 ]
+
+let test_histogram_underflow_and_empty () =
+  let h = Obs.Histogram.make "test.hist_underflow" in
+  Alcotest.(check (float 0.0)) "empty quantile" 0.0 (Obs.Histogram.quantile h 0.5);
+  Obs.Histogram.observe h 0.25;
+  Obs.Histogram.observe h (-3.0);
+  Alcotest.(check int) "underflow counted" 2 (Obs.Histogram.count h);
+  Alcotest.(check bool) "underflow representative < 1" true
+    (Obs.Histogram.quantile h 0.5 < 1.0)
+
+(* ---------------- spans ---------------- *)
+
+let test_span_nesting () =
+  Alcotest.(check int) "depth 0 outside" 0 (Obs.Span.depth ());
+  let inner_depth = ref (-1) in
+  let result =
+    Obs.Span.with_ "test.span_outer" (fun () ->
+        Alcotest.(check int) "depth 1 in outer" 1 (Obs.Span.depth ());
+        Obs.Span.with_ "test.span_inner" (fun () ->
+            inner_depth := Obs.Span.depth ();
+            17))
+  in
+  Alcotest.(check int) "nested depth" 2 !inner_depth;
+  Alcotest.(check int) "result threads through" 17 result;
+  Alcotest.(check int) "depth 0 after" 0 (Obs.Span.depth ());
+  Alcotest.(check int) "outer count" 1 (Obs.Span.count "test.span_outer");
+  Alcotest.(check int) "inner count" 1 (Obs.Span.count "test.span_inner");
+  Alcotest.(check bool) "outer time >= inner time" true
+    (Obs.Span.total_ns "test.span_outer" >= Obs.Span.total_ns "test.span_inner")
+
+let test_span_exception_still_recorded () =
+  (try Obs.Span.with_ "test.span_raises" (fun () -> failwith "boom") with
+   | Failure _ -> ());
+  Alcotest.(check int) "recorded despite exception" 1 (Obs.Span.count "test.span_raises");
+  Alcotest.(check int) "stack unwound" 0 (Obs.Span.depth ())
+
+let test_span_accumulates () =
+  for _ = 1 to 5 do
+    Obs.Span.with_ "test.span_repeat" (fun () -> Sys.opaque_identity ())
+  done;
+  Alcotest.(check int) "five runs" 5 (Obs.Span.count "test.span_repeat")
+
+(* ---------------- registry rendering ---------------- *)
+
+let test_json_roundtrip () =
+  let c = Obs.Counter.make "test.json.counter" in
+  Obs.Counter.add c 1234;
+  let h = Obs.Histogram.make "test.json.hist" in
+  Obs.Histogram.observe h 100.0;
+  Obs.Span.with_ "test.json.span" (fun () -> ());
+  let snap = Obs.Registry.snapshot () in
+  let text = Json.to_string (Obs.Registry.to_json snap) in
+  match Json.of_string text with
+  | Error e -> Alcotest.failf "snapshot JSON does not re-parse: %s" e
+  | Ok doc ->
+    let counters = Option.get (Json.member "counters" doc) in
+    Alcotest.(check bool) "counter present with value" true
+      (Json.member "test.json.counter" counters = Some (Json.Int 1234));
+    let hists = Option.get (Json.member "histograms" doc) in
+    let hist = Option.get (Json.member "test.json.hist" hists) in
+    Alcotest.(check bool) "histogram count" true
+      (Json.member "count" hist = Some (Json.Int 1));
+    let spans = Option.get (Json.member "spans" doc) in
+    let span = Option.get (Json.member "test.json.span" spans) in
+    Alcotest.(check bool) "span count" true
+      (Json.member "count" span = Some (Json.Int 1));
+    Alcotest.(check bool) "span total_ns is an int" true
+      (match Json.member "total_ns" span with Some (Json.Int _) -> true | _ -> false)
+
+let test_text_rendering () =
+  let c = Obs.Counter.make "test.text.counter" in
+  Obs.Counter.add c 9;
+  Obs.Span.with_ "test.text.span" (fun () -> ());
+  let text = Obs.Registry.to_text (Obs.Registry.snapshot ()) in
+  let contains needle =
+    let n = String.length needle and m = String.length text in
+    let rec go i = i + n <= m && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "counter line" true (contains "test.text.counter");
+  Alcotest.(check bool) "span line" true (contains "test.text.span")
+
+(* ---------------- multi-domain safety ---------------- *)
+
+let stress_domains = 4
+let stress_iters = 100_000
+
+let test_multi_domain_no_lost_increments () =
+  let c = Obs.Counter.make "test.stress.counter" in
+  let h = Obs.Histogram.make "test.stress.hist" in
+  let work d () =
+    Obs.Span.with_ "test.stress.span" (fun () ->
+        for i = 1 to stress_iters do
+          Obs.Counter.incr c;
+          (* spread observations over buckets so bucket CAS traffic is
+             not serialized through a single cell *)
+          Obs.Histogram.observe h (float_of_int (((d * stress_iters) + i) mod 4096))
+        done)
+  in
+  let handles = List.init stress_domains (fun d -> Domain.spawn (work d)) in
+  List.iter Domain.join handles;
+  Alcotest.(check int) "no lost counter increments" (stress_domains * stress_iters)
+    (Obs.Counter.get c);
+  Alcotest.(check int) "no lost histogram observations" (stress_domains * stress_iters)
+    (Obs.Histogram.count h);
+  Alcotest.(check int) "every domain's span recorded" stress_domains
+    (Obs.Span.count "test.stress.span")
+
+let test_parallel_verify_counters_match_sequential () =
+  (* the counters under Pipeline.verify_parallel (domains = 4) must agree
+     with a sequential run over the same world: nothing lost, nothing
+     double-counted *)
+  let world =
+    Rpslyzer.Pipeline.build_synthetic
+      ~topo_params:{ Rz_topology.Gen.default_params with n_tier1 = 3; n_mid = 12; n_stub = 30 }
+      ()
+  in
+  let hops = Obs.Counter.make "verify.hops_total" in
+  Obs.reset ();
+  let agg_seq, _, _ = Rpslyzer.Pipeline.verify world in
+  let seq_hops = Obs.Counter.get hops in
+  Alcotest.(check int) "sequential counter = aggregate hops"
+    (Rz_verify.Aggregate.n_hops agg_seq) seq_hops;
+  Obs.reset ();
+  let agg_par, _, _ = Rpslyzer.Pipeline.verify_parallel ~domains:4 world in
+  Alcotest.(check int) "parallel counter = aggregate hops"
+    (Rz_verify.Aggregate.n_hops agg_par) (Obs.Counter.get hops);
+  Alcotest.(check int) "parallel = sequential" seq_hops (Obs.Counter.get hops)
+
+let suite =
+  [ Alcotest.test_case "counter basics" `Quick (with_metrics test_counter_basics);
+    Alcotest.test_case "counter disabled no-op" `Quick (with_metrics test_counter_disabled_noop);
+    Alcotest.test_case "reset" `Quick (with_metrics test_reset);
+    Alcotest.test_case "histogram quantiles" `Quick (with_metrics test_histogram_quantiles);
+    Alcotest.test_case "histogram constant stream" `Quick
+      (with_metrics test_histogram_constant_stream);
+    Alcotest.test_case "histogram underflow/empty" `Quick
+      (with_metrics test_histogram_underflow_and_empty);
+    Alcotest.test_case "span nesting" `Quick (with_metrics test_span_nesting);
+    Alcotest.test_case "span exception" `Quick (with_metrics test_span_exception_still_recorded);
+    Alcotest.test_case "span accumulates" `Quick (with_metrics test_span_accumulates);
+    Alcotest.test_case "json round-trip" `Quick (with_metrics test_json_roundtrip);
+    Alcotest.test_case "text rendering" `Quick (with_metrics test_text_rendering);
+    Alcotest.test_case "multi-domain stress (4 domains)" `Quick
+      (with_metrics test_multi_domain_no_lost_increments);
+    Alcotest.test_case "verify_parallel counters" `Quick
+      (with_metrics test_parallel_verify_counters_match_sequential) ]

@@ -164,6 +164,103 @@ let test_paper_compat_mode_runs () =
   Alcotest.(check bool) "compat verifies <= full verifies" true
     ((Aggregate.overall compat).verified <= (Aggregate.overall full).verified)
 
+(* ---------------- golden metrics ---------------- *)
+
+(* Run the quick synthetic world end-to-end under an enabled Rz_obs
+   registry with a fixed SplitMix seed and check the emitted metric
+   *names* (the stable observability surface other tooling diffs
+   against) plus the cross-metric invariants the engine guarantees. *)
+let test_golden_metrics () =
+  let module Obs = Rz_obs.Obs in
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+  @@ fun () ->
+  let w =
+    Rpslyzer.Pipeline.build_synthetic
+      ~topo_params:
+        { Rz_topology.Gen.default_params with seed = 7; n_tier1 = 3; n_mid = 15; n_stub = 50 }
+      ~irr_config:{ Rz_synthirr.Config.default with seed = 8 }
+      ()
+  in
+  let agg, `Total _, `Excluded excluded = Rpslyzer.Pipeline.verify w in
+  let snap = Obs.Registry.snapshot () in
+  let counters = Obs.Registry.counters snap in
+  let counter name =
+    match List.assoc_opt name counters with
+    | Some v -> v
+    | None -> Alcotest.failf "golden counter %s missing from snapshot" name
+  in
+  (* golden name set: these exact names are the contract *)
+  List.iter
+    (fun name -> ignore (counter name))
+    [ "rpsl.objects_total"; "rpsl.attrs_total"; "rpsl.errors_total";
+      "ir.objects_lowered_total"; "ir.rules_total"; "ir.errors_total";
+      "irr.trie_inserts_total"; "irr.as_flat.hits"; "irr.as_flat.misses";
+      "irr.rs_flat.hits"; "irr.rs_flat.misses";
+      "synthirr.dumps_total"; "synthirr.bytes_total";
+      "routegen.routes_total";
+      "verify.hops_total"; "verify.routes_total"; "verify.routes_excluded_total";
+      "verify.status.verified"; "verify.status.skipped"; "verify.status.unrecorded";
+      "verify.status.relaxed"; "verify.status.safelisted"; "verify.status.unverified";
+      "verify.filter_evals.as_set"; "verify.filter_abstains_total" ];
+  let span_names = List.map fst (Obs.Registry.spans snap) in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (Printf.sprintf "span %s present" name) true
+        (List.mem name span_names && Obs.Span.count name > 0))
+    [ "generate"; "parse"; "lower"; "db-build"; "routegen"; "verify" ];
+  (* invariants *)
+  Alcotest.(check int) "hops_total = sum of per-status counters"
+    (counter "verify.hops_total")
+    (counter "verify.status.verified" + counter "verify.status.skipped"
+     + counter "verify.status.unrecorded" + counter "verify.status.relaxed"
+     + counter "verify.status.safelisted" + counter "verify.status.unverified");
+  Alcotest.(check int) "hops_total = aggregate hop count"
+    (Aggregate.n_hops agg) (counter "verify.hops_total");
+  Alcotest.(check int) "routes counter = aggregate routes"
+    (Aggregate.n_routes agg) (counter "verify.routes_total");
+  Alcotest.(check int) "excluded counter" excluded (counter "verify.routes_excluded_total");
+  Alcotest.(check bool) "as_flat hits+misses covers as-set filter evals" true
+    (counter "irr.as_flat.hits" + counter "irr.as_flat.misses"
+     >= counter "verify.filter_evals.as_set");
+  Alcotest.(check int) "13 IRR dumps generated" 13 (counter "synthirr.dumps_total");
+  Alcotest.(check bool) "routegen emitted the collector routes" true
+    (counter "routegen.routes_total" > 0);
+  Alcotest.(check int) "trie inserts = route objects"
+    (List.length (Rz_irr.Db.ir w.db).Rz_ir.Ir.routes)
+    (counter "irr.trie_inserts_total");
+  (* the snapshot renders to JSON that Rz_json re-parses *)
+  (match Rz_json.Json.of_string (Rz_json.Json.to_string (Obs.Registry.to_json snap)) with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "snapshot JSON invalid: %s" e)
+
+let test_golden_metrics_deterministic () =
+  (* same seed, fresh registry: the counter panel is identical (spans
+     carry wall time and are excluded) *)
+  let module Obs = Rz_obs.Obs in
+  let run () =
+    Obs.reset ();
+    Obs.enable ();
+    Fun.protect ~finally:(fun () ->
+        Obs.disable ())
+    @@ fun () ->
+    let w =
+      Rpslyzer.Pipeline.build_synthetic
+        ~topo_params:
+          { Rz_topology.Gen.default_params with seed = 7; n_tier1 = 3; n_mid = 10; n_stub = 30 }
+        ~irr_config:{ Rz_synthirr.Config.default with seed = 8 }
+        ()
+    in
+    ignore (Rpslyzer.Pipeline.verify w);
+    let counters = Obs.Registry.counters (Obs.Registry.snapshot ()) in
+    Obs.reset ();
+    counters
+  in
+  Alcotest.(check (list (pair string int))) "two runs, same counters" (run ()) (run ())
+
 let suite =
   [ Alcotest.test_case "world builds" `Quick test_world_builds;
     Alcotest.test_case "verification covers routes" `Quick test_verification_covers_routes;
@@ -177,4 +274,7 @@ let suite =
     Alcotest.test_case "explain route" `Quick test_explain_route;
     Alcotest.test_case "facade one-shots" `Quick test_parse_rpsl_one_shot;
     Alcotest.test_case "parallel = sequential" `Quick test_parallel_agrees_with_sequential;
-    Alcotest.test_case "paper-compat mode" `Quick test_paper_compat_mode_runs ]
+    Alcotest.test_case "paper-compat mode" `Quick test_paper_compat_mode_runs;
+    Alcotest.test_case "golden metrics" `Quick test_golden_metrics;
+    Alcotest.test_case "golden metrics deterministic" `Quick
+      test_golden_metrics_deterministic ]

@@ -158,6 +158,45 @@ let status_precedence_no_aut_num =
       in
       match hop.status with Rz_verify.Status.Unrecorded _ -> true | _ -> false)
 
+(* ---------------- observability: histogram accuracy ---------------- *)
+
+(* Feed random streams of values into an Rz_obs log-bucketed histogram and
+   compare every extracted quantile against the exact answer computed from
+   the sorted array (same rank convention: max 1 (ceil (q * n))).  The
+   bucket layout guarantees the estimate is within one bucket's relative
+   error, i.e. a factor of gamma, of the true value. *)
+let histogram_quantile_accuracy =
+  (* log-uniform values spanning ~150 buckets, so streams exercise the
+     underflow-free range broadly rather than clustering in a few cells *)
+  let gen_stream =
+    Gen.list_size (Gen.int_range 1 400)
+      (Gen.map exp (Gen.float_range 0.0 25.0))
+  in
+  QCheck.Test.make ~name:"histogram quantiles within one bucket of exact" ~count:150
+    (QCheck.make ~print:QCheck.Print.(list float) gen_stream)
+    (fun values ->
+      let module Obs = Rz_obs.Obs in
+      Obs.reset ();
+      Obs.enable ();
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.disable ();
+          Obs.reset ())
+      @@ fun () ->
+      let h = Obs.Histogram.make "test.property.hist" in
+      List.iter (Obs.Histogram.observe h) values;
+      let arr = Array.of_list (List.sort compare values) in
+      let n = Array.length arr in
+      let g = Obs.Histogram.gamma h in
+      Obs.Histogram.count h = n
+      && List.for_all
+           (fun q ->
+             let rank = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+             let exact = arr.(rank - 1) in
+             let est = Obs.Histogram.quantile h q in
+             est >= exact /. g && est <= exact *. g)
+           [ 0.0; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ])
+
 (* ---------------- file IO agreement ---------------- *)
 
 let test_parse_file_agrees () =
@@ -222,6 +261,7 @@ let suite =
     QCheck_alcotest.to_alcotest filter_roundtrip;
     QCheck_alcotest.to_alcotest engine_total_and_deterministic;
     QCheck_alcotest.to_alcotest status_precedence_no_aut_num;
+    QCheck_alcotest.to_alcotest histogram_quantile_accuracy;
     Alcotest.test_case "parse_file agrees with parse_string" `Quick test_parse_file_agrees;
     Alcotest.test_case "fold_file" `Quick test_fold_file;
     Alcotest.test_case "world save/load roundtrip" `Quick test_world_save_load_roundtrip ]

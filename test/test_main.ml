@@ -16,6 +16,7 @@ let () =
       ("routegen", Suite_routegen.suite);
       ("synthirr", Suite_synthirr.suite);
       ("stats", Suite_stats.suite);
+      ("obs", Suite_obs.suite);
       ("pipeline", Suite_pipeline.suite);
       ("lint", Suite_lint.suite);
       ("classify", Suite_classify.suite);
