@@ -17,6 +17,18 @@ let dir_arg =
     & opt (some string) None
     & info [ "d"; "dir" ] ~docv:"DIR" ~doc:"World directory (see $(b,gen)).")
 
+(* Exit policy: commands run under [guarded], so hard failures from
+   hostile inputs (unreadable world directory, malformed as-rel.txt or
+   table dumps — surfaced as Sys_error/Invalid_argument/Failure) print a
+   diagnostic and exit 1 instead of dying with an OCaml backtrace.
+   [faultinject] additionally exits 2 for partial failure: the pipeline
+   completed but recovery paths fired (keep-going semantics). *)
+let guarded body =
+  try body () with
+  | Failure msg | Invalid_argument msg | Sys_error msg ->
+    Printf.eprintf "rpslyzer: %s\n%!" msg;
+    exit 1
+
 (* ---------------- metrics ---------------- *)
 
 (* Shared --metrics [FILE] flag: enables the Rz_obs registry before the
@@ -60,6 +72,7 @@ let with_metrics metrics body =
 
 let gen_cmd =
   let run metrics seed n_tier1 n_mid n_stub out =
+    guarded @@ fun () ->
     with_metrics metrics @@ fun () ->
     let topo_params =
       { Rz_topology.Gen.default_params with seed; n_tier1; n_mid; n_stub }
@@ -93,6 +106,7 @@ let gen_cmd =
 
 let parse_cmd =
   let run metrics dir output indent =
+    guarded @@ fun () ->
     with_metrics metrics @@ fun () ->
     let dumps = Rpslyzer.Pipeline.load_dumps dir in
     let ir = Rz_ir.Ir.create () in
@@ -139,6 +153,7 @@ let print_table1 (rows : Rz_stats.Usage.table1_row list) =
 
 let stats_cmd =
   let run metrics dir =
+    guarded @@ fun () ->
     with_metrics metrics @@ fun () ->
     let world = Rpslyzer.Pipeline.load_world dir in
     let u = Rpslyzer.Pipeline.usage world in
@@ -177,6 +192,7 @@ let stats_cmd =
 
 let verify_cmd =
   let run metrics dir paper_compat verbose =
+    guarded @@ fun () ->
     with_metrics metrics @@ fun () ->
     let world = Rpslyzer.Pipeline.load_world dir in
     let config = { Rz_verify.Engine.paper_compat } in
@@ -219,6 +235,7 @@ let verify_cmd =
 
 let explain_cmd =
   let run dir prefix path =
+    guarded @@ fun () ->
     let world = Rpslyzer.Pipeline.load_world dir in
     match Rz_net.Prefix.of_string prefix with
     | Error e -> prerr_endline e; exit 1
@@ -247,6 +264,7 @@ let explain_cmd =
 
 let whois_cmd =
   let run dir name =
+    guarded @@ fun () ->
     let world = Rpslyzer.Pipeline.load_world dir in
     let db = world.db in
     let ir = Rz_irr.Db.ir db in
@@ -309,6 +327,7 @@ let whois_cmd =
 
 let query_cmd =
   let run dir queries =
+    guarded @@ fun () ->
     let world = Rpslyzer.Pipeline.load_world dir in
     if queries = [] then begin
       (* interactive: read query lines from stdin until EOF or !q *)
@@ -336,6 +355,7 @@ let query_cmd =
 
 let peval_cmd =
   let run dir expr aggregate =
+    guarded @@ fun () ->
     let world = Rpslyzer.Pipeline.load_world dir in
     match Rz_irr.Filter_eval.eval_string world.db expr with
     | Error e -> prerr_endline e; exit 1
@@ -368,6 +388,7 @@ let peval_cmd =
 
 let lint_cmd =
   let run dir errors_only fix =
+    guarded @@ fun () ->
     let world = Rpslyzer.Pipeline.load_world dir in
     let diags = Rz_lint.Linter.lint ~rels:world.rels world.db in
     let diags =
@@ -408,6 +429,7 @@ let lint_cmd =
 
 let classify_cmd =
   let run dir =
+    guarded @@ fun () ->
     let world = Rpslyzer.Pipeline.load_world dir in
     let observed =
       let seen = Hashtbl.create 512 in
@@ -441,6 +463,7 @@ let classify_cmd =
 
 let diff_cmd =
   let run before_dir after_dir =
+    guarded @@ fun () ->
     let load dir =
       let ir = Rz_ir.Ir.create () in
       List.iter
@@ -472,6 +495,155 @@ let diff_cmd =
     (Cmd.info "diff" ~doc:"Diff two IRR snapshots (policy evolution).")
     Term.(const run $ before_dir $ after_dir)
 
+(* ---------------- faultinject ---------------- *)
+
+(* The recovery counters the exit-2 policy keys on: each names one
+   hardened layer (injector, reader, flattener, regex matcher, parallel
+   verifier). All zero -> the run was clean -> exit 0. *)
+let recovery_counter_names =
+  [ "fault.injected"; "reader.lines_dropped"; "flatten.truncated"; "nfa.capped";
+    "verify.domain_retries" ]
+
+(* Walk every Path_regex filter of every lowered policy rule through the
+   capped NFA compiler. Verification only compiles the regexes of hops it
+   actually observes, so without this audit a pathological-regex bomb on an
+   AS no collector route traverses would go unexercised. *)
+let nfa_audit ir =
+  let total = ref 0 in
+  let rec walk_filter = function
+    | Rz_policy.Ast.Path_regex regex ->
+      incr total;
+      ignore (Rz_aspath.Regex_nfa.compile regex)
+    | Rz_policy.Ast.And_f (a, b) | Rz_policy.Ast.Or_f (a, b) ->
+      walk_filter a;
+      walk_filter b
+    | Rz_policy.Ast.Not_f a -> walk_filter a
+    | _ -> ()
+  in
+  let rec walk_expr = function
+    | Rz_policy.Ast.Term_e term ->
+      List.iter (fun (f : Rz_policy.Ast.factor) -> walk_filter f.filter) term.factors
+    | Rz_policy.Ast.Except_e (term, rest) | Rz_policy.Ast.Refine_e (term, rest) ->
+      List.iter (fun (f : Rz_policy.Ast.factor) -> walk_filter f.filter) term.factors;
+      walk_expr rest
+  in
+  Hashtbl.iter
+    (fun _ (an : Rz_ir.Ir.aut_num) ->
+      List.iter
+        (fun (r : Rz_policy.Ast.rule) -> walk_expr r.expr)
+        (an.imports @ an.exports))
+    ir.Rz_ir.Ir.aut_nums;
+  !total
+
+let faultinject_cmd =
+  let run metrics dir seed rate kinds domains =
+    guarded @@ fun () ->
+    (* Counters drive the exit policy, so the registry is always on here;
+       --metrics additionally dumps the snapshot. *)
+    Rpslyzer.Obs.enable ();
+    (* the exit happens after with_metrics returns, so the Fun.protect
+       finalizer gets to write the metrics snapshot first *)
+    let degraded =
+      with_metrics metrics @@ fun () ->
+      let kinds =
+      match kinds with
+      | [] -> Rz_fault.Fault.all_kinds
+      | names ->
+        List.map
+          (fun n ->
+            match Rz_fault.Fault.kind_of_name n with
+            | Some k -> k
+            | None -> failwith (Printf.sprintf "unknown fault kind %S" n))
+          names
+    in
+    let base =
+      match dir with
+      | Some dir -> Rpslyzer.Pipeline.load_world dir
+      | None ->
+        (* Self-contained mode: a small in-memory world, deterministic in
+           the same seed that drives the corruption. *)
+        let topo_params =
+          { Rz_topology.Gen.default_params with seed; n_tier1 = 3; n_mid = 40; n_stub = 150 }
+        in
+        let irr_config = { Rz_synthirr.Config.default with seed = seed + 1 } in
+        Rpslyzer.Pipeline.build_synthetic ~topo_params ~irr_config ()
+    in
+    let plan = Rz_fault.Fault.plan ~kinds ~seed ~rate () in
+    let corrupted, report = Rz_fault.Fault.corrupt_dumps plan base.dumps in
+    let db = Rz_irr.Db.of_dumps corrupted in
+    let world = { base with Rpslyzer.Pipeline.db; dumps = corrupted } in
+    let n_regexes = nfa_audit (Rz_irr.Db.ir db) in
+    (* Simulate a domain crash alongside the data corruption so the
+       sequential-retry path is exercised on every corrupted run. *)
+    let inject_domain_fault =
+      if rate > 0. then Some (fun d -> if d = 0 then failwith "injected domain fault")
+      else None
+    in
+    let agg, `Total total, `Excluded excluded =
+      Rpslyzer.Pipeline.verify_parallel ?inject_domain_fault ~domains world
+    in
+    print_endline "== fault injection ==";
+    List.iter print_endline (Rz_fault.Fault.report_lines report);
+    Printf.printf "parse errors recorded: %d\n"
+      (List.length (Rz_irr.Db.ir db).Rz_ir.Ir.errors);
+    Printf.printf "regexes audited: %d\n" n_regexes;
+    (match Rz_irr.Db.truncated_sets db with
+     | [] -> ()
+     | sets ->
+       Printf.printf "truncated flattens: %s\n" (String.concat ", " sets));
+    Printf.printf "\n== verify under corruption ==\n";
+    Printf.printf "routes: %d total, %d excluded, %d hops\n" total excluded
+      (Rz_verify.Aggregate.n_hops agg);
+    let snapshot = Rpslyzer.Obs.Registry.snapshot () in
+    let counters = Rpslyzer.Obs.Registry.counters snapshot in
+    let value name = Option.value ~default:0 (List.assoc_opt name counters) in
+    print_endline "\n== recovery counters ==";
+    List.iter
+      (fun name -> Printf.printf "  %-22s %d\n" name (value name))
+      recovery_counter_names;
+      let degraded = List.exists (fun name -> value name > 0) recovery_counter_names in
+      if degraded then
+        print_endline "\nresult: DEGRADED (recovery paths fired; exit 2)"
+      else print_endline "\nresult: CLEAN (exit 0)";
+      degraded
+    in
+    if degraded then exit 2
+  in
+  let dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "d"; "dir" ] ~docv:"DIR"
+          ~doc:"World directory to corrupt; a small synthetic world is \
+                generated in memory when omitted.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Fault-plan seed.") in
+  let rate =
+    Arg.(
+      value & opt float 0.1
+      & info [ "rate" ] ~docv:"P" ~doc:"Per-object corruption probability in [0,1].")
+  in
+  let kinds =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "kinds" ] ~docv:"KIND,..."
+          ~doc:"Comma-separated fault kinds to inject (default: all). See \
+                $(b,rz_fault) for the kind names, e.g. \
+                'byte-splice,as-set-deep-bomb'.")
+  in
+  let domains =
+    Arg.(value & opt int 4 & info [ "domains" ] ~doc:"Verification domains.")
+  in
+  Cmd.v
+    (Cmd.info "faultinject"
+       ~doc:
+         "Corrupt the IRR dumps with a seeded fault plan, run the full \
+          pipeline on the damage, and report every recovery path that \
+          fired. Exits 0 when clean, 2 when the pipeline degraded \
+          (keep-going), 1 on hard failure.")
+    Term.(const run $ metrics_arg $ dir $ seed $ rate $ kinds $ domains)
+
 let () =
   let info =
     Cmd.info "rpslyzer" ~version:"1.0.0"
@@ -481,4 +653,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ gen_cmd; parse_cmd; stats_cmd; verify_cmd; explain_cmd; whois_cmd;
-            query_cmd; peval_cmd; lint_cmd; classify_cmd; diff_cmd ]))
+            query_cmd; peval_cmd; lint_cmd; classify_cmd; diff_cmd;
+            faultinject_cmd ]))

@@ -55,6 +55,30 @@ and atom_string t =
   | Term _ | Bol | Eol | Empty -> to_string t
   | _ -> "(" ^ to_string t ^ ")"
 
+(* Saturating estimate of the Thompson-NFA state count {!Regex_nfa.compile}
+   would allocate. Repeat nodes multiply: [{m,n}] expands to n copies of the
+   inner automaton, so hostile regexes like [AS1{500000}] or nested
+   repetitions can request exponentially many states from linear text. The
+   estimate is computed on the un-expanded AST (always small), so callers
+   can refuse pathological patterns before any allocation happens. *)
+let state_estimate ast =
+  let cap = max_int / 4 in
+  let sat a b = if a >= cap - b then cap else a + b in
+  let satmul a b = if a <> 0 && b >= cap / a then cap else a * b in
+  let rec go = function
+    | Empty -> 1
+    | Bol | Eol | Term _ | Tilde_star _ | Tilde_plus _ -> 2
+    | Seq (a, b) -> sat (go a) (go b)
+    | Alt (a, b) -> sat 2 (sat (go a) (go b))
+    | Star inner | Opt inner -> sat 2 (go inner)
+    | Plus inner -> sat 2 (satmul 2 (go inner))
+    | Repeat (inner, m, bound) ->
+      let per_copy = sat 2 (go inner) in
+      let copies = match bound with None -> max 1 m + 1 | Some n -> max 1 (max m n) in
+      sat 2 (satmul copies per_copy)
+  in
+  go ast
+
 let term_uses_future_work = function
   | Asn_range _ -> true
   | Class (_, terms) -> List.exists (function Asn_range _ -> true | _ -> false) terms

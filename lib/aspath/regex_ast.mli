@@ -33,6 +33,12 @@ val to_string : t -> string
 
 val term_to_string : term -> string
 
+val state_estimate : t -> int
+(** Saturating upper bound on the number of NFA states {!Regex_nfa.compile}
+    would build for this AST. Cheap (proportional to the written regex, not
+    its expansion), so callers can reject pathological repetition bombs —
+    e.g. [AS1{500000,900000}] — before compiling or matching. *)
+
 val uses_future_work_features : t -> bool
 (** True when the regex contains ASN ranges or [~]-operators — the 58
     rules the paper {e skips}; this implementation handles them, but the

@@ -14,9 +14,23 @@ type t = {
   edges : edge list array;  (* state -> outgoing edges *)
   start : int;
   accept : int;
+  capped : bool;            (* state budget exceeded; matches nothing *)
 }
 
-let compile ast =
+(* Hostile-input bound: a {m,n} repetition bomb (the paper's Section-4
+   pathological policies) would otherwise expand to millions of states —
+   and the expansion itself recurses over a left-nested Seq spine that
+   deep enough input turns into a stack overflow. Patterns whose estimated
+   state count exceeds the cap are not compiled at all: the resulting
+   matcher abstains (rejects everything), which keeps verification
+   conservative — a capped filter can never produce Verified. *)
+let default_max_states = 10_000
+
+let c_capped = Rz_obs.Obs.Counter.make "nfa.capped"
+
+let is_capped t = t.capped
+
+let compile_uncapped ast =
   let edges = ref [] and next = ref 0 in
   let fresh () =
     let s = !next in
@@ -92,7 +106,14 @@ let compile ast =
   add exit_state (Eps accept);
   let arr = Array.make !next [] in
   List.iter (fun (state, edge) -> arr.(state) <- edge :: arr.(state)) !edges;
-  { edges = arr; start; accept }
+  { edges = arr; start; accept; capped = false }
+
+let compile ?(max_states = default_max_states) ast =
+  if Regex_ast.state_estimate ast > max_states then begin
+    Rz_obs.Obs.Counter.incr c_capped;
+    { edges = [||]; start = 0; accept = -1; capped = true }
+  end
+  else compile_uncapped ast
 
 let state_count t = Array.length t.edges
 
@@ -104,6 +125,8 @@ let state_count t = Array.length t.edges
    all the same ASN matching the term — so they produce (state, position)
    pairs beyond the uniform frontier, which the worklist handles. *)
 let matches ?(env = Regex_match.default_env) t path =
+  if t.capped then false
+  else
   let n = Array.length path in
   let run start_pos =
     (* reachable: set of (state, position) *)

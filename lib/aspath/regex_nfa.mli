@@ -13,10 +13,23 @@
 type t
 (** A compiled matcher. *)
 
-val compile : Regex_ast.t -> t
+val default_max_states : int
+(** Default state budget ([10_000]) — far above any regex observed in real
+    IRR dumps, far below what a repetition bomb requests. *)
+
+val compile : ?max_states:int -> Regex_ast.t -> t
+(** Compile, refusing patterns whose {!Regex_ast.state_estimate} exceeds
+    [max_states]. A refused pattern yields a {e capped} matcher that
+    matches nothing (conservative abstain — it can never claim Verified)
+    and increments the [nfa.capped] counter; no state is allocated, so a
+    hostile [{m,n}] bomb costs O(pattern text), not O(expansion). *)
+
+val is_capped : t -> bool
+(** Whether the state budget was exceeded at compile time. *)
 
 val matches : ?env:Regex_match.env -> t -> Rz_net.Asn.t array -> bool
-(** Unanchored search, like {!Regex_match.matches}. *)
+(** Unanchored search, like {!Regex_match.matches}. Always [false] on a
+    capped matcher. *)
 
 val state_count : t -> int
-(** Number of NFA states (for tests and the bench report). *)
+(** Number of NFA states (for tests and the bench report); 0 when capped. *)

@@ -80,10 +80,16 @@ module Pipeline = struct
       read-only; each domain runs its own engine over a chunk of routes
       and the per-domain aggregates are merged. *)
   let c_par_domains = Rz_obs.Obs.Counter.make "verify.parallel.domains_total"
+  let c_domain_retries = Rz_obs.Obs.Counter.make "verify.domain_retries"
   let h_par_domain_routes = Rz_obs.Obs.Histogram.make "verify.parallel.domain_routes"
   let h_par_domain_ns = Rz_obs.Obs.Histogram.make "verify.parallel.domain_ns"
 
-  let verify_parallel ?config ?(domains = 4) world =
+  (* [inject_domain_fault] is the fault-injection hook used by the
+     faultinject harness and the chaos bench: it runs at the top of each
+     spawned domain (with the domain index) and may raise to simulate a
+     domain crash. It deliberately does NOT run during the sequential
+     retry, which is the recovery path under test. *)
+  let verify_parallel ?config ?(domains = 4) ?inject_domain_fault world =
     Rz_obs.Obs.Span.with_ "verify" @@ fun () ->
     let routes =
       Array.of_list
@@ -94,12 +100,7 @@ module Pipeline = struct
     let n = Array.length routes in
     let domains = max 1 (min domains n) in
     let chunk = (n + domains - 1) / domains in
-    let work lo hi () =
-      (* per-domain hop/status tallies accumulate into the shared
-         Atomic-backed counters; the per-domain route share and wall
-         time go to histograms so stragglers are visible *)
-      Rz_obs.Obs.Counter.incr c_par_domains;
-      let t0 = Rz_obs.Obs.now_ns () in
+    let verify_shard ~on_route_error lo hi =
       let engine = Rz_verify.Engine.create ?config world.db world.rels in
       let agg = Rz_verify.Aggregate.create () in
       let excluded = ref 0 in
@@ -107,23 +108,47 @@ module Pipeline = struct
         match Rz_verify.Engine.verify_route engine routes.(i) with
         | Some report -> Rz_verify.Aggregate.add_route_report agg report
         | None -> incr excluded
+        | exception e -> on_route_error i e
       done;
+      (agg, !excluded)
+    in
+    let work d lo hi () =
+      (* per-domain hop/status tallies accumulate into the shared
+         Atomic-backed counters; the per-domain route share and wall
+         time go to histograms so stragglers are visible *)
+      (match inject_domain_fault with Some f -> f d | None -> ());
+      Rz_obs.Obs.Counter.incr c_par_domains;
+      let t0 = Rz_obs.Obs.now_ns () in
+      (* In the spawned domain a poison route re-raises: the whole shard
+         is retried sequentially below, where per-route recovery applies. *)
+      let result = verify_shard ~on_route_error:(fun _ e -> raise e) lo hi in
       Rz_obs.Obs.Histogram.observe h_par_domain_routes (float_of_int (hi - lo));
       Rz_obs.Obs.Histogram.observe h_par_domain_ns
         (float_of_int (Rz_obs.Obs.now_ns () - t0));
-      (agg, !excluded)
+      result
     in
     let handles =
       List.init domains (fun d ->
           let lo = d * chunk in
           let hi = min n (lo + chunk) in
-          Domain.spawn (work lo hi))
+          (lo, hi, Domain.spawn (work d lo hi)))
     in
     let agg = Rz_verify.Aggregate.create () in
     let excluded = ref 0 in
     List.iter
-      (fun handle ->
-        let part, part_excluded = Domain.join handle in
+      (fun (lo, hi, handle) ->
+        let part, part_excluded =
+          match Domain.join handle with
+          | result -> result
+          | exception _ ->
+            (* Crash isolation: a dead domain loses no routes — its shard
+               is re-verified sequentially in this domain, with per-route
+               recovery so one poison route costs only itself. *)
+            Rz_obs.Obs.Counter.incr c_domain_retries;
+            verify_shard
+              ~on_route_error:(fun _ _ -> incr excluded)
+              lo hi
+        in
         Rz_verify.Aggregate.merge_into ~dst:agg part;
         excluded := !excluded + part_excluded)
       handles;

@@ -10,6 +10,21 @@ let c_as_flat_hits = Rz_obs.Obs.Counter.make "irr.as_flat.hits"
 let c_as_flat_misses = Rz_obs.Obs.Counter.make "irr.as_flat.misses"
 let c_rs_flat_hits = Rz_obs.Obs.Counter.make "irr.rs_flat.hits"
 let c_rs_flat_misses = Rz_obs.Obs.Counter.make "irr.rs_flat.misses"
+let c_flatten_truncated = Rz_obs.Obs.Counter.make "flatten.truncated"
+
+(* Hostile-input bounds on recursive set resolution. Registry data is
+   adversarial: a chain of 10^6 nested as-sets (or a handful of sets whose
+   cross-products duplicate members combinatorially) would otherwise turn
+   flattening into a stack overflow or an O(depth^2) [List.mem] crawl. The
+   paper's characterization puts real nesting depth in single digits
+   (depth >= 5 is already flagged as an anomaly), so the caps below are
+   generous for legitimate data and tight against bombs. A capped flatten
+   returns the partial result gathered so far and records a truncation
+   marker — verification stays conservative (missing members can only
+   move routes toward Unverified, never fabricate a Verified). *)
+let max_flatten_depth = 64
+let max_flatten_work = 10_000
+let max_route_set_members = 200_000
 
 type t = {
   ir : Rz_ir.Ir.t;
@@ -23,7 +38,22 @@ type t = {
   rs_flat : (string, (Rz_net.Prefix.t * Rz_net.Range_op.t) list) Hashtbl.t;
   as_depth : (string, int) Hashtbl.t;
   as_loop : (string, bool) Hashtbl.t;
+  (* Canonical names of sets whose flattening hit a bound above. Written
+     only while memo tables are being filled (i.e. before [warm_caches]
+     completes), so reads after warming are safe across domains. *)
+  flatten_trunc : (string, unit) Hashtbl.t;
 }
+
+let mark_truncated t key =
+  if not (Hashtbl.mem t.flatten_trunc key) then begin
+    Hashtbl.replace t.flatten_trunc key ();
+    Rz_obs.Obs.Counter.incr c_flatten_truncated
+  end
+
+let flatten_truncated t name = Hashtbl.mem t.flatten_trunc (canon name)
+
+let truncated_sets t =
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) t.flatten_trunc [])
 
 let ir t = t.ir
 
@@ -92,7 +122,8 @@ let build (ir : Rz_ir.Ir.t) =
     as_flat = Hashtbl.create 256;
     rs_flat = Hashtbl.create 64;
     as_depth = Hashtbl.create 256;
-    as_loop = Hashtbl.create 256 })
+    as_loop = Hashtbl.create 256;
+    flatten_trunc = Hashtbl.create 16 })
 
 let of_dumps dumps =
   let ir = Rz_ir.Ir.create () in
@@ -104,12 +135,21 @@ let of_dumps dumps =
 let as_set_exists t name = Hashtbl.mem t.ir.as_sets (canon name)
 
 let flatten_as_set t name =
-  let rec go key visiting =
+  let top_key = canon name in
+  let work = ref 0 in
+  let rec go key visiting depth =
     match Hashtbl.find_opt t.as_flat key with
     | Some cached -> cached
     | None ->
-      if List.mem key visiting then Asn_set.empty (* cycle cut; no memo here *)
+      if depth > max_flatten_depth || !work > max_flatten_work then begin
+        (* Bound hit: stop descending; the partial union built by the
+           ancestors is still returned, marked truncated at the root. *)
+        mark_truncated t top_key;
+        Asn_set.empty
+      end
+      else if List.mem key visiting then Asn_set.empty (* cycle cut; no memo here *)
       else begin
+        incr work;
         match Hashtbl.find_opt t.ir.as_sets key with
         | None -> Asn_set.empty
         | Some set ->
@@ -120,7 +160,8 @@ let flatten_as_set t name =
           in
           let nested =
             List.fold_left
-              (fun acc child -> Asn_set.union acc (go (canon child) (key :: visiting)))
+              (fun acc child ->
+                Asn_set.union acc (go (canon child) (key :: visiting) (depth + 1)))
               Asn_set.empty set.member_sets
           in
           let result = Asn_set.union (Asn_set.union direct indirect) nested in
@@ -130,27 +171,33 @@ let flatten_as_set t name =
           result
       end
   in
-  let key = canon name in
   if Rz_obs.Obs.enabled () then
     Rz_obs.Obs.Counter.incr
-      (if Hashtbl.mem t.as_flat key then c_as_flat_hits else c_as_flat_misses);
-  go key []
+      (if Hashtbl.mem t.as_flat top_key then c_as_flat_hits else c_as_flat_misses);
+  go top_key [] 0
 
 let asn_in_as_set t name asn = Asn_set.mem asn (flatten_as_set t name)
 
 let as_set_depth t name =
-  let rec go key visiting =
+  let top_key = canon name in
+  let rec go key visiting depth =
     match Hashtbl.find_opt t.as_depth key with
     | Some cached -> cached
     | None ->
-      if List.mem key visiting then 0
+      if depth > max_flatten_depth then begin
+        (* Saturate: the reported depth tops out at the cap, which still
+           trips every depth >= k characterization threshold we use. *)
+        mark_truncated t top_key;
+        0
+      end
+      else if List.mem key visiting then 0
       else begin
         match Hashtbl.find_opt t.ir.as_sets key with
         | None -> 0
         | Some set ->
           let child_depth =
             List.fold_left
-              (fun acc child -> max acc (go (canon child) (key :: visiting)))
+              (fun acc child -> max acc (go (canon child) (key :: visiting) (depth + 1)))
               0 set.member_sets
           in
           let result = 1 + child_depth in
@@ -158,26 +205,34 @@ let as_set_depth t name =
           result
       end
   in
-  go (canon name) []
+  go top_key [] 0
 
 let as_set_has_loop t name =
-  let rec go key visiting =
+  let top_key = canon name in
+  let rec go key visiting depth =
     match Hashtbl.find_opt t.as_loop key with
     | Some cached -> cached
     | None ->
-      if List.mem key visiting then true
+      if depth > max_flatten_depth then begin
+        (* Abstain past the cap: report no loop rather than guess. *)
+        mark_truncated t top_key;
+        false
+      end
+      else if List.mem key visiting then true
       else begin
         match Hashtbl.find_opt t.ir.as_sets key with
         | None -> false
         | Some set ->
           let result =
-            List.exists (fun child -> go (canon child) (key :: visiting)) set.member_sets
+            List.exists
+              (fun child -> go (canon child) (key :: visiting) (depth + 1))
+              set.member_sets
           in
           if visiting = [] then Hashtbl.replace t.as_loop key result;
           result
       end
   in
-  go (canon name) []
+  go top_key [] 0
 
 (* ---------------- route-object queries ---------------- *)
 
@@ -190,13 +245,28 @@ let exact_origins t prefix = Rz_net.Prefix_trie.exact t.route_trie prefix
 
 let route_set_exists t name = Hashtbl.mem t.ir.route_sets (canon name)
 
+let take_at_most n lst =
+  let rec loop acc n = function
+    | [] -> List.rev acc
+    | _ when n = 0 -> List.rev acc
+    | x :: rest -> loop (x :: acc) (n - 1) rest
+  in
+  loop [] n lst
+
 let flatten_route_set t name =
-  let rec go key visiting =
+  let top_key = canon name in
+  let work = ref 0 in
+  let rec go key visiting depth =
     match Hashtbl.find_opt t.rs_flat key with
     | Some cached -> cached
     | None ->
-      if List.mem key visiting then []
+      if depth > max_flatten_depth || !work > max_flatten_work then begin
+        mark_truncated t top_key;
+        []
+      end
+      else if List.mem key visiting then []
       else begin
+        incr work;
         match Hashtbl.find_opt t.ir.route_sets key with
         | None ->
           (* A route-set member may also name an as-set (RFC 2622 allows
@@ -212,7 +282,7 @@ let flatten_route_set t name =
               let child_key = canon child in
               let base =
                 if Hashtbl.mem t.ir.route_sets child_key then
-                  go child_key (key :: visiting)
+                  go child_key (key :: visiting) (depth + 1)
                 else
                   (* as-set member: prefixes of its flattened ASNs *)
                   Asn_set.fold
@@ -229,15 +299,24 @@ let flatten_route_set t name =
             Option.value ~default:[] (Hashtbl.find_opt t.indirect_route_members key)
           in
           let result = direct @ indirect in
+          let result =
+            (* Member-count bound: duplication bombs (the same large set
+               referenced from many members) multiply the flattened list,
+               not the object count, so cap the materialized result. *)
+            if List.length result > max_route_set_members then begin
+              mark_truncated t top_key;
+              take_at_most max_route_set_members result
+            end
+            else result
+          in
           if visiting = [] then Hashtbl.replace t.rs_flat key result;
           result
       end
   in
-  let key = canon name in
   if Rz_obs.Obs.enabled () then
     Rz_obs.Obs.Counter.incr
-      (if Hashtbl.mem t.rs_flat key then c_rs_flat_hits else c_rs_flat_misses);
-  go key []
+      (if Hashtbl.mem t.rs_flat top_key then c_rs_flat_hits else c_rs_flat_misses);
+  go top_key [] 0
 
 let warm_caches t =
   Hashtbl.iter

@@ -22,6 +22,33 @@ val of_dumps : (string * string) list -> t
     order (which should be priority order — see {!priority_order}) and
     builds the database. *)
 
+(** {1 Resolution bounds}
+
+    Set flattening recurses over untrusted registry data, so it runs
+    under hard bounds: nesting depth, per-call work (distinct sets
+    visited), and materialized route-set members. A bound hit degrades to
+    a partial result — never an exception or unbounded memory — records
+    the root set in {!truncated_sets}, and increments the
+    [flatten.truncated] counter. Partial results are conservative for
+    verification: missing members can only push routes toward
+    Unverified. *)
+
+val max_flatten_depth : int
+(** Nesting-depth cap (64); the paper flags real-world depth >= 5 as
+    anomalous, so legitimate data sits far below this. *)
+
+val max_flatten_work : int
+(** Distinct sets visited per top-level flatten (10_000). *)
+
+val max_route_set_members : int
+(** Materialized (prefix, op) pairs per flattened route-set (200_000). *)
+
+val flatten_truncated : t -> string -> bool
+(** Whether flattening rooted at this set ever hit a bound. *)
+
+val truncated_sets : t -> string list
+(** Canonical names of all bound-hit roots, sorted. *)
+
 (** {1 As-set resolution} *)
 
 module Asn_set : Set.S with type elt = Rz_net.Asn.t
@@ -29,7 +56,7 @@ module Asn_set : Set.S with type elt = Rz_net.Asn.t
 val flatten_as_set : t -> string -> Asn_set.t
 (** Transitive ASN members of an as-set, including indirect members via
     [member-of]/[mbrs-by-ref]; empty when the set is unknown. Memoized;
-    cycles are cut. *)
+    cycles are cut; bounded per the resolution bounds above. *)
 
 val as_set_exists : t -> string -> bool
 val asn_in_as_set : t -> string -> Rz_net.Asn.t -> bool

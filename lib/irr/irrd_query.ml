@@ -252,7 +252,9 @@ let plain_query db text =
   | [] -> Not_found_key
   | sections -> Data (String.concat "\n\n" sections)
 
-let answer db line =
+let c_query_errors = Rz_obs.Obs.Counter.make "irrd.query_errors"
+
+let answer_unguarded db line =
   let line = Rz_util.Strings.strip line in
   if line = "" then No_data
   else if line = "!q" then Quit
@@ -269,6 +271,16 @@ let answer db line =
     | c -> Error_resp (Printf.sprintf "unsupported query !%c" c)
   end
   else plain_query db line
+
+(* Query text arrives from the network, so the dispatcher is total: any
+   handler exception becomes an F response instead of tearing down the
+   session (and is counted — a nonzero [irrd.query_errors] in production
+   would mean a handler bug worth chasing). *)
+let answer db line =
+  try answer_unguarded db line
+  with e ->
+    Rz_obs.Obs.Counter.incr c_query_errors;
+    Error_resp ("internal error: " ^ Printexc.to_string e)
 
 let session db lines =
   let buf = Buffer.create 256 in

@@ -1,10 +1,13 @@
 type error = { line : int; text : string; reason : string }
 
 (* Observability: volume counters for the reader stage (no-ops unless
-   the Rz_obs registry is enabled). *)
+   the Rz_obs registry is enabled). [reader.lines_dropped] counts hostile
+   lines discarded by the bounds below (over-long lines, and error
+   records suppressed past the budget) — the reader's recovery signal. *)
 let c_objects = Rz_obs.Obs.Counter.make "rpsl.objects_total"
 let c_attrs = Rz_obs.Obs.Counter.make "rpsl.attrs_total"
 let c_errors = Rz_obs.Obs.Counter.make "rpsl.errors_total"
+let c_lines_dropped = Rz_obs.Obs.Counter.make "reader.lines_dropped"
 
 let count_result objects errors =
   Rz_obs.Obs.Counter.add c_objects (List.length objects);
@@ -17,6 +20,17 @@ type result_t = {
   errors : error list;
 }
 
+(* Hostile-input bounds. IRR dumps are untrusted text (the paper's
+   Table 1 finds syntax errors in every registry): a single unbounded
+   line or an error-per-line bomb must not balloon memory. Both caps
+   degrade to recorded errors, never to an exception. *)
+type limits = {
+  max_line_bytes : int;  (** longer lines are dropped, with one error record *)
+  max_errors : int;      (** further errors are counted but not accumulated *)
+}
+
+let default_limits = { max_line_bytes = 65_536; max_errors = 100_000 }
+
 (* A '#' begins a comment anywhere on a line. Values never contain '#'
    meaningfully in the routing-related attributes we interpret. *)
 let strip_comment line = Rz_util.Strings.chop_comment '#' line
@@ -26,14 +40,28 @@ let is_continuation line =
 
 (* Paragraph accumulator: turns a stream of lines into objects. *)
 type state = {
+  limits : limits;
   mutable current : (string * Buffer.t) list; (* reversed (key, value) list *)
   mutable start_line : int;
   mutable objects_rev : Obj.t list;
   mutable errors_rev : error list;
+  mutable n_errors : int;
+  mutable suppressed : int;  (* errors past the budget, counted not stored *)
 }
 
-let fresh_state () =
-  { current = []; start_line = 0; objects_rev = []; errors_rev = [] }
+let fresh_state limits =
+  { limits; current = []; start_line = 0; objects_rev = []; errors_rev = [];
+    n_errors = 0; suppressed = 0 }
+
+let push_error st err =
+  if st.n_errors < st.limits.max_errors then begin
+    st.errors_rev <- err :: st.errors_rev;
+    st.n_errors <- st.n_errors + 1
+  end
+  else begin
+    st.suppressed <- st.suppressed + 1;
+    Rz_obs.Obs.Counter.incr c_lines_dropped
+  end
 
 let flush_object st =
   match List.rev st.current with
@@ -58,74 +86,100 @@ let valid_key key =
        key
 
 let feed_line st lineno raw =
-  let line = strip_comment raw in
-  if Rz_util.Strings.is_blank line then flush_object st
-  else if String.length raw > 0 && raw.[0] = '%' then () (* server remark *)
-  else if is_continuation line then begin
-    (* Continuation of the previous attribute's value. A '+' alone
-       continues with an empty line; otherwise append the folded text. *)
-    match st.current with
-    | [] ->
-      st.errors_rev <-
-        { line = lineno; text = raw; reason = "continuation line outside an object" }
-        :: st.errors_rev
-    | (_, buf) :: _ ->
-      let text =
-        if line.[0] = '+' then String.sub line 1 (String.length line - 1) else line
-      in
-      let text = Rz_util.Strings.strip text in
-      if text <> "" then begin
-        Buffer.add_char buf '\n';
-        Buffer.add_string buf text
-      end
+  if String.length raw > st.limits.max_line_bytes then begin
+    Rz_obs.Obs.Counter.incr c_lines_dropped;
+    push_error st
+      { line = lineno;
+        text = String.sub raw 0 64;
+        reason =
+          Printf.sprintf "line exceeds %d bytes (%d); dropped"
+            st.limits.max_line_bytes (String.length raw) }
   end
-  else
-    match String.index_opt line ':' with
-    | None ->
-      st.errors_rev <-
-        { line = lineno; text = raw; reason = "line is not key: value" } :: st.errors_rev
-    | Some i ->
-      let key = Rz_util.Strings.strip (String.sub line 0 i) in
-      let value = String.sub line (i + 1) (String.length line - i - 1) in
-      if not (valid_key key) then
-        st.errors_rev <-
-          { line = lineno; text = raw; reason = Printf.sprintf "invalid attribute key %S" key }
-          :: st.errors_rev
-      else begin
-        if st.current = [] then st.start_line <- lineno;
-        let buf = Buffer.create 32 in
-        Buffer.add_string buf (Rz_util.Strings.strip value);
-        st.current <- (key, buf) :: st.current
-      end
+  else begin
+    let line = strip_comment raw in
+    if Rz_util.Strings.is_blank line then flush_object st
+    else if String.length raw > 0 && raw.[0] = '%' then () (* server remark *)
+    else if is_continuation line then begin
+      (* Continuation of the previous attribute's value. A '+' alone
+         continues with an empty line; otherwise append the folded text. *)
+      match st.current with
+      | [] ->
+        push_error st
+          { line = lineno; text = raw; reason = "continuation line outside an object" }
+      | (_, buf) :: _ ->
+        let text =
+          if line.[0] = '+' then String.sub line 1 (String.length line - 1) else line
+        in
+        let text = Rz_util.Strings.strip text in
+        if text <> "" then begin
+          Buffer.add_char buf '\n';
+          Buffer.add_string buf text
+        end
+    end
+    else
+      match String.index_opt line ':' with
+      | None ->
+        push_error st { line = lineno; text = raw; reason = "line is not key: value" }
+      | Some i ->
+        let key = Rz_util.Strings.strip (String.sub line 0 i) in
+        let value = String.sub line (i + 1) (String.length line - i - 1) in
+        if not (valid_key key) then
+          push_error st
+            { line = lineno; text = raw;
+              reason = Printf.sprintf "invalid attribute key %S" key }
+        else begin
+          if st.current = [] then st.start_line <- lineno;
+          let buf = Buffer.create 32 in
+          Buffer.add_string buf (Rz_util.Strings.strip value);
+          st.current <- (key, buf) :: st.current
+        end
+  end
 
-let parse_string text =
-  let st = fresh_state () in
-  List.iteri (fun i line -> feed_line st (i + 1) line) (String.split_on_char '\n' text);
+(* Close the accumulator: flush the trailing object, convert the budget
+   overflow into one synthetic summary error, and count the totals. *)
+let finish st =
   flush_object st;
+  if st.suppressed > 0 then
+    st.errors_rev <-
+      { line = 0; text = "";
+        reason =
+          Printf.sprintf "error budget (%d) exhausted; %d further errors suppressed"
+            st.limits.max_errors st.suppressed }
+      :: st.errors_rev;
   let objects = List.rev st.objects_rev and errors = List.rev st.errors_rev in
   count_result objects errors;
   { objects; errors }
 
-let parse_file path =
-  let ic = open_in path in
-  let st = fresh_state () in
-  (try
+let parse_string ?(limits = default_limits) text =
+  let st = fresh_state limits in
+  List.iteri (fun i line -> feed_line st (i + 1) line) (String.split_on_char '\n' text);
+  finish st
+
+let parse_file ?(limits = default_limits) path =
+  let st = fresh_state limits in
+  (match open_in path with
+   | exception Sys_error msg ->
+     push_error st { line = 0; text = path; reason = "cannot open: " ^ msg }
+   | ic ->
      let lineno = ref 0 in
+     (* Any mid-file failure (truncated dump, I/O error, interrupt while
+        reading an NFS-mounted registry mirror) keeps everything parsed so
+        far and becomes a synthetic trailing error — a 3 GiB dump cut off
+        at 99% must not discard 99% of its objects. *)
      (try
         while true do
           incr lineno;
           feed_line st !lineno (input_line ic)
         done
-      with End_of_file -> ());
-     flush_object st;
-     close_in ic
-   with e ->
-     close_in ic;
-     raise e);
-  let objects = List.rev st.objects_rev and errors = List.rev st.errors_rev in
-  count_result objects errors;
-  { objects; errors }
+      with
+      | End_of_file -> ()
+      | e ->
+        push_error st
+          { line = !lineno; text = path;
+            reason = "read aborted: " ^ Printexc.to_string e });
+     (try close_in ic with Sys_error _ -> ()));
+  finish st
 
-let fold_file path ~init ~f =
-  let parsed = parse_file path in
+let fold_file ?limits path ~init ~f =
+  let parsed = parse_file ?limits path in
   (List.fold_left f init parsed.objects, parsed.errors)

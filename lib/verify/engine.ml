@@ -23,6 +23,7 @@ let c_unverified = Obs.Counter.make "verify.status.unverified"
 let c_as_set_evals = Obs.Counter.make "verify.filter_evals.as_set"
 let c_filter_abstains = Obs.Counter.make "verify.filter_abstains_total"
 let c_routes = Obs.Counter.make "verify.routes_total"
+let c_nfa_capped = Obs.Counter.make "nfa.capped"
 let c_routes_excluded = Obs.Counter.make "verify.routes_excluded_total"
 let h_route_ns = Obs.Histogram.make "verify.route_ns"
 
@@ -144,6 +145,17 @@ let rec eval_filter t ctx (filter : Ast.filter) : outcome =
   | Ast.Path_regex regex ->
     if t.config.paper_compat && Rz_aspath.Regex_ast.uses_future_work_features regex then
       Abstain (A_skip Status.Future_work_regex)
+    else if
+      (* Repetition bombs ({1000,2000} and friends) blow up both matchers:
+         the NFA by state expansion, the backtracker by stack depth. Refuse
+         the pattern before evaluating it — NoMatch means the filter can
+         never admit the route, so the hop falls through to Unverified
+         (conservative abstain), and [nfa.capped] records the refusal. *)
+      Rz_aspath.Regex_ast.state_estimate regex > Rz_aspath.Regex_nfa.default_max_states
+    then begin
+      Obs.Counter.incr c_nfa_capped;
+      NoMatch
+    end
     else begin
       let env =
         { Rz_aspath.Regex_match.asn_in_set = (fun name asn -> Db.asn_in_as_set t.db name asn);

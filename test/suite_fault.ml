@@ -1,0 +1,255 @@
+(* Tests for the fault-injection harness (Rz_fault) and the recovery
+   paths it exists to exercise: the bounded reader, the bounded
+   flatteners, the capped NFA compiler, and crash-isolated parallel
+   verification. *)
+
+module Fault = Rz_fault.Fault
+module Reader = Rz_rpsl.Reader
+module Db = Rz_irr.Db
+module Obs = Rz_obs.Obs
+
+let sample_dump =
+  "aut-num: AS65001\n\
+   as-name: ONE\n\
+   import: from AS65002 accept ANY\n\
+   export: to AS65002 announce AS65001\n\
+   \n\
+   as-set: AS-ONE\n\
+   members: AS65001, AS65003\n\
+   \n\
+   route: 192.0.2.0/24\n\
+   origin: AS65001\n\
+   \n\
+   route: 198.51.100.0/24\n\
+   origin: AS65003\n"
+
+let plan ?kinds ~rate () = Fault.plan ?kinds ~seed:99 ~rate ()
+
+(* ---- the injector itself ---- *)
+
+let test_determinism () =
+  let p = plan ~rate:0.7 () in
+  let a, ra = Fault.corrupt_dump p sample_dump in
+  let b, rb = Fault.corrupt_dump p sample_dump in
+  Alcotest.(check string) "same plan, same bytes" a b;
+  Alcotest.(check int) "same fault count" (Fault.total_faults ra) (Fault.total_faults rb);
+  let p2 = Fault.plan ~seed:100 ~rate:0.7 () in
+  let c, _ = Fault.corrupt_dump p2 sample_dump in
+  Alcotest.(check bool) "different seed, different bytes" true (a <> c)
+
+let test_rate_zero_identity () =
+  let out, report = Fault.corrupt_dump (plan ~rate:0.0 ()) sample_dump in
+  Alcotest.(check string) "byte-identical" sample_dump out;
+  Alcotest.(check int) "no faults" 0 (Fault.total_faults report)
+
+let test_kind_names_roundtrip () =
+  List.iter
+    (fun k ->
+      match Fault.kind_of_name (Fault.kind_name k) with
+      | Some k' -> Alcotest.(check bool) (Fault.kind_name k) true (k = k')
+      | None -> Alcotest.failf "kind %s does not roundtrip" (Fault.kind_name k))
+    Fault.all_kinds;
+  Alcotest.(check bool) "unknown name" true (Fault.kind_of_name "no-such-kind" = None)
+
+let test_every_kind_applies () =
+  List.iter
+    (fun k ->
+      let p = plan ~kinds:[ k ] ~rate:1.0 () in
+      let _, report = Fault.corrupt_dump p sample_dump in
+      let n = Option.value ~default:0 (List.assoc_opt k report.faults) in
+      Alcotest.(check bool) (Fault.kind_name k ^ " fires at rate 1") true (n > 0))
+    Fault.all_kinds
+
+(* ---- reader robustness ---- *)
+
+let test_parse_corrupted_never_raises () =
+  (* every kind at full blast, several seeds: the reader must return a
+     result (objects + errors), never raise, and account for what it saw *)
+  List.iter
+    (fun seed ->
+      let p = Fault.plan ~seed ~rate:1.0 () in
+      let corrupted, _ = Fault.corrupt_dump p sample_dump in
+      let r = Reader.parse_string corrupted in
+      Alcotest.(check bool) "some objects survive or errors recorded" true
+        (r.objects <> [] || r.errors <> []))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_reader_oversized_line_dropped () =
+  Obs.enable ();
+  Obs.reset ();
+  let c = Obs.Counter.make "reader.lines_dropped" in
+  let text = "aut-num: AS1\nremarks: " ^ String.make 70_000 'x' ^ "\nas-name: X\n" in
+  let r = Reader.parse_string text in
+  Obs.disable ();
+  Alcotest.(check int) "object survives" 1 (List.length r.objects);
+  Alcotest.(check int) "one error" 1 (List.length r.errors);
+  Alcotest.(check bool) "lines_dropped counted" true (Obs.Counter.get c > 0);
+  (* the surviving object keeps the attrs around the dropped line *)
+  let obj = List.hd r.objects in
+  Alcotest.(check int) "two attrs kept" 2 (List.length obj.Rz_rpsl.Obj.attrs)
+
+let test_reader_error_budget () =
+  let limits = { Reader.default_limits with max_errors = 5 } in
+  let garbage = String.concat "\n" (List.init 50 (fun i -> Printf.sprintf "junk %d" i)) in
+  let r = Reader.parse_string ~limits garbage in
+  (* 5 recorded + 1 synthetic summary *)
+  Alcotest.(check int) "budget + summary" 6 (List.length r.errors);
+  let summary = List.nth r.errors (List.length r.errors - 1) in
+  Alcotest.(check bool) "summary mentions suppression" true
+    (Rz_util.Strings.split_on_string ~sep:"suppressed" summary.reason |> List.length > 1)
+
+let test_parse_file_missing () =
+  let r = Reader.parse_file "/nonexistent/rpslyzer-fault-test.db" in
+  Alcotest.(check int) "no objects" 0 (List.length r.objects);
+  Alcotest.(check int) "one synthetic error" 1 (List.length r.errors)
+
+let test_parse_file_partial () =
+  let path = Filename.temp_file "rz_fault" ".db" in
+  let oc = open_out path in
+  output_string oc sample_dump;
+  close_out oc;
+  let r = Reader.parse_file path in
+  Sys.remove path;
+  Alcotest.(check int) "all four objects" 4 (List.length r.objects);
+  Alcotest.(check int) "no errors" 0 (List.length r.errors)
+
+(* ---- flattening bombs ---- *)
+
+let corrupt_db kinds =
+  let p = plan ~kinds ~rate:1.0 () in
+  let corrupted, _ = Fault.corrupt_dump p sample_dump in
+  Db.of_dumps [ ("TEST", corrupted) ]
+
+let test_deep_bomb_truncates () =
+  Obs.enable ();
+  Obs.reset ();
+  let c = Obs.Counter.make "flatten.truncated" in
+  let db = corrupt_db [ Fault.As_set_deep_bomb ] in
+  (* flattening the bomb root must terminate without stack overflow and
+     record truncation (chain depth 96 > cap 64) *)
+  let flat = Db.flatten_as_set db "AS-FAULT-DEEP-0-0" in
+  Obs.disable ();
+  Alcotest.(check bool) "truncation marked" true (Db.flatten_truncated db "AS-FAULT-DEEP-0-0");
+  Alcotest.(check bool) "counter fired" true (Obs.Counter.get c > 0);
+  (* the terminal member AS1 sits past the cap, so the flatten is partial *)
+  Alcotest.(check bool) "partial result" true (not (Db.Asn_set.mem 1 flat));
+  Alcotest.(check bool) "depth saturates, no overflow" true
+    (Db.as_set_depth db "AS-FAULT-DEEP-0-0" <= Db.max_flatten_depth + 1)
+
+let test_deep_bomb_depth_relationship () =
+  (* the bomb must actually overshoot the db cap, or the test above is
+     vacuous; pin the relationship between the two literals *)
+  let db = corrupt_db [ Fault.As_set_deep_bomb ] in
+  Alcotest.(check bool) "bomb deeper than cap" true
+    (Db.as_set_exists db (Printf.sprintf "AS-FAULT-DEEP-0-%d" (Db.max_flatten_depth + 1)))
+
+let test_cycle_bomb_detected () =
+  let db = corrupt_db [ Fault.As_set_cycle_bomb ] in
+  Alcotest.(check bool) "cycle detected" true (Db.as_set_has_loop db "AS-FAULT-CYC-0-0");
+  (* flattening a cycle terminates and is not marked truncated (cycles are
+     cut exactly, not bounded away) *)
+  ignore (Db.flatten_as_set db "AS-FAULT-CYC-0-0");
+  Alcotest.(check bool) "cycle is cut, not truncated" true
+    (not (Db.flatten_truncated db "AS-FAULT-CYC-0-0"))
+
+let test_clean_sets_unaffected () =
+  let db = corrupt_db [ Fault.As_set_deep_bomb ] in
+  let flat = Db.flatten_as_set db "AS-ONE" in
+  Alcotest.(check int) "clean set flattens fully" 2 (Db.Asn_set.cardinal flat);
+  Alcotest.(check bool) "not truncated" true (not (Db.flatten_truncated db "AS-ONE"))
+
+(* ---- pathological regex ---- *)
+
+let test_regex_bomb_capped () =
+  Obs.enable ();
+  Obs.reset ();
+  let c = Obs.Counter.make "nfa.capped" in
+  match Rz_aspath.Regex_parse.parse "^AS2{3000,6000}$" with
+  | Error e -> Alcotest.fail e
+  | Ok ast ->
+    Alcotest.(check bool) "estimate over budget" true
+      (Rz_aspath.Regex_ast.state_estimate ast > Rz_aspath.Regex_nfa.default_max_states);
+    let nfa = Rz_aspath.Regex_nfa.compile ast in
+    Obs.disable ();
+    Alcotest.(check bool) "capped" true (Rz_aspath.Regex_nfa.is_capped nfa);
+    Alcotest.(check int) "no states allocated" 0 (Rz_aspath.Regex_nfa.state_count nfa);
+    Alcotest.(check bool) "counter fired" true (Obs.Counter.get c > 0);
+    (* conservative abstain: a capped matcher admits nothing *)
+    Alcotest.(check bool) "matches nothing" false
+      (Rz_aspath.Regex_nfa.matches nfa [| 2 |])
+
+let test_regex_estimate_sane () =
+  (* ordinary patterns stay far under the cap and still compile *)
+  List.iter
+    (fun s ->
+      match Rz_aspath.Regex_parse.parse s with
+      | Error e -> Alcotest.fail (s ^ ": " ^ e)
+      | Ok ast ->
+        Alcotest.(check bool) (s ^ " under budget") true
+          (Rz_aspath.Regex_ast.state_estimate ast <= 1000);
+        Alcotest.(check bool) (s ^ " compiles") true
+          (not (Rz_aspath.Regex_nfa.is_capped (Rz_aspath.Regex_nfa.compile ast))))
+    [ "^AS1+$"; "AS1 AS2* [AS3 AS4]"; "^AS-FOO{1,9}$"; "(AS1|AS2){2,4} AS5~*" ]
+
+(* ---- crash-isolated parallel verification ---- *)
+
+let small_world =
+  lazy
+    (let topo_params =
+       { Rz_topology.Gen.default_params with seed = 5; n_tier1 = 3; n_mid = 12; n_stub = 40 }
+     in
+     Rpslyzer.Pipeline.build_synthetic ~topo_params ())
+
+let agg_fingerprint agg =
+  (Rz_verify.Aggregate.n_hops agg,
+   Rz_verify.Aggregate.counts_classes (Rz_verify.Aggregate.overall agg))
+
+let test_domain_crash_loses_nothing () =
+  Obs.enable ();
+  Obs.reset ();
+  let retries = Obs.Counter.make "verify.domain_retries" in
+  let world = Lazy.force small_world in
+  let seq, `Total t1, `Excluded e1 = Rpslyzer.Pipeline.verify world in
+  (* crash every domain: the whole verification runs through the
+     sequential retry path and must still account for every route *)
+  let par, `Total t2, `Excluded e2 =
+    Rpslyzer.Pipeline.verify_parallel ~domains:4
+      ~inject_domain_fault:(fun _ -> failwith "injected crash")
+      world
+  in
+  Obs.disable ();
+  Alcotest.(check int) "totals equal" t1 t2;
+  Alcotest.(check int) "excluded equal" e1 e2;
+  Alcotest.(check bool) "aggregates identical" true
+    (agg_fingerprint seq = agg_fingerprint par);
+  Alcotest.(check int) "every domain retried" 4 (Obs.Counter.get retries)
+
+let test_single_domain_crash () =
+  let world = Lazy.force small_world in
+  let seq, _, _ = Rpslyzer.Pipeline.verify world in
+  let par, _, _ =
+    Rpslyzer.Pipeline.verify_parallel ~domains:4
+      ~inject_domain_fault:(fun d -> if d = 2 then failwith "injected crash")
+      world
+  in
+  Alcotest.(check bool) "one crashed domain, same aggregate" true
+    (agg_fingerprint seq = agg_fingerprint par)
+
+let suite =
+  [ Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "rate 0 identity" `Quick test_rate_zero_identity;
+    Alcotest.test_case "kind names roundtrip" `Quick test_kind_names_roundtrip;
+    Alcotest.test_case "every kind applies" `Quick test_every_kind_applies;
+    Alcotest.test_case "corrupted parse never raises" `Quick test_parse_corrupted_never_raises;
+    Alcotest.test_case "oversized line dropped" `Quick test_reader_oversized_line_dropped;
+    Alcotest.test_case "error budget" `Quick test_reader_error_budget;
+    Alcotest.test_case "parse_file missing" `Quick test_parse_file_missing;
+    Alcotest.test_case "parse_file clean" `Quick test_parse_file_partial;
+    Alcotest.test_case "deep bomb truncates" `Quick test_deep_bomb_truncates;
+    Alcotest.test_case "deep bomb overshoots cap" `Quick test_deep_bomb_depth_relationship;
+    Alcotest.test_case "cycle bomb detected" `Quick test_cycle_bomb_detected;
+    Alcotest.test_case "clean sets unaffected" `Quick test_clean_sets_unaffected;
+    Alcotest.test_case "regex bomb capped" `Quick test_regex_bomb_capped;
+    Alcotest.test_case "regex estimate sane" `Quick test_regex_estimate_sane;
+    Alcotest.test_case "all-domain crash loses nothing" `Quick test_domain_crash_loses_nothing;
+    Alcotest.test_case "single-domain crash" `Quick test_single_domain_crash ]

@@ -133,6 +133,50 @@ let test_unsupported_bang () =
   | Q.Error_resp _ -> ()
   | other -> Alcotest.failf "expected error, got %s" (Q.render other)
 
+(* ---- hostile queries: every answer must be a protocol response, never
+   an exception escaping into the session loop ---- *)
+
+let expect_fd label query =
+  match Q.answer (Lazy.force db) query with
+  | Q.Error_resp _ | Q.Not_found_key | Q.No_data -> ()
+  | other -> Alcotest.failf "%s: expected F/D/C, got %s" label (Q.render other)
+
+let test_malformed_garbage_bytes () =
+  expect_fd "nul garbage" "\x00\x01\xff\xfebinary";
+  expect_fd "nul after bang" "!\x00\x01\x02";
+  expect_fd "bang g garbage" "!g\x00\xff not an asn";
+  expect_fd "high bytes" "\xc3\xa9\xc2\xa0\xe2\x80\x8b"
+
+let test_malformed_overlong_set_name () =
+  expect_fd "overlong !i" ("!i" ^ String.make 100_000 'A');
+  expect_fd "overlong !i recursive" ("!iAS-" ^ String.make 100_000 'X' ^ ",1");
+  expect_fd "overlong !a" ("!a" ^ String.make 50_000 'B')
+
+let test_malformed_r_prefixes () =
+  expect_fd "not a prefix" "!rnot-a-prefix";
+  expect_fd "octets out of range" "!r999.999.999.999/99";
+  expect_fd "negative length" "!r192.0.2.0/-1";
+  expect_fd "lone slash" "!r/";
+  expect_fd "empty with mode" "!r,l";
+  expect_fd "v6 garbage" "!r:::::/200,o"
+
+let test_malformed_empty_and_whitespace () =
+  Alcotest.(check bool) "empty query -> C" true (Q.answer (Lazy.force db) "" = Q.No_data);
+  Alcotest.(check bool) "whitespace query -> C" true
+    (Q.answer (Lazy.force db) "   \t  " = Q.No_data);
+  expect_fd "lone bang" "!";
+  expect_fd "bang i no arg" "!i";
+  expect_fd "bang m no comma" "!maut-num"
+
+let test_malformed_session_survives () =
+  (* a hostile session never raises and produces one framed response per
+     query line *)
+  let transcript =
+    Q.session (Lazy.force db)
+      [ "\x00garbage"; "!r999.999.999.999/99"; "!i" ^ String.make 10_000 'Z'; "" ]
+  in
+  Alcotest.(check bool) "non-empty transcript" true (String.length transcript > 0)
+
 let suite =
   [ Alcotest.test_case "!g origin v4" `Quick test_g_origin_v4;
     Alcotest.test_case "!6 origin v6" `Quick test_6_origin_v6;
@@ -149,4 +193,9 @@ let suite =
     Alcotest.test_case "plain whois" `Quick test_plain_whois;
     Alcotest.test_case "framing" `Quick test_framing;
     Alcotest.test_case "session" `Quick test_session;
-    Alcotest.test_case "unsupported !x" `Quick test_unsupported_bang ]
+    Alcotest.test_case "unsupported !x" `Quick test_unsupported_bang;
+    Alcotest.test_case "malformed: garbage bytes" `Quick test_malformed_garbage_bytes;
+    Alcotest.test_case "malformed: overlong set names" `Quick test_malformed_overlong_set_name;
+    Alcotest.test_case "malformed: !r bad prefixes" `Quick test_malformed_r_prefixes;
+    Alcotest.test_case "malformed: empty/whitespace" `Quick test_malformed_empty_and_whitespace;
+    Alcotest.test_case "malformed: session survives" `Quick test_malformed_session_survives ]

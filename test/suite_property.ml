@@ -197,6 +197,67 @@ let histogram_quantile_accuracy =
              est >= exact /. g && est <= exact *. g)
            [ 0.0; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ])
 
+(* ---------------- fault-injection properties ---------------- *)
+
+(* One moderately sized clean dump, corrupted differently per case. *)
+let fault_base_dumps =
+  lazy
+    (let topo_params =
+       { Rz_topology.Gen.default_params with seed = 11; n_tier1 = 2; n_mid = 10; n_stub = 30 }
+     in
+     (Rpslyzer.Pipeline.build_synthetic ~topo_params ()).dumps)
+
+let gen_fault_plan =
+  Gen.map2
+    (fun seed rate -> Rz_fault.Fault.plan ~seed ~rate:(float_of_int rate /. 100.) ())
+    (Gen.int_range 0 10_000) (Gen.int_range 0 40)
+
+(* Parsing is total and deterministic on any corrupted dump: for every
+   plan, parse_string returns a result decomposed into objects + errors
+   (never an exception), twice-parsing agrees, and a non-empty corrupted
+   text always accounts for at least one object or error. *)
+let fault_parse_total =
+  QCheck.Test.make ~count:40 ~name:"corrupted parse is total and deterministic"
+    (QCheck.make gen_fault_plan) (fun plan ->
+      List.for_all
+        (fun (_, text) ->
+          let corrupted, _ = Rz_fault.Fault.corrupt_dump plan text in
+          let a = Rz_rpsl.Reader.parse_string corrupted in
+          let b = Rz_rpsl.Reader.parse_string corrupted in
+          List.length a.objects = List.length b.objects
+          && List.length a.errors = List.length b.errors
+          && (String.trim corrupted = "" || a.objects <> [] || a.errors <> []))
+        (Lazy.force fault_base_dumps))
+
+(* Hop accounting survives corruption and domain crashes: the aggregate's
+   per-class counts sum to its hop total, and both agree with the
+   verify.hops_total observability counter. *)
+let fault_hops_accounting =
+  QCheck.Test.make ~count:5 ~name:"hop accounting under corruption"
+    (QCheck.make gen_fault_plan) (fun plan ->
+      let world =
+        Rpslyzer.Pipeline.build_synthetic
+          ~topo_params:{ Rz_topology.Gen.default_params with seed = 11; n_tier1 = 2; n_mid = 10; n_stub = 30 }
+          ()
+      in
+      let corrupted, _ = Rz_fault.Fault.corrupt_dumps plan world.dumps in
+      let db = Rz_irr.Db.of_dumps corrupted in
+      let world = { world with Rpslyzer.Pipeline.db; dumps = corrupted } in
+      Rz_obs.Obs.enable ();
+      Rz_obs.Obs.reset ();
+      let c_hops = Rz_obs.Obs.Counter.make "verify.hops_total" in
+      let agg, _, _ =
+        Rpslyzer.Pipeline.verify_parallel ~domains:3
+          ~inject_domain_fault:(fun d -> if d = 0 then failwith "crash")
+          world
+      in
+      let counted = Rz_obs.Obs.Counter.get c_hops in
+      Rz_obs.Obs.disable ();
+      let classes = Rz_verify.Aggregate.counts_classes (Rz_verify.Aggregate.overall agg) in
+      let class_sum = List.fold_left (fun acc (_, n) -> acc + n) 0 classes in
+      let hops = Rz_verify.Aggregate.n_hops agg in
+      class_sum = hops && counted = hops)
+
 (* ---------------- file IO agreement ---------------- *)
 
 let test_parse_file_agrees () =
@@ -262,6 +323,8 @@ let suite =
     QCheck_alcotest.to_alcotest engine_total_and_deterministic;
     QCheck_alcotest.to_alcotest status_precedence_no_aut_num;
     QCheck_alcotest.to_alcotest histogram_quantile_accuracy;
+    QCheck_alcotest.to_alcotest fault_parse_total;
+    QCheck_alcotest.to_alcotest fault_hops_accounting;
     Alcotest.test_case "parse_file agrees with parse_string" `Quick test_parse_file_agrees;
     Alcotest.test_case "fold_file" `Quick test_fold_file;
     Alcotest.test_case "world save/load roundtrip" `Quick test_world_save_load_roundtrip ]

@@ -26,4 +26,5 @@ let () =
       ("actions", Suite_actions.suite);
       ("rpki", Suite_rpki.suite);
       ("inference", Suite_inference.suite);
-      ("edge", Suite_edge.suite) ]
+      ("edge", Suite_edge.suite);
+      ("fault", Suite_fault.suite) ]
