@@ -32,6 +32,32 @@ let metrics_path =
   in
   find 1
 
+(* --bench-verify [FILE]: run the verify-throughput benchmark (memo/dedup
+   overhaul vs the pre-overhaul engine ablation), write FILE (default
+   BENCH_verify.json), and exit. --bench-baseline FILE additionally
+   compares route accounting against a committed baseline snapshot and
+   fails when it drifts. *)
+let bench_verify_out =
+  let rec find i =
+    if i >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--bench-verify" then
+      if
+        i + 1 < Array.length Sys.argv
+        && not (String.length Sys.argv.(i + 1) >= 2 && String.sub Sys.argv.(i + 1) 0 2 = "--")
+      then Some Sys.argv.(i + 1)
+      else Some "BENCH_verify.json"
+    else find (i + 1)
+  in
+  find 1
+
+let bench_baseline_path =
+  let rec find i =
+    if i >= Array.length Sys.argv - 1 then None
+    else if Sys.argv.(i) = "--bench-baseline" then Some Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
+
 let () = if metrics_path <> None then Rpslyzer.Obs.enable ()
 
 let write_csv name header rows =
@@ -158,6 +184,227 @@ let () =
     Printf.printf "\nchaos sweep: contract held at every rate (seed %d)\n" chaos_seed;
     exit 0
   end
+
+(* ------------------------------------------------------------------ *)
+(* Verify-throughput benchmark (--bench-verify)                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Times the overhauled verification stack (hop-verdict memoization,
+   compiled-regex cache, route dedup with multiplicity, work-stealing
+   shards) against the closest in-tree ablation of the pre-overhaul
+   engine: memoization off, no dedup, one route at a time — what
+   [Pipeline.verify] did before this layer existed. The three runs must
+   produce identical aggregates (the whole point of the caches is that
+   they are invisible in the output); accounting drift or zero throughput
+   is a benchmark failure, and [--bench-baseline] extends that check
+   across commits. Exits 0 on success, skipping the paper tables. *)
+let () =
+  match bench_verify_out with
+  | None -> ()
+  | Some out ->
+    section "Verify throughput: overhauled engine vs pre-overhaul ablation";
+    let module Json = Rpslyzer.Json in
+    let module Engine = Rz_verify.Engine in
+    let fail msg =
+      Printf.eprintf "BENCH VERIFY FAILED: %s\n" msg;
+      exit 1
+    in
+    (* The workload is [snapshots] consecutive RIB snapshots of the
+       world's collector dumps — the shape of the paper's 779M-route run,
+       where the same routes recur across collectors and dump times. Route
+       dedup and hop memoization exist precisely for that recurrence. *)
+    let snapshots = 12 in
+    let bench_world =
+      { world with
+        Rpslyzer.Pipeline.table_dumps =
+          List.concat (List.init snapshots (fun _ -> world.Rpslyzer.Pipeline.table_dumps)) }
+    in
+    let routes =
+      Array.of_list
+        (List.concat_map
+           (fun (d : Rz_bgp.Table_dump.t) -> d.routes)
+           bench_world.Rpslyzer.Pipeline.table_dumps)
+    in
+    let n_total = Array.length routes in
+    let fingerprint agg =
+      (Aggregate.n_routes agg, Aggregate.n_hops agg,
+       Aggregate.counts_classes (Aggregate.overall agg))
+    in
+    (* All passes are timed with metrics disabled (shared atomic counters
+       would serialize the domains); a separate metered pass afterwards
+       collects the cache statistics. Shared Db/Rel_db caches are warmed
+       first so every pass sees the same state. *)
+    Rpslyzer.Obs.disable ();
+    Rz_irr.Db.warm_caches world.db;
+    Rz_asrel.Rel_db.warm_cones world.rels;
+    (* Each pass runs [reps] times and reports the fastest: wall-clock on a
+       shared machine is noisy and the minimum is the least contaminated
+       estimate of the code's actual cost. *)
+    let reps = 3 in
+    let timed f =
+      let best_t = ref infinity and best_r = ref None in
+      for _ = 1 to reps do
+        let t0 = Unix.gettimeofday () in
+        let r = f () in
+        let dt = Unix.gettimeofday () -. t0 in
+        if dt < !best_t then begin
+          best_t := dt;
+          best_r := Some r
+        end
+      done;
+      (Option.get !best_r, !best_t)
+    in
+    (* pre-overhaul ablation: sequential, memo off, undeduplicated *)
+    let (agg_off, excl_off), t_off =
+      timed (fun () ->
+          let engine =
+            Engine.create
+              ~config:{ Engine.default_config with memoize = false }
+              world.db world.rels
+          in
+          let agg = Aggregate.create () in
+          let excluded = ref 0 in
+          Array.iter
+            (fun route ->
+              match Engine.verify_route engine route with
+              | Some report -> Aggregate.add_route_report agg report
+              | None -> incr excluded)
+            routes;
+          (agg, !excluded))
+    in
+    (* overhauled stack, single domain: dedup + memo, no parallelism *)
+    let (agg_on, excl_on), t_on =
+      timed (fun () ->
+          let agg, `Total total, `Excluded excluded =
+            Rpslyzer.Pipeline.verify_parallel ~domains:1 bench_world
+          in
+          if total <> n_total then fail "single-domain run dropped routes";
+          (agg, excluded))
+    in
+    (* Full parallel stack: dedup + memo + work-stealing across domains.
+       This row exercises the stealing/merge/retry machinery and its
+       identical-aggregate contract; on boxes with fewer cores than
+       [par_domains] it is oversubscribed and its wall-clock is not a
+       speedup claim — the 1-domain row is the like-for-like measure. *)
+    let par_domains = 4 in
+    let (agg_par, excl_par), t_par =
+      timed (fun () ->
+          let agg, `Total total, `Excluded excluded =
+            Rpslyzer.Pipeline.verify_parallel ~domains:par_domains bench_world
+          in
+          if total <> n_total then fail "parallel run dropped routes";
+          (agg, excluded))
+    in
+    (* metered pass: cache statistics (hit rate, dedup, stealing) *)
+    let c_hits = Rpslyzer.Obs.Counter.make "verify.memo_hits" in
+    let c_misses = Rpslyzer.Obs.Counter.make "verify.memo_misses" in
+    let c_collapsed = Rpslyzer.Obs.Counter.make "dedup.collapsed" in
+    let c_steal = Rpslyzer.Obs.Counter.make "steal.batches" in
+    Rpslyzer.Obs.enable ();
+    Rpslyzer.Obs.reset ();
+    ignore (Rpslyzer.Pipeline.verify_parallel ~domains:1 bench_world);
+    Rpslyzer.Obs.disable ();
+    let memo_hits = Rpslyzer.Obs.Counter.get c_hits in
+    let memo_misses = Rpslyzer.Obs.Counter.get c_misses in
+    let collapsed = Rpslyzer.Obs.Counter.get c_collapsed in
+    let steal_batches = Rpslyzer.Obs.Counter.get c_steal in
+    (* identical-output contract *)
+    if fingerprint agg_on <> fingerprint agg_off || excl_on <> excl_off then
+      fail "memo/dedup changed the aggregate vs the pre-overhaul ablation";
+    if fingerprint agg_par <> fingerprint agg_off || excl_par <> excl_off then
+      fail "work-stealing parallel run changed the aggregate";
+    let rps t = if t > 0. then fint n_total /. t else 0. in
+    if rps t_off <= 0. || rps t_on <= 0. || rps t_par <= 0. then
+      fail "zero throughput";
+    let hit_rate =
+      if memo_hits + memo_misses = 0 then 0.
+      else fint memo_hits /. fint (memo_hits + memo_misses)
+    in
+    let speedup = t_off /. t_on in
+    Table.print
+      ~header:[ "engine"; "secs"; "routes/s"; "speedup" ]
+      [ [ "pre-overhaul (no memo, no dedup)"; Printf.sprintf "%.3f" t_off;
+          Printf.sprintf "%.0f" (rps t_off); "1.00x" ];
+        [ "overhauled, 1 domain"; Printf.sprintf "%.3f" t_on;
+          Printf.sprintf "%.0f" (rps t_on); Printf.sprintf "%.2fx" speedup ];
+        [ Printf.sprintf "overhauled, %d domains" par_domains;
+          Printf.sprintf "%.3f" t_par; Printf.sprintf "%.0f" (rps t_par);
+          Printf.sprintf "%.2fx" (t_off /. t_par) ] ];
+    if Domain.recommended_domain_count () < par_domains then
+      Printf.printf
+        "(%d-domain row oversubscribed: %d core(s) available)\n"
+        par_domains
+        (Domain.recommended_domain_count ());
+    Printf.printf
+      "\n%s routes (%s unique), memo hit rate %s, %d batches stolen\n"
+      (Table.commas n_total)
+      (Table.commas (n_total - collapsed))
+      (pct hit_rate) steal_batches;
+    let mode = if quick then "quick" else if big then "big" else "default" in
+    let counts = Aggregate.counts_classes (Aggregate.overall agg_off) in
+    let accounting =
+      Json.Obj
+        ([ ("routes", Json.Int n_total);
+           ("excluded", Json.Int excl_off);
+           ("unique_routes", Json.Int (n_total - collapsed));
+           ("hops", Json.Int (Aggregate.n_hops agg_off)) ]
+        @ List.map (fun (label, v) -> (label, Json.Int v)) counts)
+    in
+    let json =
+      Json.Obj
+        [ ("mode", Json.String mode);
+          ("accounting", accounting);
+          ( "baseline_engine",
+            Json.Obj
+              [ ("secs", Json.Float t_off);
+                ("routes_per_sec", Json.Float (rps t_off)) ] );
+          ( "overhauled",
+            Json.Obj
+              [ ("secs", Json.Float t_on);
+                ("routes_per_sec", Json.Float (rps t_on));
+                ("memo_hits", Json.Int memo_hits);
+                ("memo_misses", Json.Int memo_misses);
+                ("memo_hit_rate", Json.Float hit_rate);
+                ("dedup_collapsed", Json.Int collapsed) ] );
+          ( "parallel",
+            Json.Obj
+              [ ("domains", Json.Int par_domains);
+                ("secs", Json.Float t_par);
+                ("routes_per_sec", Json.Float (rps t_par));
+                ("steal_batches", Json.Int steal_batches) ] );
+          ("speedup_sequential", Json.Float speedup) ]
+    in
+    let oc = open_out out in
+    output_string oc (Json.to_string ~indent:2 json);
+    output_string oc "\n";
+    close_out oc;
+    Printf.printf "(wrote %s)\n" out;
+    (match bench_baseline_path with
+     | None -> ()
+     | Some path ->
+       let text =
+         let ic = open_in path in
+         let s = really_input_string ic (in_channel_length ic) in
+         close_in ic;
+         s
+       in
+       (match Json.of_string text with
+        | Error e -> fail (Printf.sprintf "baseline %s: %s" path e)
+        | Ok base ->
+          (match (Json.member "mode" base, Json.member "accounting" base) with
+           | Some (Json.String base_mode), Some base_acc ->
+             if base_mode <> mode then
+               fail
+                 (Printf.sprintf "baseline mode %s does not match run mode %s"
+                    base_mode mode)
+             else if not (Json.equal base_acc accounting) then
+               fail
+                 (Printf.sprintf
+                    "route accounting drifted from baseline %s\nbaseline:  %s\nmeasured: %s"
+                    path (Json.to_string base_acc) (Json.to_string accounting))
+             else Printf.printf "accounting matches baseline %s\n" path
+           | _ -> fail (Printf.sprintf "baseline %s missing mode/accounting" path))));
+    exit 0
 
 let usage =
   let t0 = Unix.gettimeofday () in

@@ -195,7 +195,7 @@ let verify_cmd =
     guarded @@ fun () ->
     with_metrics metrics @@ fun () ->
     let world = Rpslyzer.Pipeline.load_world dir in
-    let config = { Rz_verify.Engine.paper_compat } in
+    let config = { Rz_verify.Engine.default_config with paper_compat } in
     let t0 = Unix.gettimeofday () in
     let agg, `Total total, `Excluded excluded =
       Rpslyzer.Pipeline.verify ~config world

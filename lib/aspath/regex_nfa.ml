@@ -117,6 +117,33 @@ let compile ?(max_states = default_max_states) ast =
 
 let state_count t = Array.length t.edges
 
+module Cache = struct
+  (* ASTs are pure structural data (no closures, no cycles), so the
+     polymorphic hash/equality of the generic Hashtbl hashcons them
+     correctly: two textually identical patterns share one compiled
+     matcher. The cap decision happens inside [compile] exactly once per
+     distinct pattern, so [nfa.capped] records refusals per pattern, not
+     per evaluation. *)
+  type cache = { tbl : (Regex_ast.t, t) Hashtbl.t; max_states : int }
+
+  let c_compile_hits = Rz_obs.Obs.Counter.make "nfa.compile_hits"
+
+  let create ?(max_states = default_max_states) () =
+    { tbl = Hashtbl.create 64; max_states }
+
+  let get cache ast =
+    match Hashtbl.find_opt cache.tbl ast with
+    | Some nfa ->
+      Rz_obs.Obs.Counter.incr c_compile_hits;
+      nfa
+    | None ->
+      let nfa = compile ~max_states:cache.max_states ast in
+      Hashtbl.replace cache.tbl ast nfa;
+      nfa
+
+  let size cache = Hashtbl.length cache.tbl
+end
+
 (* Subset simulation. States are tracked together with anchor context:
    whether the run may still claim position-0 start. We simulate once per
    possible start offset to keep anchors simple (paths are short). Tilde

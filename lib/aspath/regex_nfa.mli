@@ -33,3 +33,23 @@ val matches : ?env:Regex_match.env -> t -> Rz_net.Asn.t array -> bool
 
 val state_count : t -> int
 (** Number of NFA states (for tests and the bench report); 0 when capped. *)
+
+(** Compile-once cache: hashconses regex ASTs so each distinct pattern is
+    compiled a single time per cache (the verification engine keeps one
+    per engine instance instead of recompiling per route). The
+    {!state_estimate} cap is decided at compile time inside the cache, so
+    a hostile pattern is refused once, not per evaluation. Not
+    domain-safe — give each domain its own cache, like each domain gets
+    its own engine. *)
+module Cache : sig
+  type cache
+
+  val create : ?max_states:int -> unit -> cache
+  (** [max_states] defaults to {!default_max_states}. *)
+
+  val get : cache -> Regex_ast.t -> t
+  (** Look up (incrementing [nfa.compile_hits]) or compile-and-memoize. *)
+
+  val size : cache -> int
+  (** Number of distinct patterns compiled so far. *)
+end

@@ -13,14 +13,16 @@ let zero_counts () =
 let counts_total c =
   c.verified + c.skipped + c.unrecorded + c.relaxed + c.safelisted + c.unverified
 
-let counts_add c (status : Status.t) =
+let counts_add_n c (status : Status.t) n =
   match status with
-  | Status.Verified -> c.verified <- c.verified + 1
-  | Status.Skipped _ -> c.skipped <- c.skipped + 1
-  | Status.Unrecorded _ -> c.unrecorded <- c.unrecorded + 1
-  | Status.Relaxed _ -> c.relaxed <- c.relaxed + 1
-  | Status.Safelisted _ -> c.safelisted <- c.safelisted + 1
-  | Status.Unverified -> c.unverified <- c.unverified + 1
+  | Status.Verified -> c.verified <- c.verified + n
+  | Status.Skipped _ -> c.skipped <- c.skipped + n
+  | Status.Unrecorded _ -> c.unrecorded <- c.unrecorded + n
+  | Status.Relaxed _ -> c.relaxed <- c.relaxed + n
+  | Status.Safelisted _ -> c.safelisted <- c.safelisted + n
+  | Status.Unverified -> c.unverified <- c.unverified + n
+
+let counts_add c status = counts_add_n c status 1
 
 let counts_classes c =
   [ ("verified", c.verified); ("skipped", c.skipped); ("unrecorded", c.unrecorded);
@@ -98,7 +100,7 @@ let special_flags_of t asn =
     Hashtbl.replace t.special_by_as asn f;
     f
 
-let record_hop t (hop : Report.hop) route_counts =
+let record_hop t ~weight (hop : Report.hop) route_counts =
   let subject =
     match hop.direction with `Import -> hop.to_as | `Export -> hop.from_as
   in
@@ -108,9 +110,11 @@ let record_hop t (hop : Report.hop) route_counts =
   let pair_table =
     match hop.direction with `Import -> t.per_pair_import | `Export -> t.per_pair_export
   in
-  counts_add (table_counts as_table subject) hop.status;
-  counts_add (table_counts pair_table (hop.from_as, hop.to_as)) hop.status;
-  counts_add t.total hop.status;
+  (* Global tallies take the route's multiplicity; [route_counts] is the
+     profile of one route, so it always takes 1. *)
+  counts_add_n (table_counts as_table subject) hop.status weight;
+  counts_add_n (table_counts pair_table (hop.from_as, hop.to_as)) hop.status weight;
+  counts_add_n t.total hop.status weight;
   counts_add route_counts hop.status;
   (match hop.status with
    | Status.Unrecorded reason ->
@@ -132,7 +136,7 @@ let record_hop t (hop : Report.hop) route_counts =
       | Status.Tier1_pair -> f.tier1_pair <- true
       | Status.Uphill -> f.uphill <- true)
    | Status.Unverified ->
-     t.unverified_hops <- t.unverified_hops + 1;
+     t.unverified_hops <- t.unverified_hops + weight;
      (* "Undeclared peering": every diagnostic is a peering mismatch —
         no rule's peering covered the neighbor. *)
      let peering_only =
@@ -142,14 +146,22 @@ let record_hop t (hop : Report.hop) route_counts =
            | _ -> false)
          hop.items
      in
-     if peering_only then t.unverified_peering_only <- t.unverified_peering_only + 1
+     if peering_only then
+       t.unverified_peering_only <- t.unverified_peering_only + weight
    | Status.Verified | Status.Skipped _ -> ())
 
-let add_route_report t (report : Report.route_report) =
-  let route_counts = zero_counts () in
-  List.iter (fun hop -> record_hop t hop route_counts) report.hops;
-  t.per_route <- route_counts :: t.per_route;
-  t.n_routes <- t.n_routes + 1
+let add_route_report ?(weight = 1) t (report : Report.route_report) =
+  if weight > 0 then begin
+    let route_counts = zero_counts () in
+    List.iter (fun hop -> record_hop t ~weight hop route_counts) report.hops;
+    (* [weight] identical routes contribute [weight] identical per-route
+       profiles; the record is never mutated after this point, so the
+       copies can share it. *)
+    for _ = 1 to weight do
+      t.per_route <- route_counts :: t.per_route
+    done;
+    t.n_routes <- t.n_routes + weight
+  end
 
 let add_counts_into (dst : counts) (src : counts) =
   dst.verified <- dst.verified + src.verified;

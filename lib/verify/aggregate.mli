@@ -22,7 +22,15 @@ val counts_classes : counts -> (string * int) list
 type t
 
 val create : unit -> t
-val add_route_report : t -> Report.route_report -> unit
+
+val add_route_report : ?weight:int -> t -> Report.route_report -> unit
+(** Fold one route's hop reports in. [weight] (default 1) is the route's
+    multiplicity: identical routes collapsed by dedup are verified once
+    and added with their pre-dedup copy count, which scales every global
+    tally (per-AS, per-pair, overall, [n_routes], the unverified-hop
+    accounting) while contributing [weight] identical per-route profiles —
+    exactly what adding the report [weight] separate times would produce.
+    A non-positive [weight] adds nothing. *)
 
 val merge_into : dst:t -> t -> unit
 (** Fold another aggregate into [dst]; used to combine per-domain

@@ -3,9 +3,9 @@ module Db = Rz_irr.Db
 module Rel_db = Rz_asrel.Rel_db
 module Range_op = Rz_net.Range_op
 
-type config = { paper_compat : bool }
+type config = { paper_compat : bool; memoize : bool }
 
-let default_config = { paper_compat = false }
+let default_config = { paper_compat = false; memoize = true }
 
 (* Observability: one increment of [verify.hops_total] plus exactly one
    per-status counter per hop check, so the status counters always sum
@@ -23,30 +23,83 @@ let c_unverified = Obs.Counter.make "verify.status.unverified"
 let c_as_set_evals = Obs.Counter.make "verify.filter_evals.as_set"
 let c_filter_abstains = Obs.Counter.make "verify.filter_abstains_total"
 let c_routes = Obs.Counter.make "verify.routes_total"
-let c_nfa_capped = Obs.Counter.make "nfa.capped"
 let c_routes_excluded = Obs.Counter.make "verify.routes_excluded_total"
+let c_memo_hits = Obs.Counter.make "verify.memo_hits"
+let c_memo_misses = Obs.Counter.make "verify.memo_misses"
 let h_route_ns = Obs.Histogram.make "verify.route_ns"
+
+let status_counter (status : Status.t) =
+  match status with
+  | Status.Verified -> c_verified
+  | Status.Skipped _ -> c_skipped
+  | Status.Unrecorded _ -> c_unrecorded
+  | Status.Relaxed _ -> c_relaxed
+  | Status.Safelisted _ -> c_safelisted
+  | Status.Unverified -> c_unverified
 
 let count_status (status : Status.t) =
   Obs.Counter.incr c_hops;
-  Obs.Counter.incr
-    (match status with
-     | Status.Verified -> c_verified
-     | Status.Skipped _ -> c_skipped
-     | Status.Unrecorded _ -> c_unrecorded
-     | Status.Relaxed _ -> c_relaxed
-     | Status.Safelisted _ -> c_safelisted
-     | Status.Unverified -> c_unverified)
+  Obs.Counter.incr (status_counter status)
+
+(* Key of one memoizable hop check. [second] is [path.(1)] for export
+   checks (read by the Export-Self relaxation and the uphill safelist) and
+   a sentinel otherwise — with it, every input [verify_hop] consumes on a
+   path-free policy is in the key, so a cached verdict is bit-identical to
+   a recomputed one. *)
+type hop_key = {
+  k_export : bool;
+  k_subject : Rz_net.Asn.t;
+  k_remote : Rz_net.Asn.t;
+  k_second : Rz_net.Asn.t;
+  k_prefix : Rz_net.Prefix.t;
+  k_origin : Rz_net.Asn.t;
+}
+
+(* The memo lookup sits on the per-hop fast path, so it avoids
+   [Hashtbl.hash]'s generic structure walk: ASNs and both address
+   families are machine integers underneath, mixed by hand. *)
+module Hop_tbl = Hashtbl.Make (struct
+  type t = hop_key
+
+  let equal a b =
+    a.k_subject = b.k_subject && a.k_remote = b.k_remote
+    && a.k_second = b.k_second && a.k_origin = b.k_origin
+    && a.k_export = b.k_export
+    && Rz_net.Prefix.equal a.k_prefix b.k_prefix
+
+  let prefix_hash (p : Rz_net.Prefix.t) =
+    match p.addr with
+    | Rz_net.Prefix.V4 a -> (a * 31) + p.len
+    | Rz_net.Prefix.V6 (hi, lo) ->
+      (((Int64.to_int hi * 31) + Int64.to_int lo) * 31) + p.len
+
+  let hash k =
+    let h = prefix_hash k.k_prefix in
+    let h = (h * 31) + k.k_subject in
+    let h = (h * 31) + k.k_remote in
+    let h = (h * 31) + k.k_second in
+    let h = (h * 31) + k.k_origin in
+    if k.k_export then h * 31 else h
+end)
 
 type t = {
   db : Db.t;
   rels : Rel_db.t;
   config : config;
   only_provider_memo : (Rz_net.Asn.t, bool) Hashtbl.t;
+  regex_cache : Rz_aspath.Regex_nfa.Cache.cache;
+      (* each distinct Path_regex pattern compiled once per engine *)
+  path_dep_memo : (int, bool) Hashtbl.t;
+      (* (subject lsl 1) lor is_export -> policies reference the AS-path *)
+  hop_memo : Report.hop Hop_tbl.t;
 }
 
 let create ?(config = default_config) db rels =
-  { db; rels; config; only_provider_memo = Hashtbl.create 64 }
+  { db; rels; config;
+    only_provider_memo = Hashtbl.create 64;
+    regex_cache = Rz_aspath.Regex_nfa.Cache.create ();
+    path_dep_memo = Hashtbl.create 64;
+    hop_memo = Hop_tbl.create 4096 }
 
 (* ------------------------------------------------------------------ *)
 (* Tri-valued evaluation: a filter/peering either matches, mismatches,  *)
@@ -76,16 +129,30 @@ type ctx = {
   path : Rz_net.Asn.t array;  (** exporter first, origin last *)
   remote : Rz_net.Asn.t;      (** PeerAS binding *)
   origin : Rz_net.Asn.t;
+  mutable covering : (Rz_net.Prefix.t * Rz_net.Asn.t) list option;
+      (** route objects covering [prefix], computed on first use — the
+          trie is walked once per hop check, however many filter terms
+          consult it *)
 }
+
+let make_ctx ~prefix ~path ~remote ~origin =
+  { prefix; path; remote; origin; covering = None }
+
+let covering t ctx =
+  match ctx.covering with
+  | Some routes -> routes
+  | None ->
+    let routes = Db.covering_routes t.db ctx.prefix in
+    ctx.covering <- Some routes;
+    routes
 
 (* ---------------- filters ---------------- *)
 
 let prefix_from_origin t ctx asn op =
-  let covering = Db.covering_routes t.db ctx.prefix in
   List.exists
     (fun (declared, o) ->
       o = asn && Range_op.matches op ~declared ~observed:ctx.prefix)
-    covering
+    (covering t ctx)
 
 let rec eval_filter t ctx (filter : Ast.filter) : outcome =
   match filter with
@@ -106,12 +173,11 @@ let rec eval_filter t ctx (filter : Ast.filter) : outcome =
     else begin
       Obs.Counter.incr c_as_set_evals;
       let members = Db.flatten_as_set t.db name in
-      let covering = Db.covering_routes t.db ctx.prefix in
       if
         List.exists
           (fun (declared, o) ->
             Db.Asn_set.mem o members && Range_op.matches op ~declared ~observed:ctx.prefix)
-          covering
+          (covering t ctx)
       then Match
       else NoMatch
     end
@@ -145,23 +211,20 @@ let rec eval_filter t ctx (filter : Ast.filter) : outcome =
   | Ast.Path_regex regex ->
     if t.config.paper_compat && Rz_aspath.Regex_ast.uses_future_work_features regex then
       Abstain (A_skip Status.Future_work_regex)
-    else if
-      (* Repetition bombs ({1000,2000} and friends) blow up both matchers:
-         the NFA by state expansion, the backtracker by stack depth. Refuse
-         the pattern before evaluating it — NoMatch means the filter can
-         never admit the route, so the hop falls through to Unverified
-         (conservative abstain), and [nfa.capped] records the refusal. *)
-      Rz_aspath.Regex_ast.state_estimate regex > Rz_aspath.Regex_nfa.default_max_states
-    then begin
-      Obs.Counter.incr c_nfa_capped;
-      NoMatch
-    end
     else begin
+      (* Each distinct pattern is compiled to its Thompson NFA once per
+         engine; every later route with the same pattern reuses it. The
+         state-estimate cap ({1000,2000} repetition bombs and friends) is
+         decided inside the cached compile: a capped matcher matches
+         nothing, so the hop falls through to Unverified (conservative
+         abstain) exactly as the old per-route estimate check did, and
+         [nfa.capped] records the refusal once per pattern. *)
+      let nfa = Rz_aspath.Regex_nfa.Cache.get t.regex_cache regex in
       let env =
         { Rz_aspath.Regex_match.asn_in_set = (fun name asn -> Db.asn_in_as_set t.db name asn);
           peer_as = Some ctx.remote }
       in
-      if Rz_aspath.Regex_match.matches ~env regex ctx.path then Match else NoMatch
+      if Rz_aspath.Regex_nfa.matches ~env nfa ctx.path then Match else NoMatch
     end
   | Ast.Community _ -> Abstain (A_skip Status.Community_filter)
   | Ast.Fltr_martian -> if Rz_net.Martian.is_martian ctx.prefix then Match else NoMatch
@@ -311,9 +374,7 @@ let export_self_applies t ctx ~subject (fact : factor_fact) =
     Rel_db.relationship t.rels subject received_from = Rel_db.A_provider_of_b
     &&
     let cone = Rel_db.customer_cone t.rels subject in
-    List.exists
-      (fun (_, o) -> Rel_db.Asn_set.mem o cone)
-      (Db.covering_routes t.db ctx.prefix)
+    List.exists (fun (_, o) -> Rel_db.Asn_set.mem o cone) (covering t ctx)
   | _ -> false
 
 (* Import Customer: filter names the (transit) customer the route comes
@@ -375,9 +436,57 @@ let only_provider_policies t ~subject =
     Hashtbl.replace t.only_provider_memo subject result;
     result
 
+(* ---------------- path-freeness analysis ---------------- *)
+
+(* A hop verdict may be memoized only when the subject's policies in that
+   direction never read the AS-path beyond what {!hop_key} captures (the
+   origin, plus [path.(1)] for exports). The one filter construct that
+   reads the full path is [Path_regex]; filter-sets are resolved
+   recursively (with a cycle guard) because they can hide one. *)
+let rec filter_reads_path t ~visiting (filter : Ast.filter) =
+  match filter with
+  | Ast.Path_regex _ -> true
+  | Ast.And_f (a, b) | Ast.Or_f (a, b) ->
+    filter_reads_path t ~visiting a || filter_reads_path t ~visiting b
+  | Ast.Not_f a -> filter_reads_path t ~visiting a
+  | Ast.Filter_set_ref name ->
+    let key = Rz_rpsl.Set_name.canonical name in
+    if List.mem key visiting then false
+    else
+      (match Db.find_filter_set t.db name with
+       | None -> false
+       | Some fs -> filter_reads_path t ~visiting:(key :: visiting) fs.filter)
+  | Ast.Any | Ast.Peer_as_filter | Ast.As_num _ | Ast.As_set_ref _
+  | Ast.Route_set_ref _ | Ast.Prefix_set _ | Ast.Community _ | Ast.Fltr_martian ->
+    false
+
+let policies_read_path t ~subject ~direction =
+  let memo_key = (subject lsl 1) lor (match direction with `Export -> 1 | `Import -> 0) in
+  match Hashtbl.find_opt t.path_dep_memo memo_key with
+  | Some cached -> cached
+  | None ->
+    let result =
+      match Db.find_aut_num t.db subject with
+      | None -> false
+      | Some an ->
+        let rules = match direction with `Import -> an.imports | `Export -> an.exports in
+        List.exists
+          (fun (rule : Ast.rule) ->
+            List.exists
+              (fun (term : Ast.term) ->
+                List.exists
+                  (fun (factor : Ast.factor) ->
+                    filter_reads_path t ~visiting:[] factor.filter)
+                  term.factors)
+              (Ast.expr_terms rule.expr))
+          rules
+    in
+    Hashtbl.replace t.path_dep_memo memo_key result;
+    result
+
 (* ---------------- hop verification ---------------- *)
 
-let verify_hop t ~direction ~subject ~remote ~prefix ~path : Report.hop =
+let verify_hop_impl t ~direction ~subject ~remote ~prefix ~path : Report.hop =
   let from_as, to_as =
     match direction with `Export -> (subject, remote) | `Import -> (remote, subject)
   in
@@ -395,7 +504,7 @@ let verify_hop t ~direction ~subject ~remote ~prefix ~path : Report.hop =
       finish (Status.Unrecorded Status.No_rules) [ Report.Unrec Status.No_rules ]
     else begin
       let origin = path.(Array.length path - 1) in
-      let ctx = { prefix; path; remote; origin } in
+      let ctx = make_ctx ~prefix ~path ~remote ~origin in
       let facts = ref [] in
       let overall =
         List.fold_left (fun acc rule -> o_or acc (eval_rule t ctx rule facts)) NoMatch rules
@@ -518,6 +627,46 @@ let verify_hop t ~direction ~subject ~remote ~prefix ~path : Report.hop =
                   | None -> finish Status.Unverified items))))
     end
 
+(* Never a valid ASN ([Asn.t] is a non-negative int), so it cannot
+   collide with a real [path.(1)]. *)
+let no_second_as = -1
+
+let verify_hop t ~direction ~subject ~remote ~prefix ~path : Report.hop =
+  let n = Array.length path in
+  if (not t.config.memoize) || n = 0 then
+    verify_hop_impl t ~direction ~subject ~remote ~prefix ~path
+  else begin
+    let is_export = match direction with `Export -> true | `Import -> false in
+    let key =
+      { k_export = is_export;
+        k_subject = subject;
+        k_remote = remote;
+        k_second = (if is_export && n >= 2 then path.(1) else no_second_as);
+        k_prefix = prefix;
+        k_origin = path.(n - 1) }
+    in
+    match Hop_tbl.find t.hop_memo key with
+    | hop ->
+      (* A stored verdict implies the subject's policies are path-free,
+         so the hit path is a single probe. Cached verdicts still advance
+         [verify.hops_total] and the per-status counters, preserving the
+         golden-metrics invariant that the status counters sum to the hop
+         total. *)
+      Obs.Counter.incr c_memo_hits;
+      count_status hop.Report.status;
+      hop
+    | exception Not_found ->
+      let hop = verify_hop_impl t ~direction ~subject ~remote ~prefix ~path in
+      (* Path-dependent policies bypass the memo (nothing is inserted, so
+         later identical keys cannot hit) and results stay bit-identical
+         to an unmemoized engine. *)
+      if not (policies_read_path t ~subject ~direction) then begin
+        Obs.Counter.incr c_memo_misses;
+        Hop_tbl.add t.hop_memo key hop
+      end;
+      hop
+  end
+
 let verify_route_impl t (route : Rz_bgp.Route.t) : Report.route_report option =
   if Rz_bgp.Route.contains_as_set route then None
   else begin
@@ -562,3 +711,15 @@ let verify_route t route =
      | None -> Obs.Counter.incr c_routes_excluded);
     result
   end
+
+let replay_route_counters ~times (result : Report.route_report option) =
+  if times > 0 && Obs.enabled () then
+    match result with
+    | None -> Obs.Counter.add c_routes_excluded times
+    | Some report ->
+      Obs.Counter.add c_routes times;
+      List.iter
+        (fun (hop : Report.hop) ->
+          Obs.Counter.add c_hops times;
+          Obs.Counter.add (status_counter hop.status) times)
+        report.hops

@@ -13,10 +13,20 @@ type config = {
           community filters, which remain skipped because BGP communities
           are stripped unpredictably en route and cannot be checked against
           collector dumps. *)
+  memoize : bool;
+      (** [true] (the default) caches hop verdicts per
+          [(direction, subject, remote, prefix, origin)] — plus the AS the
+          route was received from, for exports — and short-circuits
+          repeated hop checks. Gated by a per-[(aut-num, direction)]
+          path-freeness analysis: policies that read the AS-path (a
+          [Path_regex] filter, possibly hidden behind a filter-set) bypass
+          the cache, so memoized results are bit-identical to
+          [memoize = false]. Observable via [verify.memo_hits] /
+          [verify.memo_misses]. *)
 }
 
 val default_config : config
-(** [{paper_compat = false}]. *)
+(** [{paper_compat = false; memoize = true}]. *)
 
 type t
 
@@ -41,3 +51,12 @@ val verify_route : t -> Rz_bgp.Route.t -> Report.route_report option
     export check then the importer's import check. Returns [None] for
     routes the paper excludes: single-AS paths (nothing to verify) and
     paths containing BGP AS_SETs. Prepending is removed first. *)
+
+val replay_route_counters : times:int -> Report.route_report option -> unit
+(** Advance the observability counters as if {!verify_route} had returned
+    this result [times] more times: [verify.routes_total] plus the hop and
+    per-status counters for a report, [verify.routes_excluded_total] for
+    [None]. Used by route dedup (identical routes verified once, weighted
+    [multiplicity]) so global counters match an undeduplicated run; the
+    per-route latency histogram is {e not} replayed. No-op when [times <= 0]
+    or metrics are disabled. *)

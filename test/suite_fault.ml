@@ -235,6 +235,38 @@ let test_single_domain_crash () =
   Alcotest.(check bool) "one crashed domain, same aggregate" true
     (agg_fingerprint seq = agg_fingerprint par)
 
+(* Work stealing + dedup under a crash: triplicate the collector dumps so
+   dedup assigns real multiplicities, crash one of the stealing domains,
+   and require that no route (weighted or not) is lost — the parallel
+   aggregate and the accounting match the sequential run exactly, while
+   the stealing and dedup counters show both mechanisms actually ran. *)
+let test_stealing_crash_loses_nothing () =
+  Obs.enable ();
+  Obs.reset ();
+  let steal = Obs.Counter.make "steal.batches" in
+  let collapsed = Obs.Counter.make "dedup.collapsed" in
+  let world = Lazy.force small_world in
+  let world =
+    { world with
+      Rpslyzer.Pipeline.table_dumps =
+        world.table_dumps @ world.table_dumps @ world.table_dumps }
+  in
+  let seq, `Total t1, `Excluded e1 = Rpslyzer.Pipeline.verify world in
+  let par, `Total t2, `Excluded e2 =
+    Rpslyzer.Pipeline.verify_parallel ~domains:3
+      ~inject_domain_fault:(fun d -> if d = 1 then failwith "injected crash")
+      world
+  in
+  Obs.disable ();
+  Alcotest.(check int) "totals equal" t1 t2;
+  Alcotest.(check int) "excluded equal" e1 e2;
+  Alcotest.(check bool) "aggregates identical" true
+    (agg_fingerprint seq = agg_fingerprint par);
+  Alcotest.(check bool) "surviving domains stole batches" true
+    (Obs.Counter.get steal > 0);
+  Alcotest.(check bool) "dedup collapsed the triplicated dumps" true
+    (3 * Obs.Counter.get collapsed >= 2 * t2)
+
 let suite =
   [ Alcotest.test_case "determinism" `Quick test_determinism;
     Alcotest.test_case "rate 0 identity" `Quick test_rate_zero_identity;
@@ -252,4 +284,6 @@ let suite =
     Alcotest.test_case "regex bomb capped" `Quick test_regex_bomb_capped;
     Alcotest.test_case "regex estimate sane" `Quick test_regex_estimate_sane;
     Alcotest.test_case "all-domain crash loses nothing" `Quick test_domain_crash_loses_nothing;
-    Alcotest.test_case "single-domain crash" `Quick test_single_domain_crash ]
+    Alcotest.test_case "single-domain crash" `Quick test_single_domain_crash;
+    Alcotest.test_case "stealing crash loses nothing" `Quick
+      test_stealing_crash_loses_nothing ]

@@ -153,7 +153,9 @@ let test_parallel_agrees_with_sequential () =
 let test_paper_compat_mode_runs () =
   let w = Lazy.force world in
   let compat, _, _ =
-    Rpslyzer.Pipeline.verify ~config:{ Rz_verify.Engine.paper_compat = true } w
+    Rpslyzer.Pipeline.verify
+      ~config:{ Rz_verify.Engine.default_config with paper_compat = true }
+      w
   in
   let full, _, _ = Rpslyzer.Pipeline.verify w in
   Alcotest.(check bool) "compat mode verifies" true (Aggregate.n_hops compat > 0);
@@ -205,7 +207,9 @@ let test_golden_metrics () =
       "verify.hops_total"; "verify.routes_total"; "verify.routes_excluded_total";
       "verify.status.verified"; "verify.status.skipped"; "verify.status.unrecorded";
       "verify.status.relaxed"; "verify.status.safelisted"; "verify.status.unverified";
-      "verify.filter_evals.as_set"; "verify.filter_abstains_total" ];
+      "verify.filter_evals.as_set"; "verify.filter_abstains_total";
+      "verify.memo_hits"; "verify.memo_misses"; "nfa.compile_hits";
+      "dedup.collapsed"; "steal.batches" ];
   let span_names = List.map fst (Obs.Registry.spans snap) in
   List.iter
     (fun name ->
@@ -232,6 +236,37 @@ let test_golden_metrics () =
   Alcotest.(check int) "trie inserts = route objects"
     (List.length (Rz_irr.Db.ir w.db).Rz_ir.Ir.routes)
     (counter "irr.trie_inserts_total");
+  (* hot-path overhaul counters: the sequential engine memoizes hop
+     verdicts, so the memo ledger covers a (strict) subset of hop checks *)
+  Alcotest.(check bool) "memo counters cover a subset of hops" true
+    (counter "verify.memo_hits" + counter "verify.memo_misses"
+     <= counter "verify.hops_total");
+  Alcotest.(check bool) "memoization active on the sequential path" true
+    (counter "verify.memo_misses" > 0);
+  (* dedup + stealing fire on the parallel path; double the dump list so
+     dedup has real multiplicity to collapse *)
+  let w2 =
+    { w with
+      Rpslyzer.Pipeline.table_dumps = w.table_dumps @ w.table_dumps }
+  in
+  let agg2, `Total t2, `Excluded _ =
+    Rpslyzer.Pipeline.verify_parallel ~domains:2 w2
+  in
+  let counters2 = Obs.Registry.counters (Obs.Registry.snapshot ()) in
+  let counter2 name =
+    match List.assoc_opt name counters2 with
+    | Some v -> v
+    | None -> Alcotest.failf "golden counter %s missing from snapshot" name
+  in
+  Alcotest.(check bool) "work stealing claimed batches" true
+    (counter2 "steal.batches" > 0);
+  Alcotest.(check bool) "dedup collapsed the doubled dumps" true
+    (2 * counter2 "dedup.collapsed" >= t2);
+  (* replay keeps the hop ledger exact across dedup: counters after the
+     parallel run grew by exactly that run's aggregate hop count *)
+  Alcotest.(check int) "parallel hop ledger exact"
+    (counter "verify.hops_total" + Aggregate.n_hops agg2)
+    (counter2 "verify.hops_total");
   (* the snapshot renders to JSON that Rz_json re-parses *)
   (match Rz_json.Json.of_string (Rz_json.Json.to_string (Obs.Registry.to_json snap)) with
    | Ok _ -> ()

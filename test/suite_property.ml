@@ -258,6 +258,104 @@ let fault_hops_accounting =
       let hops = Rz_verify.Aggregate.n_hops agg in
       class_sum = hops && counted = hops)
 
+(* ---------------- hop-memoization parity ---------------- *)
+
+(* The hop-verdict memo must be invisible in the output. A single
+   long-lived memoizing engine (so hits really accumulate across cases)
+   and a memo-off engine must produce structurally identical route
+   reports — status, diagnostic items, and action-assigned attributes.
+   Each route is also verified twice on the memoizing engine, so both
+   the miss path and the hit path are compared against the unmemoized
+   engine. *)
+
+let memo_parity_engines =
+  lazy
+    (let topo, db = Lazy.force small_world in
+     ( topo,
+       Rz_verify.Engine.create db topo.rels,
+       Rz_verify.Engine.create
+         ~config:{ Rz_verify.Engine.default_config with memoize = false }
+         db topo.rels ))
+
+let gen_route_shape =
+  Gen.tup2 (Gen.int_range 1 0xFFFFFF)
+    (Gen.list_size (Gen.int_range 1 6) (Gen.int_range 0 57))
+
+let memo_parity_synthetic =
+  QCheck.Test.make ~name:"memoized engine = unmemoized engine (synthetic world)"
+    ~count:300
+    (QCheck.make gen_route_shape)
+    (fun (addr24, path_is) ->
+      let topo, memo_engine, plain_engine = Lazy.force memo_parity_engines in
+      let asn i = topo.ases.(i mod Array.length topo.ases) in
+      let route =
+        Rz_bgp.Route.make
+          (Rz_net.Prefix.v4 (addr24 lsl 8) 24)
+          (List.map asn path_is)
+      in
+      let plain = Rz_verify.Engine.verify_route plain_engine route in
+      let memo1 = Rz_verify.Engine.verify_route memo_engine route in
+      let memo2 = Rz_verify.Engine.verify_route memo_engine route in
+      plain = memo1 && plain = memo2)
+
+(* Same parity over a hand-written world whose policies read the AS path:
+   synthirr never emits [Path_regex] filters, so this world forces the
+   per-(aut-num, direction) path-freeness analysis to flag subjects as
+   path-dependent and bypass the memo for them, while AS2's plain
+   policies stay memoizable. *)
+let memo_parity_regex_engines =
+  lazy
+    (let rpsl =
+       "aut-num: AS1\n\
+        import: from AS2 accept <^AS2 AS3*$>\n\
+        export: to AS2 announce ANY\n\
+        \n\
+        aut-num: AS2\n\
+        import: from AS1 accept ANY\n\
+        import: from AS3 accept AS-REG\n\
+        export: to AS1 announce ANY\n\
+        export: to AS3 announce AS2\n\
+        \n\
+        aut-num: AS3\n\
+        import: from AS2 accept <^AS2+ AS1$>\n\
+        export: to AS2 announce <^AS3$>\n\
+        \n\
+        as-set: AS-REG\n\
+        members: AS1, AS3\n\
+        \n\
+        route: 10.0.0.0/24\n\
+        origin: AS3\n\
+        \n\
+        route: 10.1.0.0/24\n\
+        origin: AS1\n"
+     in
+     let db = Rz_irr.Db.of_dumps [ ("parity", rpsl) ] in
+     let rels = Rz_asrel.Rel_db.create () in
+     Rz_asrel.Rel_db.add_p2c rels ~provider:2 ~customer:1;
+     Rz_asrel.Rel_db.add_p2c rels ~provider:2 ~customer:3;
+     ( Rz_verify.Engine.create db rels,
+       Rz_verify.Engine.create
+         ~config:{ Rz_verify.Engine.default_config with memoize = false }
+         db rels ))
+
+let memo_parity_path_regex =
+  QCheck.Test.make ~name:"memoized engine = unmemoized engine (path-regex world)"
+    ~count:300
+    (QCheck.make
+       (Gen.tup2 (Gen.int_range 0 7)
+          (Gen.list_size (Gen.int_range 1 5) (Gen.int_range 1 5))))
+    (fun (net, path) ->
+      let memo_engine, plain_engine = Lazy.force memo_parity_regex_engines in
+      let route =
+        Rz_bgp.Route.make
+          (Rz_net.Prefix.v4 ((10 lsl 24) lor (net lsl 8)) 24)
+          path
+      in
+      let plain = Rz_verify.Engine.verify_route plain_engine route in
+      let memo1 = Rz_verify.Engine.verify_route memo_engine route in
+      let memo2 = Rz_verify.Engine.verify_route memo_engine route in
+      plain = memo1 && plain = memo2)
+
 (* ---------------- file IO agreement ---------------- *)
 
 let test_parse_file_agrees () =
@@ -325,6 +423,8 @@ let suite =
     QCheck_alcotest.to_alcotest histogram_quantile_accuracy;
     QCheck_alcotest.to_alcotest fault_parse_total;
     QCheck_alcotest.to_alcotest fault_hops_accounting;
+    QCheck_alcotest.to_alcotest memo_parity_synthetic;
+    QCheck_alcotest.to_alcotest memo_parity_path_regex;
     Alcotest.test_case "parse_file agrees with parse_string" `Quick test_parse_file_agrees;
     Alcotest.test_case "fold_file" `Quick test_fold_file;
     Alcotest.test_case "world save/load roundtrip" `Quick test_world_save_load_roundtrip ]

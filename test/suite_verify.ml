@@ -165,7 +165,7 @@ let test_skip_community_filter () =
 
 let test_skip_future_work_only_in_paper_compat () =
   let rpsl = "aut-num: AS10\nimport: from AS1 accept <^AS1~+$>\n" in
-  let compat = engine ~config:{ Engine.paper_compat = true } rpsl in
+  let compat = engine ~config:{ Engine.default_config with paper_compat = true } rpsl in
   check_status "paper_compat skips ~ ops" (Status.Skipped Status.Future_work_regex)
     (Engine.verify_hop compat ~direction:`Import ~subject:10 ~remote:1
        ~prefix:(p "192.0.2.0/24") ~path:[| 1; 1 |]);
@@ -488,6 +488,47 @@ let test_report_meh_naming () =
     (String.sub text 0 9 = "MehImport"
      && Rz_util.Strings.split_on_string ~sep:"SpecTier1Pair" text |> List.length > 1)
 
+(* ---------------- hop-verdict memoization ---------------- *)
+
+(* Subjects whose policies read the AS path (Path_regex anywhere in a
+   reachable filter) must bypass the hop memo entirely — neither hits
+   nor misses — while path-free subjects in the same engine memoize
+   normally and replay the identical verdict on a hit. *)
+let test_memo_bypass_path_regex () =
+  let module Obs = Rz_obs.Obs in
+  let e =
+    engine
+      "aut-num: AS10\nimport: from AS20 accept <^AS20 AS3+$>\n\n\
+       aut-num: AS20\nimport: from AS10 accept ANY\n"
+  in
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+  @@ fun () ->
+  let hits = Obs.Counter.make "verify.memo_hits" in
+  let misses = Obs.Counter.make "verify.memo_misses" in
+  let regex_hop () =
+    Engine.verify_hop e ~direction:`Import ~subject:10 ~remote:20
+      ~prefix:(p "192.0.2.0/24") ~path:[| 20; 3 |]
+  in
+  check_status "path-regex hop verifies" Status.Verified (regex_hop ());
+  ignore (regex_hop ());
+  Alcotest.(check int) "path-dependent subject bypasses the memo" 0
+    (Obs.Counter.get hits + Obs.Counter.get misses);
+  let plain_hop () =
+    Engine.verify_hop e ~direction:`Import ~subject:20 ~remote:10
+      ~prefix:(p "192.0.2.0/24") ~path:[| 10; 3 |]
+  in
+  let a = plain_hop () in
+  Alcotest.(check int) "first plain hop is a memo miss" 1 (Obs.Counter.get misses);
+  let b = plain_hop () in
+  Alcotest.(check int) "second plain hop is a memo hit" 1 (Obs.Counter.get hits);
+  Alcotest.(check string) "hit replays the identical verdict"
+    (Status.to_string a.status) (Status.to_string b.status)
+
 let suite =
   [ Alcotest.test_case "verified: ANY" `Quick test_verified_any;
     Alcotest.test_case "verified: ASN filter" `Quick test_verified_asn_filter;
@@ -530,4 +571,5 @@ let suite =
     Alcotest.test_case "verify_route exclusions" `Quick test_verify_route_exclusions;
     Alcotest.test_case "verify_route dedups prepending" `Quick test_verify_route_dedups_prepending;
     Alcotest.test_case "report formatting" `Quick test_report_formatting;
-    Alcotest.test_case "report Meh naming" `Quick test_report_meh_naming ]
+    Alcotest.test_case "report Meh naming" `Quick test_report_meh_naming;
+    Alcotest.test_case "memo bypass for path regex" `Quick test_memo_bypass_path_regex ]
