@@ -58,6 +58,23 @@ let bench_baseline_path =
   in
   find 1
 
+(* --bench-ingest [FILE]: run the ingestion benchmark (parallel sharded
+   parse + IR snapshot cache vs the sequential Db.of_dumps loop), write
+   FILE (default BENCH_ingest.json), and exit. Shares --bench-baseline
+   with the verify bench: only one benchmark runs per invocation. *)
+let bench_ingest_out =
+  let rec find i =
+    if i >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--bench-ingest" then
+      if
+        i + 1 < Array.length Sys.argv
+        && not (String.length Sys.argv.(i + 1) >= 2 && String.sub Sys.argv.(i + 1) 0 2 = "--")
+      then Some Sys.argv.(i + 1)
+      else Some "BENCH_ingest.json"
+    else find (i + 1)
+  in
+  find 1
+
 let () = if metrics_path <> None then Rpslyzer.Obs.enable ()
 
 let write_csv name header rows =
@@ -401,6 +418,279 @@ let () =
                fail
                  (Printf.sprintf
                     "route accounting drifted from baseline %s\nbaseline:  %s\nmeasured: %s"
+                    path (Json.to_string base_acc) (Json.to_string accounting))
+             else Printf.printf "accounting matches baseline %s\n" path
+           | _ -> fail (Printf.sprintf "baseline %s missing mode/accounting" path))));
+    exit 0
+
+(* ------------------------------------------------------------------ *)
+(* Ingestion benchmark (--bench-ingest)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Times the overhauled ingestion stack (single-pass scanner, sharded
+   per-dump lowering with memoized rule/member parsers, winner-scan
+   merge) and the IR snapshot cache against the sequential ablation:
+   [Reader.parse_string] + [Lower.add_dump] per dump in priority order —
+   what [Db.of_dumps] did before this layer existed. Contracts asserted
+   here:
+
+     - identical IR: the parallel path at 4 forced domains must be
+       byte-identical (Ir_json) to the sequential oracle;
+     - parse throughput: the parallel path's parse phase must beat the
+       ablation's parser by >= 2x in default/big mode (the single-pass
+       scanner supplies that on one core; domain sharding scales it
+       further on multicore hosts) — quick mode uses a looser 1.4x
+       floor because its dumps are small enough for timer noise;
+     - snapshot: loading a snapshot must be >= 5x faster than the cold
+       sequential parse (>= 2x in quick mode), and a flipped byte must
+       be rejected and fall back to parsing, never silently loaded.
+
+   Measurements interleave the two sides rep by rep (same thermal/noise
+   profile) and keep the fastest rep of each. Exits 0 on success. *)
+let () =
+  match bench_ingest_out with
+  | None -> ()
+  | Some out ->
+    section "Ingestion: parallel sharded parse + snapshot cache vs sequential ablation";
+    let module Json = Rpslyzer.Json in
+    let module Ingest = Rz_ingest.Ingest in
+    let fail msg =
+      Printf.eprintf "BENCH INGEST FAILED: %s\n" msg;
+      exit 1
+    in
+    let dumps = world.Rpslyzer.Pipeline.dumps in
+    let n_dumps = List.length dumps in
+    let bytes = List.fold_left (fun a (_, t) -> a + String.length t) 0 dumps in
+    Rpslyzer.Obs.disable ();
+    let reps = if quick then 5 else 7 in
+    (* interleaved min-of-reps: a() and b() alternate within each rep *)
+    let timed_pair a b =
+      let best_a = ref infinity and best_b = ref infinity in
+      for _ = 1 to reps do
+        let t0 = Unix.gettimeofday () in
+        ignore (Sys.opaque_identity (a ()));
+        let ta = Unix.gettimeofday () -. t0 in
+        let t1 = Unix.gettimeofday () in
+        ignore (Sys.opaque_identity (b ()));
+        let tb = Unix.gettimeofday () -. t1 in
+        if ta < !best_a then best_a := ta;
+        if tb < !best_b then best_b := tb
+      done;
+      (!best_a, !best_b)
+    in
+    let par_domains = 4 in
+    (* end-to-end: sequential oracle vs the parallel path as shipped
+       (requested 4 domains; the pool clamps itself to the host) *)
+    let t_seq, t_par =
+      timed_pair
+        (fun () -> Ingest.ingest_sequential dumps)
+        (fun () -> Ingest.ingest ~domains:par_domains dumps)
+    in
+    (* parse phase only: the ablation's parser vs the parallel path's
+       phase A (work-stealing scan over whole files) *)
+    let files = Array.of_list dumps in
+    let scan_all () =
+      let eff = min par_domains (max 1 (Domain.recommended_domain_count ())) in
+      if eff <= 1 then
+        Array.iter (fun (_, t) -> ignore (Sys.opaque_identity (Rz_rpsl.Reader.scan_string t))) files
+      else begin
+        let next = Atomic.make 0 in
+        let work () =
+          let rec drain () =
+            let i = Atomic.fetch_and_add next 1 in
+            if i < Array.length files then begin
+              ignore (Sys.opaque_identity (Rz_rpsl.Reader.scan_string (snd files.(i))));
+              drain ()
+            end
+          in
+          drain ()
+        in
+        List.iter Domain.join (List.init eff (fun _ -> Domain.spawn work))
+      end
+    in
+    let t_parse_seq, t_parse_par =
+      timed_pair
+        (fun () ->
+          Array.iter
+            (fun (_, t) -> ignore (Sys.opaque_identity (Rz_rpsl.Reader.parse_string t)))
+            files)
+        scan_all
+    in
+    (* identical-IR contract, at genuinely forced multi-domain execution *)
+    let oracle_ir = Ingest.ingest_sequential dumps in
+    let oracle = Rz_ir.Ir_json.export_string oracle_ir in
+    List.iter
+      (fun domains ->
+        let got =
+          Rz_ir.Ir_json.export_string
+            (Ingest.ingest ~domains ~force_domains:true dumps)
+        in
+        if not (String.equal got oracle) then
+          fail (Printf.sprintf "parallel ingest at %d domains is not byte-identical" domains))
+      [ 1; par_domains ];
+    (* snapshot cache: save, timed load, digest hit, flipped-byte reject *)
+    let snap = Filename.temp_file "rz_bench_snapshot" ".snap" in
+    let digest = Ingest.dumps_digest dumps in
+    let t0 = Unix.gettimeofday () in
+    Rz_ir.Ir_snapshot.save snap ~input_digest:digest oracle_ir;
+    let t_snap_save = Unix.gettimeofday () -. t0 in
+    let snap_bytes = (Unix.stat snap).Unix.st_size in
+    let t_snap_load =
+      let best = ref infinity in
+      for _ = 1 to reps do
+        let t0 = Unix.gettimeofday () in
+        (match Rz_ir.Ir_snapshot.load snap with
+         | Ok _ -> ()
+         | Error e -> fail ("snapshot load: " ^ e));
+        let dt = Unix.gettimeofday () -. t0 in
+        if dt < !best then best := dt
+      done;
+      !best
+    in
+    (match Rz_ir.Ir_snapshot.load snap with
+     | Ok (d, ir) ->
+       if not (String.equal d digest) then fail "snapshot digest drifted";
+       if not (String.equal (Rz_ir.Ir_json.export_string ir) oracle) then
+         fail "snapshot round-trip is not byte-identical"
+     | Error e -> fail ("snapshot load: " ^ e));
+    (* flip one byte mid-payload: load must reject, cached ingest must
+       fall back to parsing and still produce the oracle IR *)
+    let c_rejects = Rpslyzer.Obs.Counter.make "snapshot.rejects" in
+    let c_hits = Rpslyzer.Obs.Counter.make "snapshot.hits" in
+    let c_misses = Rpslyzer.Obs.Counter.make "snapshot.misses" in
+    Rpslyzer.Obs.enable ();
+    Rpslyzer.Obs.reset ();
+    let corrupt =
+      let ic = open_in_bin snap in
+      let s = Bytes.of_string (really_input_string ic (in_channel_length ic)) in
+      close_in ic;
+      let i = Bytes.length s / 2 in
+      Bytes.set s i (Char.chr (Char.code (Bytes.get s i) lxor 0x40));
+      Bytes.to_string s
+    in
+    let oc = open_out_bin snap in
+    output_string oc corrupt;
+    close_out oc;
+    (match Rz_ir.Ir_snapshot.load snap with
+     | Ok _ -> fail "flipped-byte snapshot was silently loaded"
+     | Error _ -> ());
+    let fallback = Ingest.ingest_cached ~snapshot:snap dumps in
+    if not (String.equal (Rz_ir.Ir_json.export_string fallback) oracle) then
+      fail "corrupt-snapshot fallback did not reproduce the oracle IR";
+    let hit = Ingest.ingest_cached ~snapshot:snap dumps in
+    if not (String.equal (Rz_ir.Ir_json.export_string hit) oracle) then
+      fail "snapshot-hit load did not reproduce the oracle IR";
+    let rejects = Rpslyzer.Obs.Counter.get c_rejects in
+    let snap_hits = Rpslyzer.Obs.Counter.get c_hits in
+    let snap_misses = Rpslyzer.Obs.Counter.get c_misses in
+    Rpslyzer.Obs.disable ();
+    if rejects < 1 then fail "flipped byte did not bump snapshot.rejects";
+    if snap_misses < 1 then fail "corrupt snapshot did not count as a miss";
+    if snap_hits < 1 then fail "rewritten snapshot did not count as a hit";
+    Sys.remove snap;
+    (* thresholds *)
+    let parse_speedup = t_parse_seq /. t_parse_par in
+    let parse_floor = if quick then 1.4 else 2.0 in
+    if parse_speedup < parse_floor then
+      fail
+        (Printf.sprintf "parse throughput %.2fx is below the %.1fx floor"
+           parse_speedup parse_floor);
+    let snap_speedup = t_seq /. t_snap_load in
+    let snap_floor = if quick then 2.0 else 5.0 in
+    if snap_speedup < snap_floor then
+      fail
+        (Printf.sprintf "snapshot load %.2fx vs cold parse is below the %.1fx floor"
+           snap_speedup snap_floor);
+    let mibs t = fint bytes /. 1048576. /. t in
+    Table.print
+      ~header:[ "path"; "secs"; "MiB/s"; "speedup" ]
+      [ [ "sequential ablation (parse+lower)"; Printf.sprintf "%.4f" t_seq;
+          Printf.sprintf "%.1f" (mibs t_seq); "1.00x" ];
+        [ Printf.sprintf "parallel ingest (<=%d domains)" par_domains;
+          Printf.sprintf "%.4f" t_par; Printf.sprintf "%.1f" (mibs t_par);
+          Printf.sprintf "%.2fx" (t_seq /. t_par) ];
+        [ "parse phase: ablation parser"; Printf.sprintf "%.4f" t_parse_seq;
+          Printf.sprintf "%.1f" (mibs t_parse_seq); "1.00x" ];
+        [ "parse phase: sharded scanner"; Printf.sprintf "%.4f" t_parse_par;
+          Printf.sprintf "%.1f" (mibs t_parse_par);
+          Printf.sprintf "%.2fx" parse_speedup ];
+        [ "snapshot load"; Printf.sprintf "%.4f" t_snap_load;
+          Printf.sprintf "%.1f" (mibs t_snap_load);
+          Printf.sprintf "%.2fx" snap_speedup ] ];
+    if Domain.recommended_domain_count () < par_domains then
+      Printf.printf
+        "(parallel rows clamped to %d core(s); domain sharding adds on multicore)\n"
+        (Domain.recommended_domain_count ());
+    Printf.printf
+      "\n%d dumps, %s bytes; snapshot %s bytes, saved in %.4fs; identical IR held\n"
+      n_dumps (Table.commas bytes) (Table.commas snap_bytes) t_snap_save;
+    let mode = if quick then "quick" else if big then "big" else "default" in
+    let accounting =
+      Json.Obj
+        [ ("dumps", Json.Int n_dumps);
+          ("bytes", Json.Int bytes);
+          ("aut_nums", Json.Int (Hashtbl.length oracle_ir.Rz_ir.Ir.aut_nums));
+          ("as_sets", Json.Int (Hashtbl.length oracle_ir.Rz_ir.Ir.as_sets));
+          ("routes", Json.Int (List.length oracle_ir.Rz_ir.Ir.routes));
+          ("errors", Json.Int (List.length oracle_ir.Rz_ir.Ir.errors));
+          ("ir_json_bytes", Json.Int (String.length oracle)) ]
+    in
+    let json =
+      Json.Obj
+        [ ("mode", Json.String mode);
+          ("accounting", accounting);
+          ( "sequential",
+            Json.Obj
+              [ ("secs", Json.Float t_seq); ("mib_per_sec", Json.Float (mibs t_seq)) ] );
+          ( "parallel",
+            Json.Obj
+              [ ("domains_requested", Json.Int par_domains);
+                ("domains_effective",
+                 Json.Int (min par_domains (max 1 (Domain.recommended_domain_count ()))));
+                ("secs", Json.Float t_par);
+                ("mib_per_sec", Json.Float (mibs t_par));
+                ("speedup", Json.Float (t_seq /. t_par)) ] );
+          ( "parse_phase",
+            Json.Obj
+              [ ("ablation_secs", Json.Float t_parse_seq);
+                ("sharded_secs", Json.Float t_parse_par);
+                ("speedup", Json.Float parse_speedup) ] );
+          ( "snapshot",
+            Json.Obj
+              [ ("bytes", Json.Int snap_bytes);
+                ("save_secs", Json.Float t_snap_save);
+                ("load_secs", Json.Float t_snap_load);
+                ("speedup_vs_cold_parse", Json.Float snap_speedup);
+                ("flipped_byte", Json.String "rejected") ] );
+          ("identical_ir", Json.Bool true) ]
+    in
+    let oc = open_out out in
+    output_string oc (Json.to_string ~indent:2 json);
+    output_string oc "\n";
+    close_out oc;
+    Printf.printf "(wrote %s)\n" out;
+    (match bench_baseline_path with
+     | None -> ()
+     | Some path ->
+       let text =
+         let ic = open_in path in
+         let s = really_input_string ic (in_channel_length ic) in
+         close_in ic;
+         s
+       in
+       (match Json.of_string text with
+        | Error e -> fail (Printf.sprintf "baseline %s: %s" path e)
+        | Ok base ->
+          (match (Json.member "mode" base, Json.member "accounting" base) with
+           | Some (Json.String base_mode), Some base_acc ->
+             if base_mode <> mode then
+               fail
+                 (Printf.sprintf "baseline mode %s does not match run mode %s"
+                    base_mode mode)
+             else if not (Json.equal base_acc accounting) then
+               fail
+                 (Printf.sprintf
+                    "ingest accounting drifted from baseline %s\nbaseline:  %s\nmeasured: %s"
                     path (Json.to_string base_acc) (Json.to_string accounting))
              else Printf.printf "accounting matches baseline %s\n" path
            | _ -> fail (Printf.sprintf "baseline %s missing mode/accounting" path))));

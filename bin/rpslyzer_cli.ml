@@ -47,6 +47,22 @@ let metrics_arg =
            command finishes. $(docv) '-', or the flag without a value, \
            prints the JSON to stdout.")
 
+(* Shared --snapshot FILE flag (parse/stats/verify): binary IR snapshot
+   cache keyed on the dumps' digest. A valid, current snapshot skips
+   parsing entirely; anything else — absent, stale, corrupt — falls back
+   to a (parallel) parse and rewrites the file. *)
+let snapshot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "snapshot" ] ~docv:"FILE"
+        ~doc:
+          "Cache the parsed IR in $(docv). When $(docv) already holds a \
+           snapshot built from exactly these dumps, loading it replaces the \
+           parse (counted as snapshot.hits); a stale, truncated, or corrupt \
+           file is ignored (snapshot.misses / snapshot.rejects) and \
+           rewritten after the parse.")
+
 let with_metrics metrics body =
   (match metrics with Some _ -> Rpslyzer.Obs.enable () | None -> ());
   Fun.protect body ~finally:(fun () ->
@@ -105,14 +121,15 @@ let gen_cmd =
 (* ---------------- parse ---------------- *)
 
 let parse_cmd =
-  let run metrics dir output indent =
+  let run metrics dir snapshot output indent =
     guarded @@ fun () ->
     with_metrics metrics @@ fun () ->
     let dumps = Rpslyzer.Pipeline.load_dumps dir in
-    let ir = Rz_ir.Ir.create () in
-    List.iter
-      (fun (source, text) -> ignore (Rz_ir.Lower.add_dump ir ~source text))
-      dumps;
+    let ir =
+      match snapshot with
+      | Some file -> Rz_ingest.Ingest.ingest_cached ~snapshot:file dumps
+      | None -> Rz_ingest.Ingest.ingest dumps
+    in
     let json = Rz_ir.Ir_json.export_string ~indent ir in
     (match output with
      | Some path ->
@@ -134,7 +151,7 @@ let parse_cmd =
   in
   Cmd.v
     (Cmd.info "parse" ~doc:"Parse the IRR dumps of a world and export the IR as JSON.")
-    Term.(const run $ metrics_arg $ dir_arg $ output $ indent)
+    Term.(const run $ metrics_arg $ dir_arg $ snapshot_arg $ output $ indent)
 
 (* ---------------- stats ---------------- *)
 
@@ -152,10 +169,10 @@ let print_table1 (rows : Rz_stats.Usage.table1_row list) =
        rows)
 
 let stats_cmd =
-  let run metrics dir =
+  let run metrics dir snapshot =
     guarded @@ fun () ->
     with_metrics metrics @@ fun () ->
-    let world = Rpslyzer.Pipeline.load_world dir in
+    let world = Rpslyzer.Pipeline.load_world ?snapshot dir in
     let u = Rpslyzer.Pipeline.usage world in
     print_endline "== Table 1: IRRs ==";
     print_table1 u.table1;
@@ -186,15 +203,15 @@ let stats_cmd =
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Characterize RPSL usage (the paper's Section 4).")
-    Term.(const run $ metrics_arg $ dir_arg)
+    Term.(const run $ metrics_arg $ dir_arg $ snapshot_arg)
 
 (* ---------------- verify ---------------- *)
 
 let verify_cmd =
-  let run metrics dir paper_compat verbose =
+  let run metrics dir snapshot paper_compat verbose =
     guarded @@ fun () ->
     with_metrics metrics @@ fun () ->
-    let world = Rpslyzer.Pipeline.load_world dir in
+    let world = Rpslyzer.Pipeline.load_world ?snapshot dir in
     let config = { Rz_verify.Engine.default_config with paper_compat } in
     let t0 = Unix.gettimeofday () in
     let agg, `Total total, `Excluded excluded =
@@ -229,7 +246,7 @@ let verify_cmd =
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Extra summaries.") in
   Cmd.v
     (Cmd.info "verify" ~doc:"Verify collector routes against the RPSL (Section 5).")
-    Term.(const run $ metrics_arg $ dir_arg $ paper_compat $ verbose)
+    Term.(const run $ metrics_arg $ dir_arg $ snapshot_arg $ paper_compat $ verbose)
 
 (* ---------------- explain ---------------- *)
 

@@ -25,6 +25,7 @@ module Stats = Rz_stats
 module Lint = Rz_lint
 module Rpki = Rz_rpki
 module Obs = Rz_obs.Obs
+module Ingest = Rz_ingest
 
 (** {1 End-to-end pipeline} *)
 
@@ -49,7 +50,7 @@ module Pipeline = struct
       ?(n_collectors = 2) () =
     let topo = Rz_topology.Gen.generate topo_params in
     let synth = Rz_synthirr.Generate.generate ~config:irr_config topo in
-    let db = Rz_irr.Db.of_dumps synth.dumps in
+    let db = Rz_ingest.Ingest.db_of_dumps synth.dumps in
     let peers = Rz_routegen.Propagate.default_collector_peers topo ~n:n_collector_mids in
     let table_dumps = Rz_routegen.Propagate.collector_dumps topo ~n_collectors ~peers in
     { topo; synth; db; rels = topo.rels; dumps = synth.dumps; table_dumps }
@@ -286,10 +287,14 @@ module Pipeline = struct
 
   (** Load a previously saved world directory. Topology/persona ground
       truth is not persisted; the returned world carries empty synth
-      metadata and is suitable for parsing, stats, and verification. *)
-  let load_world dir =
+      metadata and is suitable for parsing, stats, and verification.
+      [snapshot] names an IR snapshot cache file ({!Rz_ir.Ir_snapshot}):
+      when present and built from exactly these dumps the parse is
+      skipped entirely; otherwise the dumps are ingested (in parallel,
+      up to [domains] domains) and the snapshot is (re)written. *)
+  let load_world ?snapshot ?domains dir =
     let dumps = load_dumps dir in
-    let db = Rz_irr.Db.of_dumps dumps in
+    let db = Rz_ingest.Ingest.db_of_dumps ?domains ?snapshot dumps in
     let rels =
       match Rz_asrel.Rel_db.load (Filename.concat dir "as-rel.txt") with
       | Ok rels -> rels

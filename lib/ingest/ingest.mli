@@ -1,0 +1,53 @@
+(** Parallel multi-IRR ingestion with an IR snapshot cache.
+
+    [ingest] shards per-IRR dump parsing and lowering across OCaml 5
+    domains (work-stealing whole files off an Atomic cursor, the
+    [verify_parallel] pattern) and merges deterministically, preserving
+    {!Rz_irr.Db}'s inter-IRR first-definition-wins priority semantics:
+    the result is byte-identical (via {!Rz_ir.Ir_json}) to the
+    sequential [Lower.add_dump] loop, for any input and any domain
+    count. Counters: [ingest.parallel.domains], [ingest.files_stolen],
+    [snapshot.hits]/[snapshot.misses] (plus [snapshot.rejects] from
+    {!Rz_ir.Ir_snapshot}). *)
+
+val default_domains : int
+(** [max 1 (min 4 (Domain.recommended_domain_count ()))]. *)
+
+val ingest_sequential : (string * string) list -> Rz_ir.Ir.t
+(** The sequential oracle: exactly [Db.of_dumps]'s lowering loop. The
+    bench's ablation baseline and the differential suite's ground
+    truth. *)
+
+val ingest :
+  ?domains:int ->
+  ?force_domains:bool ->
+  ?inject_domain_fault:(int -> unit) ->
+  (string * string) list ->
+  Rz_ir.Ir.t
+(** Parallel ingest of [(source, rpsl_text)] dumps given in priority
+    order. [domains] is a requested upper bound: the pool is sized to
+    [min domains (min n_dumps (Domain.recommended_domain_count ()))]
+    because oversubscribing cores is a measured slowdown (minor GCs are
+    stop-the-world syncs across all domains). [force_domains] bypasses
+    the recommended-count clamp so differential tests can genuinely
+    exercise multi-domain interleavings on any host.
+    [inject_domain_fault] (fault-injection harness hook) runs at the
+    top of each worker with the domain index and may raise to simulate
+    a domain crash; lost work is retried sequentially and the result is
+    unchanged. *)
+
+val ingest_cached :
+  ?domains:int -> snapshot:string -> (string * string) list -> Rz_ir.Ir.t
+(** Snapshot-backed ingest: loads [snapshot] when it is valid and was
+    built from exactly these dumps (hit); otherwise ingests and
+    (re)writes it (miss; a corrupt file additionally counts a reject and
+    is never partially loaded). *)
+
+val dumps_digest : (string * string) list -> string
+(** The 16-byte MD5 staleness key over the dumps, as stored in a
+    snapshot header. *)
+
+val db_of_dumps :
+  ?domains:int -> ?snapshot:string -> (string * string) list -> Rz_irr.Db.t
+(** Drop-in parallel replacement for {!Rz_irr.Db.of_dumps}, optionally
+    snapshot-cached. *)

@@ -100,7 +100,7 @@ type t = {
   peering_sets : (string, peering_set) Hashtbl.t;
   filter_sets : (string, filter_set) Hashtbl.t;
   mutable routes : route_obj list;
-  route_seen : (string * Rz_net.Asn.t, unit) Hashtbl.t;
+  route_seen : (Rz_net.Prefix.t * Rz_net.Asn.t, unit) Hashtbl.t;
   mutable errors : error list;
 }
 

@@ -116,8 +116,9 @@ type t = {
   peering_sets : (string, peering_set) Hashtbl.t;
   filter_sets : (string, filter_set) Hashtbl.t;
   mutable routes : route_obj list;               (** reversed insertion order *)
-  route_seen : (string * Rz_net.Asn.t, unit) Hashtbl.t;
-      (** dedup index over (prefix, origin) pairs, maintained by lowering *)
+  route_seen : (Rz_net.Prefix.t * Rz_net.Asn.t, unit) Hashtbl.t;
+      (** dedup index over (prefix, origin) pairs, maintained by lowering;
+          [Prefix.t] is canonical so structural keys match rendered ones *)
   mutable errors : error list;
 }
 

@@ -1,0 +1,182 @@
+(* Binary IR snapshot cache: a parsed-and-lowered IR serialized to disk
+   so repeated runs over the same dumps skip parsing entirely.
+
+   Layout (all integers big-endian):
+
+     magic    8 bytes   "RZIRSNAP"
+     version  4 bytes   format version (reject on mismatch)
+     input    16 bytes  MD5 over the input dumps (caller-computed)
+     count    4 bytes   number of sections
+     hdr_md5  16 bytes  MD5 over the 32 header bytes above — so a flip
+                        anywhere in the file is a detected corruption,
+                        including in the input digest itself
+     section* name_len:4  name  payload_len:8  md5(payload):16  payload
+     <EOF>              trailing bytes reject the file
+
+   One section per IR table plus the routes and errors lists. The
+   [route_seen] dedup index is derived data and is rebuilt on load. Any
+   anomaly — short file, bad magic/version, unknown/missing/duplicate
+   section, digest mismatch, trailing garbage — is a rejection, counted
+   on [snapshot.rejects]; a snapshot is never partially loaded. *)
+
+let magic = "RZIRSNAP"
+let version = 1
+
+let c_rejects = Rz_obs.Obs.Counter.make "snapshot.rejects"
+
+let section_names =
+  [ "aut_nums"; "mntners"; "inet_rtrs"; "rtr_sets"; "as_sets"; "route_sets";
+    "peering_sets"; "filter_sets"; "routes"; "errors" ]
+
+let add_u32 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (v land 0xff))
+
+let add_u64 buf v =
+  add_u32 buf ((v lsr 32) land 0xffffffff);
+  add_u32 buf (v land 0xffffffff)
+
+let encode ~input_digest (ir : Ir.t) =
+  if String.length input_digest <> 16 then
+    invalid_arg "Ir_snapshot: input digest must be 16 raw MD5 bytes";
+  let sections =
+    [ ("aut_nums", Marshal.to_string ir.aut_nums []);
+      ("mntners", Marshal.to_string ir.mntners []);
+      ("inet_rtrs", Marshal.to_string ir.inet_rtrs []);
+      ("rtr_sets", Marshal.to_string ir.rtr_sets []);
+      ("as_sets", Marshal.to_string ir.as_sets []);
+      ("route_sets", Marshal.to_string ir.route_sets []);
+      ("peering_sets", Marshal.to_string ir.peering_sets []);
+      ("filter_sets", Marshal.to_string ir.filter_sets []);
+      ("routes", Marshal.to_string ir.routes []);
+      ("errors", Marshal.to_string ir.errors []) ]
+  in
+  let buf = Buffer.create (1 lsl 16) in
+  Buffer.add_string buf magic;
+  add_u32 buf version;
+  Buffer.add_string buf input_digest;
+  add_u32 buf (List.length sections);
+  Buffer.add_string buf (Digest.string (Buffer.contents buf));
+  List.iter
+    (fun (name, payload) ->
+      add_u32 buf (String.length name);
+      Buffer.add_string buf name;
+      add_u64 buf (String.length payload);
+      Buffer.add_string buf (Digest.string payload);
+      Buffer.add_string buf payload)
+    sections;
+  Buffer.contents buf
+
+let save path ~input_digest ir =
+  let data = encode ~input_digest ir in
+  (* write-then-rename: a crash mid-write leaves either the old snapshot
+     or a .tmp the loader never looks at, never a torn file *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc data;
+  close_out oc;
+  Sys.rename tmp path
+
+exception Reject of string
+
+let decode data =
+  let n = String.length data in
+  let pos = ref 0 in
+  let need k what =
+    if !pos + k > n then raise (Reject (Printf.sprintf "truncated (%s)" what))
+  in
+  let read k what =
+    need k what;
+    let s = String.sub data !pos k in
+    pos := !pos + k;
+    s
+  in
+  let read_u32 what =
+    need 4 what;
+    let b i = Char.code (String.unsafe_get data (!pos + i)) in
+    let v = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+    pos := !pos + 4;
+    v
+  in
+  let read_u64 what =
+    let hi = read_u32 what in
+    let lo = read_u32 what in
+    (hi lsl 32) lor lo
+  in
+  if read 8 "magic" <> magic then raise (Reject "bad magic");
+  let v = read_u32 "version" in
+  if v <> version then
+    raise (Reject (Printf.sprintf "version %d, expected %d" v version));
+  let input_digest = read 16 "input digest" in
+  let count = read_u32 "section count" in
+  let header_digest = read 16 "header digest" in
+  if Digest.string (String.sub data 0 32) <> header_digest then
+    raise (Reject "header checksum mismatch");
+  if count <> List.length section_names then
+    raise (Reject (Printf.sprintf "%d sections, expected %d" count
+                     (List.length section_names)));
+  let sections = Hashtbl.create 16 in
+  for _ = 1 to count do
+    let name_len = read_u32 "section name length" in
+    if name_len > 256 then raise (Reject "oversized section name");
+    let name = read name_len "section name" in
+    if not (List.mem name section_names) then
+      raise (Reject (Printf.sprintf "unknown section %S" name));
+    if Hashtbl.mem sections name then
+      raise (Reject (Printf.sprintf "duplicate section %S" name));
+    let payload_len = read_u64 "payload length" in
+    if payload_len < 0 || payload_len > n then
+      raise (Reject "implausible payload length");
+    let digest = read 16 "payload digest" in
+    let payload = read payload_len ("section " ^ name) in
+    if Digest.string payload <> digest then
+      raise (Reject (Printf.sprintf "checksum mismatch in section %S" name));
+    Hashtbl.replace sections name payload
+  done;
+  if !pos <> n then raise (Reject "trailing bytes after last section");
+  let section name =
+    match Hashtbl.find_opt sections name with
+    | Some payload -> payload
+    | None -> raise (Reject (Printf.sprintf "missing section %S" name))
+  in
+  (* Payloads are checksum-verified above, so unmarshaling sees exactly
+     the bytes [save] produced. *)
+  let unmarshal name = Marshal.from_string (section name) 0 in
+  let ir : Ir.t =
+    { aut_nums = unmarshal "aut_nums";
+      mntners = unmarshal "mntners";
+      inet_rtrs = unmarshal "inet_rtrs";
+      rtr_sets = unmarshal "rtr_sets";
+      as_sets = unmarshal "as_sets";
+      route_sets = unmarshal "route_sets";
+      peering_sets = unmarshal "peering_sets";
+      filter_sets = unmarshal "filter_sets";
+      routes = unmarshal "routes";
+      route_seen = Hashtbl.create 1024;
+      errors = unmarshal "errors" }
+  in
+  List.iter
+    (fun (r : Ir.route_obj) ->
+      Hashtbl.replace ir.route_seen (r.prefix, r.origin) ())
+    ir.routes;
+  (input_digest, ir)
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    let data =
+      Fun.protect
+        ~finally:(fun () -> try close_in ic with Sys_error _ -> ())
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    decode data
+  with
+  | result -> Ok result
+  | exception Reject msg ->
+    Rz_obs.Obs.Counter.incr c_rejects;
+    Error msg
+  | exception e ->
+    Rz_obs.Obs.Counter.incr c_rejects;
+    Error (Printexc.to_string e)

@@ -1,0 +1,29 @@
+(** Binary IR snapshot cache.
+
+    A snapshot persists a fully lowered {!Ir.t} so repeated runs over the
+    same dumps skip parsing entirely. The format is defensive: a
+    versioned header, an input digest identifying the dumps the IR was
+    built from, per-section length framing, and an MD5 checksum per
+    section. Any anomaly — flipped byte, truncation, version bump,
+    unknown or missing section, trailing garbage — rejects the whole
+    file (counted on [snapshot.rejects]); a snapshot is never partially
+    loaded. The [route_seen] dedup index is derived data and is rebuilt
+    on load. *)
+
+val version : int
+(** Current format version; bumped on any layout change. *)
+
+val save : string -> input_digest:string -> Ir.t -> unit
+(** [save path ~input_digest ir] writes the snapshot atomically
+    (write-then-rename). [input_digest] must be 16 raw MD5 bytes
+    identifying the input dumps; it is stored in the header so a loader
+    can detect a stale snapshot. Raises [Invalid_argument] on a
+    malformed digest and [Sys_error] on I/O failure. *)
+
+val load : string -> (string * Ir.t, string) result
+(** [load path] returns [(input_digest, ir)] or a rejection reason.
+    Never raises; every rejection increments [snapshot.rejects]. *)
+
+val encode : input_digest:string -> Ir.t -> string
+(** The raw snapshot bytes [save] writes — exposed so tests can assert
+    byte-stability of save → load → re-save. *)

@@ -155,6 +155,178 @@ let parse_string ?(limits = default_limits) text =
   List.iteri (fun i line -> feed_line st (i + 1) line) (String.split_on_char '\n' text);
   finish st
 
+(* Single-pass scanner over a whole in-memory dump: the fast path of
+   [parse_string]. It walks the text once with index arithmetic — no
+   per-line string, no Buffer per attribute — and materializes only the
+   final key/value strings. Output is identical to [parse_string] byte
+   for byte (the ingest test suite holds the two equivalent under
+   QCheck); keep the two in lockstep when touching either. *)
+let scan_string ?(limits = default_limits) text =
+  let n = String.length text in
+  let objects_rev = ref [] and errors_rev = ref [] in
+  let n_errors = ref 0 and suppressed = ref 0 in
+  let push_error err =
+    if !n_errors < limits.max_errors then begin
+      errors_rev := err :: !errors_rev;
+      incr n_errors
+    end
+    else begin
+      incr suppressed;
+      Rz_obs.Obs.Counter.incr c_lines_dropped
+    end
+  in
+  (* current object: reversed (key, value-pieces-reversed) list *)
+  let current = ref [] and start_line = ref 0 in
+  (* Attribute keys repeat massively across a dump ("import", "mnt-by",
+     ...): intern the lowercased form keyed by the raw trimmed slice so
+     each distinct spelling is lowercased once. *)
+  let intern : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let intern_key raw =
+    match Hashtbl.find_opt intern raw with
+    | Some k -> k
+    | None ->
+      let k = Rz_util.Strings.lowercase raw in
+      Hashtbl.replace intern raw k;
+      k
+  in
+  let flush () =
+    match !current with
+    | [] -> ()
+    | rev ->
+      let attrs =
+        List.rev_map
+          (fun (key, pieces) ->
+            let value =
+              match pieces with
+              | [ one ] -> one
+              | many -> Rz_util.Strings.strip (String.concat "\n" (List.rev many))
+            in
+            { Attr.key; value })
+          rev
+      in
+      (match attrs with
+       | [] -> ()
+       | (first : Attr.t) :: _ ->
+         objects_rev :=
+           { Obj.cls = first.key; name = first.value; attrs; line = !start_line }
+           :: !objects_rev);
+      current := []
+  in
+  let is_sp c = c = ' ' || c = '\t' || c = '\r' || c = '\n' in
+  (* trimmed sub-slice bounds of [s, e) *)
+  let trim s e =
+    let s = ref s and e = ref e in
+    while !s < !e && is_sp (String.unsafe_get text !s) do incr s done;
+    while !e > !s && is_sp (String.unsafe_get text (!e - 1)) do decr e done;
+    (!s, !e)
+  in
+  let valid_key_slice s e =
+    e > s
+    && (let ok = ref true in
+        for i = s to e - 1 do
+          let c = String.unsafe_get text i in
+          if
+            not
+              ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+               || (c >= '0' && c <= '9') || c = '-' || c = '_' || c = '*')
+          then ok := false
+        done;
+        !ok)
+  in
+  let line lineno s e =
+    if e - s > limits.max_line_bytes then begin
+      Rz_obs.Obs.Counter.incr c_lines_dropped;
+      push_error
+        { line = lineno;
+          text = String.sub text s (min 64 (e - s));
+          reason =
+            Printf.sprintf "line exceeds %d bytes (%d); dropped"
+              limits.max_line_bytes (e - s) }
+    end
+    else begin
+      (* end-of-line comment: '#' anywhere truncates the line *)
+      let eff = ref e in
+      (let i = ref s in
+       while !i < !eff do
+         if String.unsafe_get text !i = '#' then eff := !i else incr i
+       done);
+      let eff = !eff in
+      let blank = ref true in
+      (let i = ref s in
+       while !blank && !i < eff do
+         if not (is_sp (String.unsafe_get text !i)) then blank := false;
+         incr i
+       done);
+      if !blank then flush ()
+      else
+        (* non-blank implies eff > s, so the raw first char exists *)
+        let c0 = String.unsafe_get text s in
+        if c0 = '%' then () (* server remark *)
+        else if c0 = ' ' || c0 = '\t' || c0 = '+' then begin
+          match !current with
+          | [] ->
+            push_error
+              { line = lineno;
+                text = String.sub text s (e - s);
+                reason = "continuation line outside an object" }
+          | (key, pieces) :: rest ->
+            let ts = if c0 = '+' then s + 1 else s in
+            let ts, te = trim ts eff in
+            if te > ts then
+              current := (key, String.sub text ts (te - ts) :: pieces) :: rest
+        end
+        else begin
+          let colon = ref (-1) in
+          (let i = ref s in
+           while !colon < 0 && !i < eff do
+             if String.unsafe_get text !i = ':' then colon := !i;
+             incr i
+           done);
+          if !colon < 0 then
+            push_error
+              { line = lineno;
+                text = String.sub text s (e - s);
+                reason = "line is not key: value" }
+          else begin
+            let ks, ke = trim s !colon in
+            if not (valid_key_slice ks ke) then
+              push_error
+                { line = lineno;
+                  text = String.sub text s (e - s);
+                  reason =
+                    Printf.sprintf "invalid attribute key %S"
+                      (String.sub text ks (ke - ks)) }
+            else begin
+              if !current = [] then start_line := lineno;
+              let key = intern_key (String.sub text ks (ke - ks)) in
+              let vs, ve = trim (!colon + 1) eff in
+              current := (key, [ String.sub text vs (ve - vs) ]) :: !current
+            end
+          end
+        end
+    end
+  in
+  let lineno = ref 0 and pos = ref 0 and looping = ref true in
+  while !looping do
+    incr lineno;
+    let stop =
+      match String.index_from_opt text !pos '\n' with Some j -> j | None -> n
+    in
+    line !lineno !pos stop;
+    if stop >= n then looping := false else pos := stop + 1
+  done;
+  flush ();
+  if !suppressed > 0 then
+    errors_rev :=
+      { line = 0; text = "";
+        reason =
+          Printf.sprintf "error budget (%d) exhausted; %d further errors suppressed"
+            limits.max_errors !suppressed }
+      :: !errors_rev;
+  let objects = List.rev !objects_rev and errors = List.rev !errors_rev in
+  count_result objects errors;
+  { objects; errors }
+
 let parse_file ?(limits = default_limits) path =
   let st = fresh_state limits in
   (match open_in path with

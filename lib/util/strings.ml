@@ -1,5 +1,20 @@
-let lowercase = String.lowercase_ascii
-let uppercase = String.uppercase_ascii
+(* ASCII case folding, alloc-free on the (dominant) already-folded case:
+   attribute keys are lowercase after the reader, set names are usually
+   uppercase on the wire. Semantics are exactly
+   [String.lowercase_ascii]/[uppercase_ascii] — only 'A'..'Z'/'a'..'z'
+   fold; returning the argument itself is safe because strings are
+   immutable. *)
+let lower_char c = if c >= 'A' && c <= 'Z' then Char.unsafe_chr (Char.code c + 32) else c
+
+let lowercase s =
+  let n = String.length s in
+  let rec clean i = i >= n || (not (String.unsafe_get s i >= 'A' && String.unsafe_get s i <= 'Z') && clean (i + 1)) in
+  if clean 0 then s else String.lowercase_ascii s
+
+let uppercase s =
+  let n = String.length s in
+  let rec clean i = i >= n || (not (String.unsafe_get s i >= 'a' && String.unsafe_get s i <= 'z') && clean (i + 1)) in
+  if clean 0 then s else String.uppercase_ascii s
 
 let is_space c = c = ' ' || c = '\t' || c = '\r' || c = '\n'
 
@@ -31,11 +46,24 @@ let split_on_string ~sep s =
   go 0 []
 
 let starts_with_ci ~prefix s =
-  String.length s >= String.length prefix
-  && String.lowercase_ascii (String.sub s 0 (String.length prefix))
-     = String.lowercase_ascii prefix
+  let np = String.length prefix in
+  String.length s >= np
+  && (let rec go i =
+        i >= np
+        || (lower_char (String.unsafe_get s i) = lower_char (String.unsafe_get prefix i)
+            && go (i + 1))
+      in
+      go 0)
 
-let equal_ci a b = String.lowercase_ascii a = String.lowercase_ascii b
+let equal_ci a b =
+  let n = String.length a in
+  String.length b = n
+  && (let rec go i =
+        i >= n
+        || (lower_char (String.unsafe_get a i) = lower_char (String.unsafe_get b i)
+            && go (i + 1))
+      in
+      go 0)
 let is_blank s = String.for_all is_space s
 
 let split_words s =

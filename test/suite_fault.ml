@@ -191,6 +191,128 @@ let test_regex_estimate_sane () =
           (not (Rz_aspath.Regex_nfa.is_capped (Rz_aspath.Regex_nfa.compile ast))))
     [ "^AS1+$"; "AS1 AS2* [AS3 AS4]"; "^AS-FOO{1,9}$"; "(AS1|AS2){2,4} AS5~*" ]
 
+(* ---- snapshot cache under corruption ---- *)
+
+(* The snapshot loader is a parser for hostile bytes like any other:
+   flipped bytes, truncation, version skew and trailing garbage must all
+   reject (counted on snapshot.rejects), and the cached-ingest path must
+   fall back to parsing — wrong data is never served. *)
+
+let snapshot_ir_and_digest =
+  lazy
+    (let dumps = [ ("TEST", sample_dump) ] in
+     let ir = Rz_ingest.Ingest.ingest_sequential dumps in
+     (dumps, ir, Rz_ingest.Ingest.dumps_digest dumps))
+
+let with_snapshot_bytes bytes f =
+  let path = Filename.temp_file "rz_fault_snapshot" ".snap" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+  @@ fun () ->
+  let oc = open_out_bin path in
+  output_string oc bytes;
+  close_out oc;
+  f path
+
+let count_rejects body =
+  Obs.enable ();
+  Obs.reset ();
+  let c = Obs.Counter.make "snapshot.rejects" in
+  Fun.protect ~finally:(fun () -> Obs.disable (); Obs.reset ()) @@ fun () ->
+  body ();
+  Obs.Counter.get c
+
+let test_snapshot_flipped_bytes_rejected () =
+  let _, ir, digest = Lazy.force snapshot_ir_and_digest in
+  let clean = Rz_ir.Ir_snapshot.encode ~input_digest:digest ir in
+  let n = String.length clean in
+  (* one flip in every region: magic, version, digest, section framing,
+     payload, checksum, last byte *)
+  let positions = [ 0; 9; 14; 30; n / 3; n / 2; (2 * n) / 3; n - 1 ] in
+  let rejected =
+    count_rejects (fun () ->
+        List.iter
+          (fun i ->
+            let b = Bytes.of_string clean in
+            Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+            with_snapshot_bytes (Bytes.to_string b) @@ fun path ->
+            match Rz_ir.Ir_snapshot.load path with
+            | Ok _ -> Alcotest.failf "flip at byte %d silently loaded" i
+            | Error _ -> ())
+          positions)
+  in
+  Alcotest.(check int) "every flip counted a reject" (List.length positions) rejected
+
+let test_snapshot_truncation_rejected () =
+  let _, ir, digest = Lazy.force snapshot_ir_and_digest in
+  let clean = Rz_ir.Ir_snapshot.encode ~input_digest:digest ir in
+  let n = String.length clean in
+  let lengths = [ 0; 4; n / 4; n / 2; n - 1 ] in
+  let rejected =
+    count_rejects (fun () ->
+        List.iter
+          (fun len ->
+            with_snapshot_bytes (String.sub clean 0 len) @@ fun path ->
+            match Rz_ir.Ir_snapshot.load path with
+            | Ok _ -> Alcotest.failf "truncation to %d bytes silently loaded" len
+            | Error _ -> ())
+          lengths)
+  in
+  Alcotest.(check bool) "every truncation counted" true (rejected >= List.length lengths);
+  (* trailing garbage is rejected too: a snapshot is exactly its frame *)
+  let garbage =
+    count_rejects (fun () ->
+        with_snapshot_bytes (clean ^ "extra") @@ fun path ->
+        match Rz_ir.Ir_snapshot.load path with
+        | Ok _ -> Alcotest.fail "trailing garbage silently loaded"
+        | Error _ -> ())
+  in
+  Alcotest.(check bool) "garbage counted" true (garbage >= 1)
+
+let test_snapshot_version_bump_rejected () =
+  (* a future format version must reject even with valid framing: the
+     version field is bytes 8..11 (big-endian) after the 8-byte magic *)
+  let _, ir, digest = Lazy.force snapshot_ir_and_digest in
+  let clean = Rz_ir.Ir_snapshot.encode ~input_digest:digest ir in
+  let b = Bytes.of_string clean in
+  Bytes.set b 11 (Char.chr (Rz_ir.Ir_snapshot.version + 1));
+  let rejected =
+    count_rejects (fun () ->
+        with_snapshot_bytes (Bytes.to_string b) @@ fun path ->
+        match Rz_ir.Ir_snapshot.load path with
+        | Ok _ -> Alcotest.fail "version bump silently loaded"
+        | Error e ->
+          Alcotest.(check bool) "reason names the version" true
+            (Rz_util.Strings.split_on_string ~sep:"version" e |> List.length > 1))
+  in
+  Alcotest.(check int) "reject counted" 1 rejected
+
+let test_snapshot_corrupt_fallback_parses () =
+  (* cached ingest over a corrupt snapshot: reject + miss, then reparse
+     and rewrite; the result is the oracle IR and the rewritten file is
+     valid again *)
+  let dumps, ir, digest = Lazy.force snapshot_ir_and_digest in
+  let clean = Rz_ir.Ir_snapshot.encode ~input_digest:digest ir in
+  let b = Bytes.of_string clean in
+  let mid = Bytes.length b / 2 in
+  Bytes.set b mid (Char.chr (Char.code (Bytes.get b mid) lxor 0x40));
+  with_snapshot_bytes (Bytes.to_string b) @@ fun path ->
+  Obs.enable ();
+  Obs.reset ();
+  let rejects = Obs.Counter.make "snapshot.rejects" in
+  let misses = Obs.Counter.make "snapshot.misses" in
+  let hits = Obs.Counter.make "snapshot.hits" in
+  Fun.protect ~finally:(fun () -> Obs.disable (); Obs.reset ()) @@ fun () ->
+  let got = Rz_ingest.Ingest.ingest_cached ~snapshot:path dumps in
+  Alcotest.(check int) "corrupt file rejected" 1 (Obs.Counter.get rejects);
+  Alcotest.(check int) "counted as a miss" 1 (Obs.Counter.get misses);
+  Alcotest.(check bool) "fallback reproduces the oracle" true
+    (String.equal
+       (Rz_ir.Ir_json.export_string got)
+       (Rz_ir.Ir_json.export_string ir));
+  let again = Rz_ingest.Ingest.ingest_cached ~snapshot:path dumps in
+  Alcotest.(check int) "rewritten snapshot hits" 1 (Obs.Counter.get hits);
+  ignore again
+
 (* ---- crash-isolated parallel verification ---- *)
 
 let small_world =
@@ -283,6 +405,11 @@ let suite =
     Alcotest.test_case "clean sets unaffected" `Quick test_clean_sets_unaffected;
     Alcotest.test_case "regex bomb capped" `Quick test_regex_bomb_capped;
     Alcotest.test_case "regex estimate sane" `Quick test_regex_estimate_sane;
+    Alcotest.test_case "snapshot flips rejected" `Quick test_snapshot_flipped_bytes_rejected;
+    Alcotest.test_case "snapshot truncation rejected" `Quick test_snapshot_truncation_rejected;
+    Alcotest.test_case "snapshot version bump rejected" `Quick
+      test_snapshot_version_bump_rejected;
+    Alcotest.test_case "snapshot corrupt fallback" `Quick test_snapshot_corrupt_fallback_parses;
     Alcotest.test_case "all-domain crash loses nothing" `Quick test_domain_crash_loses_nothing;
     Alcotest.test_case "single-domain crash" `Quick test_single_domain_crash;
     Alcotest.test_case "stealing crash loses nothing" `Quick

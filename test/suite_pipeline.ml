@@ -209,7 +209,9 @@ let test_golden_metrics () =
       "verify.status.relaxed"; "verify.status.safelisted"; "verify.status.unverified";
       "verify.filter_evals.as_set"; "verify.filter_abstains_total";
       "verify.memo_hits"; "verify.memo_misses"; "nfa.compile_hits";
-      "dedup.collapsed"; "steal.batches" ];
+      "dedup.collapsed"; "steal.batches";
+      "ingest.parallel.domains"; "ingest.files_stolen";
+      "snapshot.hits"; "snapshot.misses"; "snapshot.rejects" ];
   let span_names = List.map fst (Obs.Registry.spans snap) in
   List.iter
     (fun name ->
@@ -231,6 +233,15 @@ let test_golden_metrics () =
     (counter "irr.as_flat.hits" + counter "irr.as_flat.misses"
      >= counter "verify.filter_evals.as_set");
   Alcotest.(check int) "13 IRR dumps generated" 13 (counter "synthirr.dumps_total");
+  (* ingestion sharding: every dump is stolen exactly once off the
+     Atomic cursor (build_synthetic routes through Rz_ingest), and the
+     pool size was recorded; no snapshot is involved in this pipeline *)
+  Alcotest.(check int) "every dump stolen once"
+    (counter "synthirr.dumps_total") (counter "ingest.files_stolen");
+  Alcotest.(check bool) "ingest pool size recorded" true
+    (counter "ingest.parallel.domains" >= 1);
+  Alcotest.(check int) "no snapshot traffic" 0
+    (counter "snapshot.hits" + counter "snapshot.misses" + counter "snapshot.rejects");
   Alcotest.(check bool) "routegen emitted the collector routes" true
     (counter "routegen.routes_total" > 0);
   Alcotest.(check int) "trie inserts = route objects"

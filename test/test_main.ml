@@ -27,4 +27,5 @@ let () =
       ("rpki", Suite_rpki.suite);
       ("inference", Suite_inference.suite);
       ("edge", Suite_edge.suite);
-      ("fault", Suite_fault.suite) ]
+      ("fault", Suite_fault.suite);
+      ("ingest", Suite_ingest.suite) ]
