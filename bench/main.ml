@@ -75,6 +75,137 @@ let bench_ingest_out =
   in
   find 1
 
+(* --metrics-diff CURRENT BASELINE: structurally compare two metrics /
+   bench JSON snapshots and exit non-zero on regressions, without
+   building a world. Wall-clock keys and the per-run subtrees
+   (meta/histograms/spans) are skipped; throughput keys (routes_per_sec,
+   mib_per_sec, speedup...) are floor-checked — CURRENT must retain at
+   least (1 - tolerance) of BASELINE — and every other leaf must match
+   exactly, including the key sets themselves. --diff-tolerance P sets
+   the allowed fractional throughput regression (default 0.1). *)
+let metrics_diff_args =
+  let rec find i =
+    if i >= Array.length Sys.argv - 2 then None
+    else if Sys.argv.(i) = "--metrics-diff" then Some (Sys.argv.(i + 1), Sys.argv.(i + 2))
+    else find (i + 1)
+  in
+  find 1
+
+let diff_tolerance =
+  let rec find i =
+    if i >= Array.length Sys.argv - 1 then 0.1
+    else if Sys.argv.(i) = "--diff-tolerance" then float_of_string Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
+
+let () =
+  match metrics_diff_args with
+  | None -> ()
+  | Some (current_path, baseline_path) ->
+    let module Json = Rpslyzer.Json in
+    let read path =
+      let text =
+        try
+          let ic = open_in path in
+          let s = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          s
+        with Sys_error e ->
+          Printf.eprintf "METRICS DIFF FAILED: %s\n" e;
+          exit 1
+      in
+      match Json.of_string text with
+      | Ok j -> j
+      | Error e ->
+        Printf.eprintf "METRICS DIFF FAILED: %s: %s\n" path e;
+        exit 1
+    in
+    (* Per-run subtrees: distributions and span trees have no stable
+       cross-run identity, and meta is run metadata by construction. *)
+    let skip_subtrees = [ "meta"; "histograms"; "spans" ] in
+    (* Wall-clock (and host-shape) keys: informational, never compared. *)
+    let skip_keys =
+      [ "secs"; "save_secs"; "load_secs"; "ablation_secs"; "sharded_secs";
+        "total_ns"; "max_ns"; "p50"; "p90"; "p99"; "duration_s";
+        "start_unix_s"; "elapsed_s"; "domains_effective" ]
+    in
+    let starts_with p s =
+      String.length s >= String.length p && String.sub s 0 (String.length p) = p
+    in
+    let ends_with p s =
+      String.length s >= String.length p
+      && String.sub s (String.length s - String.length p) (String.length p) = p
+    in
+    let is_throughput k = ends_with "_per_sec" k || starts_with "speedup" k in
+    let num = function
+      | Json.Int i -> Some (float_of_int i)
+      | Json.Float f -> Some f
+      | _ -> None
+    in
+    let problems = ref [] in
+    let problem path msg =
+      problems := Printf.sprintf "%s: %s" path msg :: !problems
+    in
+    let rec walk path key base cur =
+      match (base, cur) with
+      | Json.Obj bs, Json.Obj cs ->
+        List.iter
+          (fun (k, bv) ->
+            if not (List.mem k skip_subtrees || List.mem k skip_keys) then
+              let sub = if path = "" then k else path ^ "." ^ k in
+              match List.assoc_opt k cs with
+              | Some cv -> walk sub k bv cv
+              | None -> problem sub "missing from current snapshot")
+          bs;
+        List.iter
+          (fun (k, _) ->
+            if
+              (not (List.mem k skip_subtrees || List.mem k skip_keys))
+              && List.assoc_opt k bs = None
+            then problem (if path = "" then k else path ^ "." ^ k) "not in baseline")
+          cs
+      | Json.List bs, Json.List cs ->
+        if List.length bs <> List.length cs then
+          problem path
+            (Printf.sprintf "length %d vs baseline %d" (List.length cs)
+               (List.length bs))
+        else
+          List.iteri
+            (fun i (bv, cv) -> walk (Printf.sprintf "%s[%d]" path i) key bv cv)
+            (List.combine bs cs)
+      | _ -> (
+        match (num base, num cur) with
+        | Some b, Some c ->
+          if is_throughput key then begin
+            let floor = (1. -. diff_tolerance) *. b in
+            if c < floor then
+              problem path
+                (Printf.sprintf
+                   "throughput regression: %.1f vs baseline %.1f (floor %.1f at tolerance %.2f)"
+                   c b floor diff_tolerance)
+          end
+          else if
+            abs_float (c -. b) > 1e-9 *. Float.max 1. (Float.max (abs_float b) (abs_float c))
+          then problem path (Printf.sprintf "%g vs baseline %g" c b)
+        | _ ->
+          if not (Json.equal base cur) then
+            problem path
+              (Printf.sprintf "%s vs baseline %s" (Json.to_string cur)
+                 (Json.to_string base)))
+    in
+    walk "" "" (read baseline_path) (read current_path);
+    (match !problems with
+     | [] ->
+       Printf.printf "metrics diff: %s matches %s (tolerance %.2f)\n" current_path
+         baseline_path diff_tolerance;
+       exit 0
+     | ps ->
+       Printf.eprintf "METRICS DIFF FAILED: %s vs %s (%d problem(s)):\n" current_path
+         baseline_path (List.length ps);
+       List.iter (fun p -> Printf.eprintf "  %s\n" p) (List.rev ps);
+       exit 1)
+
 let () = if metrics_path <> None then Rpslyzer.Obs.enable ()
 
 let write_csv name header rows =

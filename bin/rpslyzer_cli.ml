@@ -29,12 +29,19 @@ let guarded body =
     Printf.eprintf "rpslyzer: %s\n%!" msg;
     exit 1
 
-(* ---------------- metrics ---------------- *)
+(* ---------------- observability options ---------------- *)
 
-(* Shared --metrics [FILE] flag: enables the Rz_obs registry before the
-   command body runs and dumps the JSON snapshot when it finishes.
-   FILE "-" (also the value when the flag is given bare) means stdout,
-   where the snapshot is printed as one final line. *)
+(* Shared flags enabling the Rz_obs registry and the Rz_trace layer
+   around a command body:
+
+     --metrics [FILE]         final JSON snapshot (FILE "-" = stdout)
+     --trace FILE             Chrome trace_event export of the span tree
+                              plus sampled hop records
+     --trace-sample POLICY    hop decision-trace sampling: all | off |
+                              quota:N (default quota:64 when --trace is
+                              given, off otherwise)
+     --metrics-stream FILE    periodic JSONL snapshots from a sampler
+                              domain, every --metrics-interval seconds *)
 
 let metrics_arg =
   Arg.(
@@ -46,6 +53,70 @@ let metrics_arg =
            histograms) and write them as a JSON snapshot to $(docv) when the \
            command finishes. $(docv) '-', or the flag without a value, \
            prints the JSON to stdout.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON array to $(docv) when the command \
+           finishes: every Rz_obs span as a complete event (one lane per \
+           domain) plus the sampled hop decision records as instant events. \
+           Load it in chrome://tracing or Perfetto. Implies metric \
+           collection.")
+
+let sampling_conv =
+  let parse s =
+    match Rpslyzer.Trace.sampling_of_string s with
+    | Some p -> Ok p
+    | None ->
+      Error (`Msg (Printf.sprintf "invalid sampling policy %S (all | off | quota:N)" s))
+  in
+  let print fmt p = Format.pp_print_string fmt (Rpslyzer.Trace.sampling_to_string p) in
+  Arg.conv (parse, print)
+
+let trace_sample_arg =
+  Arg.(
+    value
+    & opt (some sampling_conv) None
+    & info [ "trace-sample" ] ~docv:"POLICY"
+        ~doc:
+          "Hop decision-trace sampling policy: $(b,all), $(b,off), or \
+           $(b,quota:N) (keep the first N records per verdict class per \
+           domain). Defaults to quota:64 when $(b,--trace) is given, off \
+           otherwise.")
+
+let stream_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-stream" ] ~docv:"FILE"
+        ~doc:
+          "Stream metrics for long runs: a sampler domain appends one JSONL \
+           line (elapsed seconds + full registry snapshot) to $(docv) every \
+           $(b,--metrics-interval) seconds, plus a final line at exit. \
+           Implies metric collection.")
+
+let interval_arg =
+  Arg.(
+    value & opt float 5.0
+    & info [ "metrics-interval" ] ~docv:"SECONDS"
+        ~doc:"Sampling interval for $(b,--metrics-stream) (default 5.0).")
+
+type obs_opts = {
+  o_metrics : string option;
+  o_trace : string option;
+  o_sample : Rpslyzer.Trace.sampling option;
+  o_stream : string option;
+  o_interval : float;
+}
+
+let obs_opts_term =
+  Term.(
+    const (fun o_metrics o_trace o_sample o_stream o_interval ->
+        { o_metrics; o_trace; o_sample; o_stream; o_interval })
+    $ metrics_arg $ trace_arg $ trace_sample_arg $ stream_arg $ interval_arg)
 
 (* Shared --snapshot FILE flag (parse/stats/verify): binary IR snapshot
    cache keyed on the dumps' digest. A valid, current snapshot skips
@@ -63,10 +134,60 @@ let snapshot_arg =
            file is ignored (snapshot.misses / snapshot.rejects) and \
            rewritten after the parse.")
 
-let with_metrics metrics body =
-  (match metrics with Some _ -> Rpslyzer.Obs.enable () | None -> ());
+let write_file ~what path contents =
+  try
+    let oc = open_out path in
+    output_string oc contents;
+    output_char oc '\n';
+    close_out oc
+  with Sys_error e ->
+    Printf.eprintf "rpslyzer: cannot write %s: %s\n%!" what e;
+    exit 1
+
+(* Wrap a command body in the observability lifecycle: enable the
+   registry when any flag asks for it, stamp run metadata into
+   [Obs.Meta], configure hop-trace sampling, install the Chrome span
+   sink and the metrics-stream sampler, and in the [Fun.protect]
+   finalizer tear it all down in dependency order — duration metadata
+   first (so the stream's final line carries it), then the stream, then
+   the trace export, then the metrics snapshot. *)
+let with_obs ~cmd ?seed opts body =
+  let module T = Rpslyzer.Trace in
+  let any = opts.o_metrics <> None || opts.o_trace <> None || opts.o_stream <> None in
+  if any then Rpslyzer.Obs.enable ();
+  if Rpslyzer.Obs.enabled () then begin
+    Rpslyzer.Obs.Meta.set "subcommand" (Rpslyzer.Json.String cmd);
+    Rpslyzer.Obs.Meta.set "start_unix_s" (Rpslyzer.Json.Float (Unix.gettimeofday ()));
+    Rpslyzer.Obs.Meta.set "domains"
+      (Rpslyzer.Json.Int (Domain.recommended_domain_count ()));
+    match seed with
+    | Some s -> Rpslyzer.Obs.Meta.set "seed" (Rpslyzer.Json.Int s)
+    | None -> ()
+  end;
+  (match (opts.o_sample, opts.o_trace) with
+   | Some policy, _ -> T.configure policy
+   | None, Some _ -> T.configure (T.Per_status 64)
+   | None, None -> ());
+  if opts.o_trace <> None then T.Chrome.install ();
+  let stream =
+    Option.map
+      (fun path -> T.Metrics_stream.start ~interval_s:opts.o_interval path)
+      opts.o_stream
+  in
+  let t0 = Unix.gettimeofday () in
   Fun.protect body ~finally:(fun () ->
-      match metrics with
+      if Rpslyzer.Obs.enabled () then
+        Rpslyzer.Obs.Meta.set "duration_s"
+          (Rpslyzer.Json.Float (Unix.gettimeofday () -. t0));
+      (match stream with Some s -> T.Metrics_stream.stop s | None -> ());
+      (match opts.o_trace with
+       | Some path ->
+         T.Chrome.uninstall ();
+         let json = T.Chrome.export ~records:(T.records ()) () in
+         write_file ~what:"trace" path (Rpslyzer.Json.to_string json)
+       | None -> ());
+      if T.enabled () then T.configure T.Off;
+      match opts.o_metrics with
       | None -> ()
       | Some dest ->
         let json =
@@ -74,22 +195,14 @@ let with_metrics metrics body =
             (Rpslyzer.Obs.Registry.to_json (Rpslyzer.Obs.Registry.snapshot ()))
         in
         if dest = "-" then print_endline json
-        else
-          try
-            let oc = open_out dest in
-            output_string oc json;
-            output_char oc '\n';
-            close_out oc
-          with Sys_error e ->
-            Printf.eprintf "rpslyzer: cannot write metrics: %s\n%!" e;
-            exit 1)
+        else write_file ~what:"metrics" dest json)
 
 (* ---------------- gen ---------------- *)
 
 let gen_cmd =
-  let run metrics seed n_tier1 n_mid n_stub out =
+  let run obs seed n_tier1 n_mid n_stub out =
     guarded @@ fun () ->
-    with_metrics metrics @@ fun () ->
+    with_obs ~cmd:"gen" ~seed obs @@ fun () ->
     let topo_params =
       { Rz_topology.Gen.default_params with seed; n_tier1; n_mid; n_stub }
     in
@@ -116,14 +229,14 @@ let gen_cmd =
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a synthetic world (IRRs, relationships, BGP dumps).")
-    Term.(const run $ metrics_arg $ seed $ n_tier1 $ n_mid $ n_stub $ out)
+    Term.(const run $ obs_opts_term $ seed $ n_tier1 $ n_mid $ n_stub $ out)
 
 (* ---------------- parse ---------------- *)
 
 let parse_cmd =
-  let run metrics dir snapshot output indent =
+  let run obs dir snapshot output indent =
     guarded @@ fun () ->
-    with_metrics metrics @@ fun () ->
+    with_obs ~cmd:"parse" obs @@ fun () ->
     let dumps = Rpslyzer.Pipeline.load_dumps dir in
     let ir =
       match snapshot with
@@ -151,7 +264,7 @@ let parse_cmd =
   in
   Cmd.v
     (Cmd.info "parse" ~doc:"Parse the IRR dumps of a world and export the IR as JSON.")
-    Term.(const run $ metrics_arg $ dir_arg $ snapshot_arg $ output $ indent)
+    Term.(const run $ obs_opts_term $ dir_arg $ snapshot_arg $ output $ indent)
 
 (* ---------------- stats ---------------- *)
 
@@ -169,9 +282,9 @@ let print_table1 (rows : Rz_stats.Usage.table1_row list) =
        rows)
 
 let stats_cmd =
-  let run metrics dir snapshot =
+  let run obs dir snapshot =
     guarded @@ fun () ->
-    with_metrics metrics @@ fun () ->
+    with_obs ~cmd:"stats" obs @@ fun () ->
     let world = Rpslyzer.Pipeline.load_world ?snapshot dir in
     let u = Rpslyzer.Pipeline.usage world in
     print_endline "== Table 1: IRRs ==";
@@ -203,14 +316,14 @@ let stats_cmd =
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Characterize RPSL usage (the paper's Section 4).")
-    Term.(const run $ metrics_arg $ dir_arg $ snapshot_arg)
+    Term.(const run $ obs_opts_term $ dir_arg $ snapshot_arg)
 
 (* ---------------- verify ---------------- *)
 
 let verify_cmd =
-  let run metrics dir snapshot paper_compat verbose =
+  let run obs dir snapshot paper_compat verbose =
     guarded @@ fun () ->
-    with_metrics metrics @@ fun () ->
+    with_obs ~cmd:"verify" obs @@ fun () ->
     let world = Rpslyzer.Pipeline.load_world ?snapshot dir in
     let config = { Rz_verify.Engine.default_config with paper_compat } in
     let t0 = Unix.gettimeofday () in
@@ -246,12 +359,12 @@ let verify_cmd =
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Extra summaries.") in
   Cmd.v
     (Cmd.info "verify" ~doc:"Verify collector routes against the RPSL (Section 5).")
-    Term.(const run $ metrics_arg $ dir_arg $ snapshot_arg $ paper_compat $ verbose)
+    Term.(const run $ obs_opts_term $ dir_arg $ snapshot_arg $ paper_compat $ verbose)
 
 (* ---------------- explain ---------------- *)
 
 let explain_cmd =
-  let run dir prefix path =
+  let run dir json_out prefix path =
     guarded @@ fun () ->
     let world = Rpslyzer.Pipeline.load_world dir in
     match Rz_net.Prefix.of_string prefix with
@@ -263,9 +376,31 @@ let explain_cmd =
         exit 1
       end;
       let route = Rz_bgp.Route.make pfx asns in
-      (match Rpslyzer.Pipeline.explain_route world route with
-       | Some report -> print_endline report
-       | None -> print_endline "route excluded (single AS or AS_SET path)")
+      (match Rpslyzer.Pipeline.explain_route_traced world route with
+       | Some e ->
+         if json_out then
+           print_endline
+             (Rpslyzer.Json.to_string (Rpslyzer.Pipeline.explanation_to_json e))
+         else print_endline (Rpslyzer.Pipeline.explanation_to_text e)
+       | None ->
+         if json_out then
+           print_endline
+             (Rpslyzer.Json.to_string
+                (Rpslyzer.Json.Obj
+                   [ ("route", Rpslyzer.Json.String (Rz_bgp.Route.to_line route));
+                     ("excluded", Rpslyzer.Json.Bool true);
+                     ("hops", Rpslyzer.Json.List []) ]))
+         else print_endline "route excluded (single AS or AS_SET path)")
+  in
+  let json_out =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the explanation as JSON: one object per hop with its \
+             Appendix-C verdict and the full provenance record (rule \
+             consulted, filter kind, as-set expansion path, relaxation \
+             trigger).")
   in
   let prefix =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"PREFIX" ~doc:"Route prefix.")
@@ -274,8 +409,11 @@ let explain_cmd =
     Arg.(value & pos_right 0 string [] & info [] ~docv:"ASN..." ~doc:"AS-path, collector side first.")
   in
   Cmd.v
-    (Cmd.info "explain" ~doc:"Verify one route and print the per-hop report (Appendix C).")
-    Term.(const run $ dir_arg $ prefix $ path)
+    (Cmd.info "explain"
+       ~doc:
+         "Verify one route with decision tracing forced on and print the \
+          per-hop report (Appendix C) with each hop's provenance.")
+    Term.(const run $ dir_arg $ json_out $ prefix $ path)
 
 (* ---------------- whois ---------------- *)
 
@@ -553,15 +691,15 @@ let nfa_audit ir =
   !total
 
 let faultinject_cmd =
-  let run metrics dir seed rate kinds domains =
+  let run obs dir seed rate kinds domains =
     guarded @@ fun () ->
     (* Counters drive the exit policy, so the registry is always on here;
        --metrics additionally dumps the snapshot. *)
     Rpslyzer.Obs.enable ();
-    (* the exit happens after with_metrics returns, so the Fun.protect
+    (* the exit happens after with_obs returns, so the Fun.protect
        finalizer gets to write the metrics snapshot first *)
     let degraded =
-      with_metrics metrics @@ fun () ->
+      with_obs ~cmd:"faultinject" ~seed obs @@ fun () ->
       let kinds =
       match kinds with
       | [] -> Rz_fault.Fault.all_kinds
@@ -659,7 +797,7 @@ let faultinject_cmd =
           pipeline on the damage, and report every recovery path that \
           fired. Exits 0 when clean, 2 when the pipeline degraded \
           (keep-going), 1 on hard failure.")
-    Term.(const run $ metrics_arg $ dir $ seed $ rate $ kinds $ domains)
+    Term.(const run $ obs_opts_term $ dir $ seed $ rate $ kinds $ domains)
 
 let () =
   let info =

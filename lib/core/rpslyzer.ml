@@ -25,6 +25,7 @@ module Stats = Rz_stats
 module Lint = Rz_lint
 module Rpki = Rz_rpki
 module Obs = Rz_obs.Obs
+module Trace = Rz_trace.Trace
 module Ingest = Rz_ingest
 
 (** {1 End-to-end pipeline} *)
@@ -183,6 +184,9 @@ module Pipeline = struct
          Atomic-backed counters; the per-domain route share and wall
          time go to histograms so stragglers are visible *)
       (match inject_domain_fault with Some f -> f d | None -> ());
+      (* one span per worker: gives each domain its own lane in the
+         Chrome trace export (rz_trace) at negligible cost *)
+      Rz_obs.Obs.Span.with_ "verify.domain" @@ fun () ->
       Rz_obs.Obs.Counter.incr c_par_domains;
       let t0 = Rz_obs.Obs.now_ns () in
       let engine = Rz_verify.Engine.create ?config world.db world.rels in
@@ -249,6 +253,101 @@ module Pipeline = struct
     let engine = Rz_verify.Engine.create ?config world.db world.rels in
     Option.map Rz_verify.Report.route_report_to_string
       (Rz_verify.Engine.verify_route engine route)
+
+  (** {2 Traced explanation}
+
+      The [explain] subcommand's engine: re-verify one route with
+      decision-trace sampling forced on and pair every hop report with
+      the provenance record the engine emitted for it. *)
+
+  type explained_hop = {
+    hop : Rz_verify.Report.hop;
+    trace : Rz_trace.Trace.record option;
+        (** [None] only if the record was evicted, which cannot happen
+            for a single route within the default ring capacity *)
+  }
+
+  type explanation = {
+    route : Rz_bgp.Route.t;
+    hops : explained_hop list;  (** origin-side first, like the report *)
+  }
+
+  let explain_route_traced ?config world route =
+    Rz_trace.Trace.with_sampling Rz_trace.Trace.All @@ fun () ->
+    let engine = Rz_verify.Engine.create ?config world.db world.rels in
+    match Rz_verify.Engine.verify_route engine route with
+    | None -> None
+    | Some report ->
+      let records = Rz_trace.Trace.records () in
+      let subject_of (hop : Rz_verify.Report.hop) =
+        match hop.direction with `Export -> hop.from_as | `Import -> hop.to_as
+      in
+      let remote_of (hop : Rz_verify.Report.hop) =
+        match hop.direction with `Export -> hop.to_as | `Import -> hop.from_as
+      in
+      let matches (hop : Rz_verify.Report.hop) (r : Rz_trace.Trace.record) =
+        r.direction = (match hop.direction with `Export -> "export" | `Import -> "import")
+        && r.subject = subject_of hop
+        && r.remote = remote_of hop
+      in
+      (* Emission order equals the report's hop order (origin-side
+         first), so hop i pairs with record i; the identity check guards
+         against eviction skew and falls back to a search. *)
+      let hops =
+        List.mapi
+          (fun i hop ->
+            let trace =
+              match List.nth_opt records i with
+              | Some r when matches hop r -> Some r
+              | _ -> List.find_opt (matches hop) records
+            in
+            { hop; trace })
+          report.hops
+      in
+      Some { route; hops }
+
+  let explanation_to_text e =
+    let b = Buffer.create 512 in
+    Buffer.add_string b (Printf.sprintf "route %s" (Rz_bgp.Route.to_line e.route));
+    List.iter
+      (fun { hop; trace } ->
+        Buffer.add_char b '\n';
+        Buffer.add_string b (Rz_verify.Report.hop_to_string hop);
+        match trace with
+        | None -> ()
+        | Some r ->
+          List.iter
+            (fun line -> Buffer.add_string b ("\n    " ^ line))
+            (Rz_trace.Trace.record_to_lines r))
+      e.hops;
+    Buffer.contents b
+
+  let explanation_to_json e =
+    let hop_json { hop; trace } =
+      Rz_json.Json.Obj
+        [ ("verb", Rz_json.Json.String (Rz_verify.Report.verb_of hop));
+          ( "direction",
+            Rz_json.Json.String
+              (match hop.direction with `Export -> "export" | `Import -> "import") );
+          ("from", Rz_json.Json.Int hop.from_as);
+          ("to", Rz_json.Json.Int hop.to_as);
+          ("status", Rz_json.Json.String (Rz_verify.Status.to_string hop.status));
+          ("class", Rz_json.Json.String (Rz_verify.Status.class_label hop.status));
+          ( "items",
+            Rz_json.Json.List
+              (List.map
+                 (fun i -> Rz_json.Json.String (Rz_verify.Report.item_to_string i))
+                 hop.items) );
+          ( "trace",
+            match trace with
+            | Some r -> Rz_trace.Trace.record_to_json r
+            | None -> Rz_json.Json.Null ) ]
+    in
+    Rz_json.Json.Obj
+      [ ("route", Rz_json.Json.String (Rz_bgp.Route.to_line e.route));
+        ("prefix", Rz_json.Json.String (Rz_net.Prefix.to_string e.route.prefix));
+        ("excluded", Rz_json.Json.Bool false);
+        ("hops", Rz_json.Json.List (List.map hop_json e.hops)) ]
 
   (** {2 On-disk layout}
 

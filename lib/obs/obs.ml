@@ -155,6 +155,14 @@ module Span = struct
     ignore (Atomic.fetch_and_add s.total_ns elapsed_ns);
     atomic_max s.max_ns elapsed_ns
 
+  (* Optional per-event sink for trace-event exporters (rz_trace's Chrome
+     writer). One Atomic read per span exit when unset; the sink itself
+     must be domain-safe — it runs in whichever domain closed the span. *)
+  let sink : (string -> start_ns:int -> dur_ns:int -> unit) option Atomic.t =
+    Atomic.make None
+
+  let set_sink f = Atomic.set sink f
+
   let with_ name f =
     if not (Atomic.get enabled_flag) then f ()
     else begin
@@ -164,7 +172,12 @@ module Span = struct
       let finish () =
         let elapsed = Int64.to_int (Int64.sub (Monotonic_clock.now ()) t0) in
         (match !stack with [] -> () | _ :: rest -> stack := rest);
-        record name (max 0 elapsed)
+        record name (max 0 elapsed);
+        match Atomic.get sink with
+        | None -> ()
+        | Some emit ->
+          (try emit name ~start_ns:(Int64.to_int t0) ~dur_ns:(max 0 elapsed)
+           with _ -> ())
       in
       match f () with
       | result ->
@@ -187,11 +200,32 @@ module Span = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Run metadata                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Free-form key/value metadata describing the run (subcommand, seed,
+   wall-clock start, domain count, ...). Written rarely — mutex-guarded;
+   snapshots embed it so metrics files and JSONL stream records are
+   self-describing. *)
+module Meta = struct
+  let table : (string, Json.t) Hashtbl.t = Hashtbl.create 8
+
+  let set key value = with_lock (fun () -> Hashtbl.replace table key value)
+  let clear () = with_lock (fun () -> Hashtbl.reset table)
+
+  let list () =
+    with_lock (fun () ->
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+        |> List.sort (fun (a, _) (b, _) -> compare a b))
+end
+
+(* ------------------------------------------------------------------ *)
 (* Reset                                                               *)
 (* ------------------------------------------------------------------ *)
 
 let reset () =
   with_lock (fun () ->
+      Hashtbl.reset Meta.table;
       Hashtbl.iter (fun _ (c : Counter.t) -> Atomic.set c.v 0) Counter.table;
       Hashtbl.iter
         (fun _ (h : Histogram.t) -> Array.iter (fun b -> Atomic.set b 0) h.buckets)
@@ -211,6 +245,7 @@ module Registry = struct
   type hist_row = { count : int; p50 : float; p90 : float; p99 : float }
 
   type snapshot = {
+    meta : (string * Json.t) list;
     counters : (string * int) list;
     histograms : (string * hist_row) list;
     spans : (string * (int * int * int)) list;  (* count, total_ns, max_ns *)
@@ -222,7 +257,8 @@ module Registry = struct
 
   let snapshot () =
     with_lock (fun () ->
-        { counters = sorted_bindings Counter.table (fun c -> Atomic.get c.Counter.v);
+        { meta = sorted_bindings Meta.table Fun.id;
+          counters = sorted_bindings Counter.table (fun c -> Atomic.get c.Counter.v);
           histograms =
             sorted_bindings Histogram.table (fun h ->
                 { count = Histogram.count h;
@@ -235,10 +271,12 @@ module Registry = struct
 
   let counters s = s.counters
   let spans s = List.map (fun (n, (c, t, _)) -> (n, (c, t))) s.spans
+  let meta s = s.meta
 
   let to_json s =
     Json.Obj
-      [ ("counters", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) s.counters));
+      [ ("meta", Json.Obj s.meta);
+        ("counters", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) s.counters));
         ( "histograms",
           Json.Obj
             (List.map
@@ -264,6 +302,13 @@ module Registry = struct
   let to_text s =
     let b = Buffer.create 1024 in
     let ms ns = float_of_int ns /. 1e6 in
+    if s.meta <> [] then begin
+      Buffer.add_string b "meta:\n";
+      List.iter
+        (fun (n, v) ->
+          Buffer.add_string b (Printf.sprintf "  %-32s %s\n" n (Json.to_string v)))
+        s.meta
+    end;
     if s.spans <> [] then begin
       Buffer.add_string b "spans:\n";
       List.iter

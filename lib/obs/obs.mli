@@ -25,8 +25,9 @@ val disable : unit -> unit
 val enabled : unit -> bool
 
 val reset : unit -> unit
-(** Zero every registered counter, histogram, and span accumulator.
-    Registration survives; used by tests and long-running servers. *)
+(** Zero every registered counter, histogram, and span accumulator, and
+    clear the {!Meta} table. Registration survives; used by tests and
+    long-running servers. *)
 
 val now_ns : unit -> int
 (** Monotonic clock, nanoseconds since an arbitrary epoch. For ad-hoc
@@ -67,8 +68,24 @@ module Histogram : sig
 
   val count : t -> int
   val quantile : t -> float -> float
-  (** [quantile h q] for [0 <= q <= 1]; 0.0 when empty. [q = 0] is the
-      minimum-bucket representative, [q = 1] the maximum's. *)
+  (** [quantile h q] selects the bucket holding the observation of rank
+      [max 1 (ceil (q * count))] (1-based, cumulative from the lowest
+      bucket) and returns that bucket's geometric-midpoint
+      representative. Degenerate inputs are pinned as follows (tested in
+      suite_obs):
+
+      - {b empty histogram}: [0.0] for every [q] — the only case that
+        can return a value no bucket represents;
+      - {b single observation}: every [q] (including 0 and 1) returns
+        the same value, the representative of that observation's bucket;
+      - {b q = 0.0}: rank clamps to 1, i.e. the lowest occupied bucket's
+        representative (never a bucket below every observation);
+      - {b q = 1.0}: rank is [count], i.e. the highest occupied bucket's
+        representative;
+      - {b q outside [0, 1]} (including NaN): clamped into [0, 1], so
+        [q < 0] behaves as 0 and [q > 1] as 1;
+      - values below 1.0 (and negatives, and non-finite values) share
+        the underflow bucket, whose representative is [0.5]. *)
 
   val gamma : t -> float
   val name : t -> string
@@ -90,6 +107,29 @@ module Span : sig
   val count : string -> int
   val total_ns : string -> int
   (** 0 for a name never recorded. *)
+
+  val set_sink : (string -> start_ns:int -> dur_ns:int -> unit) option -> unit
+  (** Install (or remove, with [None]) a per-event sink called on every
+      span exit with the span name, its monotonic-clock start, and its
+      duration. Used by trace-event exporters ({!Rz_trace}); the sink
+      runs in the domain that closed the span and must be domain-safe.
+      Exceptions it raises are swallowed. Costs one [Atomic] read per
+      span exit when unset. *)
+end
+
+module Meta : sig
+  (** Run metadata (CLI subcommand, seed, wall-clock start, domain
+      count, ...) embedded in every {!Registry} snapshot under ["meta"],
+      so metrics files and JSONL stream records are self-describing.
+      Cleared by {!reset}. *)
+
+  val set : string -> Rz_json.Json.t -> unit
+  (** Set (or overwrite) one metadata key. *)
+
+  val clear : unit -> unit
+
+  val list : unit -> (string * Rz_json.Json.t) list
+  (** Sorted by key. *)
 end
 
 module Registry : sig
@@ -108,8 +148,12 @@ module Registry : sig
   val spans : snapshot -> (string * (int * int)) list
   (** [(name, (count, total_ns))], sorted by name. *)
 
+  val meta : snapshot -> (string * Rz_json.Json.t) list
+  (** The {!Meta} table at snapshot time, sorted by key. *)
+
   val to_json : snapshot -> Rz_json.Json.t
-  (** [{"counters": {..}, "histograms": {name: {count, p50, p90, p99}},
+  (** [{"meta": {..}, "counters": {..},
+       "histograms": {name: {count, p50, p90, p99}},
        "spans": {name: {count, total_ns, max_ns}}}] — reparseable with
       {!Rz_json.Json.of_string}. *)
 

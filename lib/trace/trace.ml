@@ -1,0 +1,401 @@
+module Json = Rz_json.Json
+module Obs = Rz_obs.Obs
+
+(* ------------------------------------------------------------------ *)
+(* Sampling policy                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type sampling =
+  | Off
+  | All
+  | Per_status of int  (* per-domain, per-verdict-class record quota *)
+
+let sampling_to_string = function
+  | Off -> "off"
+  | All -> "all"
+  | Per_status q -> Printf.sprintf "quota:%d" q
+
+let sampling_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "off" -> Some Off
+  | "all" -> Some All
+  | s when String.length s > 6 && String.sub s 0 6 = "quota:" ->
+    (match int_of_string_opt (String.sub s 6 (String.length s - 6)) with
+     | Some q when q > 0 -> Some (Per_status q)
+     | _ -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Decision records                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* One hop evaluation's provenance. Plain strings/ints so rz_verify can
+   depend on this module (and not the other way around); every field is
+   bounded — [rule] is clipped by the producer, [as_sets] capped. *)
+type record = {
+  seq : int;               (* global emission order *)
+  t_ns : int;              (* monotonic clock at emission *)
+  domain : int;            (* emitting domain id *)
+  direction : string;      (* "import" | "export" *)
+  subject : int;           (* aut-num whose policy was consulted *)
+  remote : int;            (* PeerAS binding *)
+  prefix : string;
+  origin : int;
+  path_len : int;
+  verdict : string;        (* Status.to_string *)
+  verdict_class : string;  (* Status.class_label *)
+  rule : string option;    (* rule consulted (clipped rendering) *)
+  filter_kind : string option;
+  as_sets : string list;   (* set names walked during evaluation *)
+  memo : string;           (* "computed" | "hit" | "miss" | "bypass" *)
+  trigger : string option; (* relaxation / safelist / abstain trigger *)
+  items : string list;     (* diagnostic items of the hop report *)
+}
+
+let default_capacity = 4096
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain ring buffers                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Each domain writes its own ring without synchronization; rings are
+   registered in a mutex-guarded global list at creation (rare) so
+   [records] can collect them after the workers join. [configure] bumps
+   a generation counter, orphaning every live ring: the next emission in
+   each domain lazily creates a fresh one, which is how both reset and
+   capacity changes propagate without locking the hot path. *)
+type ring = {
+  r_gen : int;
+  r_domain : int;
+  r_cap : int;
+  buf : record option array;
+  mutable pos : int;          (* next write slot *)
+  mutable written : int;      (* records accepted into this ring *)
+  mutable overwritten : int;  (* records evicted by ring wrap-around *)
+  counts : (string, int ref) Hashtbl.t;  (* per verdict_class, for quotas *)
+}
+
+let on = Atomic.make false
+let policy = Atomic.make Off
+let capacity = Atomic.make default_capacity
+let generation = Atomic.make 0
+let seq_ctr = Atomic.make 0
+
+let c_records = Obs.Counter.make "trace.records_total"
+let c_dropped = Obs.Counter.make "trace.dropped_total"
+
+let rings_mutex = Mutex.create ()
+let rings : ring list ref = ref []
+
+let with_lock f =
+  Mutex.lock rings_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock rings_mutex) f
+
+let ring_key : ring option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let my_ring () =
+  let cell = Domain.DLS.get ring_key in
+  let gen = Atomic.get generation in
+  match !cell with
+  | Some r when r.r_gen = gen -> r
+  | _ ->
+    let cap = max 1 (Atomic.get capacity) in
+    let r =
+      { r_gen = gen; r_domain = (Domain.self () :> int); r_cap = cap;
+        buf = Array.make cap None; pos = 0; written = 0; overwritten = 0;
+        counts = Hashtbl.create 8 }
+    in
+    with_lock (fun () -> rings := r :: !rings);
+    cell := Some r;
+    r
+
+let configure ?cap sampling =
+  with_lock (fun () -> rings := []);
+  (match cap with Some c -> Atomic.set capacity (max 1 c) | None -> ());
+  Atomic.set policy sampling;
+  Atomic.incr generation;  (* orphan live DLS rings *)
+  Atomic.set seq_ctr 0;
+  Atomic.set on (sampling <> Off)
+
+let reset () = configure (Atomic.get policy)
+let enabled () = Atomic.get on
+let sampling () = Atomic.get policy
+let ring_capacity () = Atomic.get capacity
+
+let class_count ring cls =
+  match Hashtbl.find_opt ring.counts cls with Some c -> !c | None -> 0
+
+(* The sampling decision, separated from [emit] so the producer can skip
+   building the record (prefix rendering, item strings) when it will be
+   dropped anyway. Quotas are per domain: each worker keeps its first [q]
+   records of every verdict class. *)
+let should_sample verdict_class =
+  Atomic.get on
+  && (match Atomic.get policy with
+      | Off -> false
+      | All -> true
+      | Per_status q -> class_count (my_ring ()) verdict_class < q)
+
+let next_seq () = Atomic.fetch_and_add seq_ctr 1
+
+let emit r0 =
+  if Atomic.get on then begin
+    let ring = my_ring () in
+    let r = { r0 with seq = next_seq () } in
+    (match ring.buf.(ring.pos) with
+     | Some _ ->
+       ring.overwritten <- ring.overwritten + 1;
+       Obs.Counter.incr c_dropped
+     | None -> ());
+    ring.buf.(ring.pos) <- Some r;
+    ring.pos <- (ring.pos + 1) mod ring.r_cap;
+    ring.written <- ring.written + 1;
+    (match Hashtbl.find_opt ring.counts r.verdict_class with
+     | Some c -> incr c
+     | None -> Hashtbl.replace ring.counts r.verdict_class (ref 1));
+    Obs.Counter.incr c_records
+  end
+
+let records () =
+  let rs = with_lock (fun () -> !rings) in
+  List.concat_map
+    (fun ring -> Array.to_list ring.buf |> List.filter_map Fun.id)
+    rs
+  |> List.sort (fun a b -> compare a.seq b.seq)
+
+let kept () =
+  let rs = with_lock (fun () -> !rings) in
+  List.fold_left (fun acc r -> acc + min r.written r.r_cap) 0 rs
+
+let dropped () =
+  let rs = with_lock (fun () -> !rings) in
+  List.fold_left (fun acc r -> acc + r.overwritten) 0 rs
+
+(* Force [sampling'] for the duration of [f] (fresh rings), restoring the
+   previous policy — and discarding the temporary rings — on the way out.
+   Collect {!records} inside [f]. *)
+let with_sampling ?cap sampling' f =
+  let prev_policy = Atomic.get policy and prev_cap = Atomic.get capacity in
+  configure ?cap sampling';
+  Fun.protect f ~finally:(fun () -> configure ~cap:prev_cap prev_policy)
+
+let opt_string = function None -> Json.Null | Some s -> Json.String s
+
+let record_to_json r =
+  Json.Obj
+    [ ("seq", Json.Int r.seq);
+      ("domain", Json.Int r.domain);
+      ("direction", Json.String r.direction);
+      ("subject", Json.Int r.subject);
+      ("remote", Json.Int r.remote);
+      ("prefix", Json.String r.prefix);
+      ("origin", Json.Int r.origin);
+      ("path_len", Json.Int r.path_len);
+      ("verdict", Json.String r.verdict);
+      ("class", Json.String r.verdict_class);
+      ("rule", opt_string r.rule);
+      ("filter_kind", opt_string r.filter_kind);
+      ("as_sets", Json.List (List.map (fun s -> Json.String s) r.as_sets));
+      ("memo", Json.String r.memo);
+      ("trigger", opt_string r.trigger);
+      ("items", Json.List (List.map (fun s -> Json.String s) r.items)) ]
+
+let record_to_lines r =
+  let line k v = Printf.sprintf "%-12s %s" k v in
+  List.concat
+    [ [ line "verdict" r.verdict;
+        line "subject" (Printf.sprintf "AS%d (%s to AS%d)" r.subject r.direction r.remote) ];
+      (match r.rule with Some s -> [ line "rule" s ] | None -> []);
+      (match r.filter_kind with Some s -> [ line "filter" s ] | None -> []);
+      (match r.as_sets with
+       | [] -> []
+       | sets -> [ line "sets" (String.concat ", " sets) ]);
+      (match r.trigger with Some s -> [ line "trigger" s ] | None -> []);
+      [ line "memo" r.memo ] ]
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event export                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Collects every Obs.Span exit (via {!Obs.Span.set_sink}) into
+   per-domain event buffers and renders the Chrome trace-event JSON
+   array format: one complete ("X") event per span, one instant ("i")
+   event per sampled hop record, with pid 1 and tid = domain id so each
+   domain gets its own lane in chrome://tracing / Perfetto. *)
+module Chrome = struct
+  type event = { e_name : string; e_dom : int; e_start_ns : int; e_dur_ns : int }
+
+  let max_events_per_domain = 65536
+
+  type lane = {
+    l_gen : int;
+    l_dom : int;
+    mutable events : event list;  (* newest first *)
+    mutable n : int;
+    mutable lost : int;
+  }
+
+  let gen = Atomic.make 0
+  let lanes_mutex = Mutex.create ()
+  let lanes : lane list ref = ref []
+
+  let with_llock f =
+    Mutex.lock lanes_mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock lanes_mutex) f
+
+  let lane_key : lane option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+  let my_lane () =
+    let cell = Domain.DLS.get lane_key in
+    let g = Atomic.get gen in
+    match !cell with
+    | Some l when l.l_gen = g -> l
+    | _ ->
+      let l = { l_gen = g; l_dom = (Domain.self () :> int); events = []; n = 0; lost = 0 } in
+      with_llock (fun () -> lanes := l :: !lanes);
+      cell := Some l;
+      l
+
+  let sink name ~start_ns ~dur_ns =
+    let l = my_lane () in
+    if l.n < max_events_per_domain then begin
+      l.events <- { e_name = name; e_dom = l.l_dom; e_start_ns = start_ns; e_dur_ns = dur_ns } :: l.events;
+      l.n <- l.n + 1
+    end
+    else l.lost <- l.lost + 1
+
+  let reset () =
+    with_llock (fun () -> lanes := []);
+    Atomic.incr gen
+
+  let install () =
+    reset ();
+    Obs.Span.set_sink (Some sink)
+
+  let uninstall () = Obs.Span.set_sink None
+
+  let span_events () =
+    let ls = with_llock (fun () -> !lanes) in
+    List.concat_map (fun l -> List.rev l.events) ls
+
+  let lost () =
+    let ls = with_llock (fun () -> !lanes) in
+    List.fold_left (fun acc l -> acc + l.lost) 0 ls
+
+  (* ts/dur are microseconds in the trace-event format; both rebased to
+     the earliest event so the viewer timeline starts near zero. *)
+  let export ?(records = []) () =
+    let events = span_events () in
+    let t_min =
+      List.fold_left
+        (fun acc (e : event) -> min acc e.e_start_ns)
+        (List.fold_left (fun acc (r : record) -> min acc r.t_ns) max_int records)
+        events
+    in
+    let t_min = if t_min = max_int then 0 else t_min in
+    let us ns = Json.Float (float_of_int (ns - t_min) /. 1e3) in
+    let doms =
+      List.sort_uniq compare
+        (List.map (fun (e : event) -> e.e_dom) events
+         @ List.map (fun (r : record) -> r.domain) records)
+    in
+    let meta_events =
+      Json.Obj
+        [ ("name", Json.String "process_name"); ("ph", Json.String "M");
+          ("pid", Json.Int 1); ("tid", Json.Int 0);
+          ("args", Json.Obj [ ("name", Json.String "rpslyzer") ]) ]
+      :: List.map
+           (fun d ->
+             Json.Obj
+               [ ("name", Json.String "thread_name"); ("ph", Json.String "M");
+                 ("pid", Json.Int 1); ("tid", Json.Int d);
+                 ("args", Json.Obj [ ("name", Json.String (Printf.sprintf "domain %d" d)) ]) ])
+           doms
+    in
+    let span_evs =
+      List.map
+        (fun (e : event) ->
+          Json.Obj
+            [ ("name", Json.String e.e_name); ("cat", Json.String "span");
+              ("ph", Json.String "X"); ("pid", Json.Int 1); ("tid", Json.Int e.e_dom);
+              ("ts", us e.e_start_ns);
+              ("dur", Json.Float (float_of_int e.e_dur_ns /. 1e3)) ])
+        events
+    in
+    let hop_evs =
+      List.map
+        (fun (r : record) ->
+          Json.Obj
+            [ ("name", Json.String ("hop " ^ r.verdict_class));
+              ("cat", Json.String "hop"); ("ph", Json.String "i");
+              ("s", Json.String "t"); ("pid", Json.Int 1); ("tid", Json.Int r.domain);
+              ("ts", us r.t_ns);
+              ("args", record_to_json r) ])
+        records
+    in
+    Json.List (meta_events @ span_evs @ hop_evs)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Periodic metrics streaming                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A sampler domain wakes every [interval_s] seconds and appends one
+   JSONL line — elapsed wall-clock plus the full Obs registry snapshot —
+   to [path], turning a multi-hour run's counters into a time series.
+   [stop] joins the sampler and writes one final snapshot line, so even
+   runs shorter than the interval produce a record. *)
+module Metrics_stream = struct
+  type shared = {
+    oc : out_channel;
+    t0 : float;
+    stop_flag : bool Atomic.t;
+    out_mutex : Mutex.t;
+  }
+
+  type t = { shared : shared; sampler : unit Domain.t }
+
+  let write_line s =
+    let line =
+      Json.Obj
+        [ ("elapsed_s", Json.Float (Unix.gettimeofday () -. s.t0));
+          ("metrics", Obs.Registry.to_json (Obs.Registry.snapshot ())) ]
+    in
+    Mutex.lock s.out_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock s.out_mutex)
+      (fun () ->
+        output_string s.oc (Json.to_string line);
+        output_char s.oc '\n';
+        flush s.oc)
+
+  let start ?(interval_s = 5.0) path =
+    let interval_s = Float.max 0.01 interval_s in
+    let shared =
+      { oc = open_out path; t0 = Unix.gettimeofday ();
+        stop_flag = Atomic.make false; out_mutex = Mutex.create () }
+    in
+    let run () =
+      (* sleep in short slices so [stop] is honored promptly *)
+      let slice = 0.02 in
+      let rec loop slept =
+        if not (Atomic.get shared.stop_flag) then
+          if slept >= interval_s then begin
+            write_line shared;
+            loop 0.0
+          end
+          else begin
+            Unix.sleepf (Float.min slice (interval_s -. slept));
+            loop (slept +. slice)
+          end
+      in
+      loop 0.0
+    in
+    { shared; sampler = Domain.spawn run }
+
+  let stop t =
+    Atomic.set t.shared.stop_flag true;
+    (try Domain.join t.sampler with _ -> ());
+    write_line t.shared;  (* final snapshot: every run yields >= 1 line *)
+    close_out t.shared.oc
+end

@@ -12,6 +12,7 @@ let default_config = { paper_compat = false; memoize = true }
    to the hop total (asserted by the golden pipeline test). All are
    Atomic-backed — safe under verify_parallel's domain fan-out. *)
 module Obs = Rz_obs.Obs
+module Trace = Rz_trace.Trace
 
 let c_hops = Obs.Counter.make "verify.hops_total"
 let c_verified = Obs.Counter.make "verify.status.verified"
@@ -82,6 +83,23 @@ module Hop_tbl = Hashtbl.Make (struct
     if k.k_export then h * 31 else h
 end)
 
+(* Trace provenance gathered alongside a hop verdict when decision
+   tracing ({!Rz_trace.Trace}) is enabled: the rendered rule consulted,
+   the kind of the decisive filter, and every set name walked. [None]
+   whenever tracing was off during the evaluation — which also covers
+   every memo entry created in an untraced run. *)
+type prov = {
+  p_rule : string option;
+  p_filter : string option;
+  p_sets : string list;
+}
+
+(* A memoized hop carries its provenance so cached hits can emit trace
+   records as rich as recomputed ones. Tracing configuration is fixed
+   before an engine runs, so entries created in a traced run (the only
+   ones its hits can find) always hold [Some prov]. *)
+type memo_entry = { e_hop : Report.hop; e_prov : prov option }
+
 type t = {
   db : Db.t;
   rels : Rel_db.t;
@@ -91,7 +109,7 @@ type t = {
       (* each distinct Path_regex pattern compiled once per engine *)
   path_dep_memo : (int, bool) Hashtbl.t;
       (* (subject lsl 1) lor is_export -> policies reference the AS-path *)
-  hop_memo : Report.hop Hop_tbl.t;
+  hop_memo : memo_entry Hop_tbl.t;
 }
 
 let create ?(config = default_config) db rels =
@@ -133,10 +151,24 @@ type ctx = {
       (** route objects covering [prefix], computed on first use — the
           trie is walked once per hop check, however many filter terms
           consult it *)
+  trace : bool;  (** decision tracing on for this evaluation *)
+  mutable sets_walked : string list;
+      (** set names consulted (reverse order), only when [trace] *)
+  mutable sets_n : int;
 }
 
-let make_ctx ~prefix ~path ~remote ~origin =
-  { prefix; path; remote; origin; covering = None }
+(* Bound on [sets_walked]: trace records must stay small even under an
+   as-set bomb. *)
+let max_traced_sets = 8
+
+let make_ctx ~trace ~prefix ~path ~remote ~origin =
+  { prefix; path; remote; origin; covering = None; trace; sets_walked = []; sets_n = 0 }
+
+let trace_set ctx name =
+  if ctx.trace && ctx.sets_n < max_traced_sets then begin
+    ctx.sets_walked <- name :: ctx.sets_walked;
+    ctx.sets_n <- ctx.sets_n + 1
+  end
 
 let covering t ctx =
   match ctx.covering with
@@ -168,6 +200,7 @@ let rec eval_filter t ctx (filter : Ast.filter) : outcome =
       Abstain (A_unrec (Status.Zero_route_as asn))
     else NoMatch
   | Ast.As_set_ref (name, op) ->
+    trace_set ctx name;
     if not (Db.as_set_exists t.db name) then
       Abstain (A_unrec (Status.Unrecorded_as_set name))
     else begin
@@ -182,6 +215,7 @@ let rec eval_filter t ctx (filter : Ast.filter) : outcome =
       else NoMatch
     end
   | Ast.Route_set_ref (name, op) ->
+    trace_set ctx name;
     if not (Db.route_set_exists t.db name) then
       Abstain (A_unrec (Status.Unrecorded_route_set name))
     else begin
@@ -196,6 +230,7 @@ let rec eval_filter t ctx (filter : Ast.filter) : outcome =
       else NoMatch
     end
   | Ast.Filter_set_ref name ->
+    trace_set ctx name;
     (match Db.find_filter_set t.db name with
      | None -> Abstain (A_unrec (Status.Unrecorded_filter_set name))
      | Some fs -> eval_filter t ctx fs.filter)
@@ -234,24 +269,26 @@ let rec eval_filter t ctx (filter : Ast.filter) : outcome =
 
 (* ---------------- peerings ---------------- *)
 
-let rec eval_as_expr t remote (expr : Ast.as_expr) : outcome =
+let rec eval_as_expr t ctx (expr : Ast.as_expr) : outcome =
   match expr with
-  | Ast.Asn asn -> if asn = remote then Match else NoMatch
+  | Ast.Asn asn -> if asn = ctx.remote then Match else NoMatch
   | Ast.As_set name ->
+    trace_set ctx name;
     if not (Db.as_set_exists t.db name) then
       Abstain (A_unrec (Status.Unrecorded_as_set name))
-    else if Db.asn_in_as_set t.db name remote then Match
+    else if Db.asn_in_as_set t.db name ctx.remote then Match
     else NoMatch
   | Ast.Any_as -> Match
-  | Ast.And (a, b) -> o_and (eval_as_expr t remote a) (eval_as_expr t remote b)
-  | Ast.Or (a, b) -> o_or (eval_as_expr t remote a) (eval_as_expr t remote b)
+  | Ast.And (a, b) -> o_and (eval_as_expr t ctx a) (eval_as_expr t ctx b)
+  | Ast.Or (a, b) -> o_or (eval_as_expr t ctx a) (eval_as_expr t ctx b)
   | Ast.Except_as (a, b) ->
-    o_and (eval_as_expr t remote a) (o_not (eval_as_expr t remote b))
+    o_and (eval_as_expr t ctx a) (o_not (eval_as_expr t ctx b))
 
-let eval_peering t remote (peering : Ast.peering) : outcome =
+let eval_peering t ctx (peering : Ast.peering) : outcome =
   match peering with
-  | Ast.Peering_spec { as_expr; _ } -> eval_as_expr t remote as_expr
+  | Ast.Peering_spec { as_expr; _ } -> eval_as_expr t ctx as_expr
   | Ast.Peering_set_ref name ->
+    trace_set ctx name;
     (match Db.find_peering_set t.db name with
      | None -> Abstain (A_unrec (Status.Unrecorded_peering_set name))
      | Some ps ->
@@ -259,7 +296,7 @@ let eval_peering t remote (peering : Ast.peering) : outcome =
          (fun acc p ->
            o_or acc
              (match p with
-              | Ast.Peering_spec { as_expr; _ } -> eval_as_expr t remote as_expr
+              | Ast.Peering_spec { as_expr; _ } -> eval_as_expr t ctx as_expr
               | Ast.Peering_set_ref _ -> NoMatch (* no nested peering-sets *)))
          NoMatch ps.peerings)
 
@@ -302,7 +339,7 @@ let eval_factor t ctx (factor : Ast.factor) : factor_fact * outcome =
   let matched_actions = ref [] in
   List.iter
     (fun (pa : Ast.peering_action) ->
-      let o = eval_peering t ctx.remote pa.peering in
+      let o = eval_peering t ctx pa.peering in
       if o = Match then matched_actions := !matched_actions @ pa.actions;
       peering_outcome := o_or !peering_outcome o)
     factor.peerings;
@@ -486,7 +523,62 @@ let policies_read_path t ~subject ~direction =
 
 (* ---------------- hop verification ---------------- *)
 
-let verify_hop_impl t ~direction ~subject ~remote ~prefix ~path : Report.hop =
+(* Top-level constructor label of a filter, for trace provenance. *)
+let filter_kind_label : Ast.filter -> string = function
+  | Ast.Any -> "any"
+  | Ast.Peer_as_filter -> "peeras"
+  | Ast.As_num _ -> "as-num"
+  | Ast.As_set_ref _ -> "as-set"
+  | Ast.Route_set_ref _ -> "route-set"
+  | Ast.Filter_set_ref _ -> "filter-set"
+  | Ast.Prefix_set _ -> "prefix-set"
+  | Ast.Path_regex _ -> "path-regex"
+  | Ast.Community _ -> "community"
+  | Ast.Fltr_martian -> "martian"
+  | Ast.And_f _ | Ast.Or_f _ | Ast.Not_f _ -> "composite"
+
+(* Trace records are bounded: a pathological rule rendering is clipped. *)
+let clip s = if String.length s > 200 then String.sub s 0 197 ^ "..." else s
+
+let trigger_of : Status.t -> string option = function
+  | Status.Relaxed s | Status.Safelisted s -> Some (Status.special_to_string s)
+  | Status.Unrecorded r -> Some (Status.unrec_to_string r)
+  | Status.Skipped r -> Some (Status.skip_to_string r)
+  | Status.Verified | Status.Unverified -> None
+
+let empty_prov = { p_rule = None; p_filter = None; p_sets = [] }
+
+(* Emit one trace record for a hop verdict, subject to the sampling
+   policy. Building the record (prefix rendering, item strings) only
+   happens for sampled hops. *)
+let emit_trace ~direction ~subject ~remote ~prefix ~path ~memo (hop : Report.hop)
+    (prov : prov option) =
+  let cls = Status.class_label hop.Report.status in
+  if Trace.should_sample cls then begin
+    let n = Array.length path in
+    let prov = Option.value prov ~default:empty_prov in
+    Trace.emit
+      { Trace.seq = 0;  (* assigned by emit *)
+        t_ns = Obs.now_ns ();
+        domain = (Domain.self () :> int);
+        direction = (match direction with `Export -> "export" | `Import -> "import");
+        subject; remote;
+        prefix = Rz_net.Prefix.to_string prefix;
+        origin = (if n = 0 then remote else path.(n - 1));
+        path_len = n;
+        verdict = Status.to_string hop.Report.status;
+        verdict_class = cls;
+        rule = prov.p_rule;
+        filter_kind = prov.p_filter;
+        as_sets = prov.p_sets;
+        memo;
+        trigger = trigger_of hop.Report.status;
+        items = List.map Report.item_to_string hop.Report.items }
+  end
+
+let verify_hop_full t ~direction ~subject ~remote ~prefix ~path :
+    Report.hop * prov option =
+  let tracing = Trace.enabled () in
   let from_as, to_as =
     match direction with `Export -> (subject, remote) | `Import -> (remote, subject)
   in
@@ -496,18 +588,26 @@ let verify_hop_impl t ~direction ~subject ~remote ~prefix ~path : Report.hop =
   in
   match Db.find_aut_num t.db subject with
   | None ->
-    finish (Status.Unrecorded (Status.No_aut_num subject))
-      [ Report.Unrec (Status.No_aut_num subject) ]
+    ( finish (Status.Unrecorded (Status.No_aut_num subject))
+        [ Report.Unrec (Status.No_aut_num subject) ],
+      if tracing then Some empty_prov else None )
   | Some an ->
     let rules = match direction with `Import -> an.imports | `Export -> an.exports in
     if rules = [] then
-      finish (Status.Unrecorded Status.No_rules) [ Report.Unrec Status.No_rules ]
+      ( finish (Status.Unrecorded Status.No_rules) [ Report.Unrec Status.No_rules ],
+        if tracing then Some empty_prov else None )
     else begin
       let origin = path.(Array.length path - 1) in
-      let ctx = make_ctx ~prefix ~path ~remote ~origin in
+      let ctx = make_ctx ~trace:tracing ~prefix ~path ~remote ~origin in
       let facts = ref [] in
+      let matched_rule = ref None in
       let overall =
-        List.fold_left (fun acc rule -> o_or acc (eval_rule t ctx rule facts)) NoMatch rules
+        List.fold_left
+          (fun acc rule ->
+            let o = eval_rule t ctx rule facts in
+            if o = Match && !matched_rule = None then matched_rule := Some rule;
+            o_or acc o)
+          NoMatch rules
       in
       let facts = List.rev !facts in
       (* Diagnostics: peering references of factors whose peering failed,
@@ -525,6 +625,38 @@ let verify_hop_impl t ~direction ~subject ~remote ~prefix ~path : Report.hop =
             | _ -> [])
           facts
       in
+      (* Provenance for the trace record: the matched rule for Verified,
+         otherwise the first rule consulted (all were); the decisive
+         filter's kind; the sets walked during evaluation. Computed only
+         when tracing — the untraced hot path allocates nothing here. *)
+      let prov () =
+        if not tracing then None
+        else begin
+          let rule =
+            match !matched_rule with Some r -> Some r | None -> List.nth_opt rules 0
+          in
+          let decisive =
+            match overall with
+            | Match ->
+              List.find_opt
+                (fun (fact : factor_fact) -> fact.filter_outcome = Some Match)
+                facts
+            | NoMatch | Abstain _ ->
+              List.find_opt
+                (fun (fact : factor_fact) ->
+                  match fact.filter_outcome with
+                  | Some NoMatch | Some (Abstain _) -> true
+                  | _ -> false)
+                facts
+          in
+          Some
+            { p_rule = Option.map (fun r -> clip (Ast.rule_to_string r)) rule;
+              p_filter =
+                Option.map (fun (f : factor_fact) -> filter_kind_label f.filter) decisive;
+              p_sets = List.rev ctx.sets_walked }
+        end
+      in
+      let finish ?attrs status items = (finish ?attrs status items, prov ()) in
       match overall with
       | Match ->
         (* the attributes the first fully-matching factor assigns *)
@@ -633,8 +765,13 @@ let no_second_as = -1
 
 let verify_hop t ~direction ~subject ~remote ~prefix ~path : Report.hop =
   let n = Array.length path in
-  if (not t.config.memoize) || n = 0 then
-    verify_hop_impl t ~direction ~subject ~remote ~prefix ~path
+  let tracing = Trace.enabled () in
+  if (not t.config.memoize) || n = 0 then begin
+    let hop, prov = verify_hop_full t ~direction ~subject ~remote ~prefix ~path in
+    if tracing then
+      emit_trace ~direction ~subject ~remote ~prefix ~path ~memo:"computed" hop prov;
+    hop
+  end
   else begin
     let is_export = match direction with `Export -> true | `Import -> false in
     let key =
@@ -646,24 +783,33 @@ let verify_hop t ~direction ~subject ~remote ~prefix ~path : Report.hop =
         k_origin = path.(n - 1) }
     in
     match Hop_tbl.find t.hop_memo key with
-    | hop ->
+    | entry ->
       (* A stored verdict implies the subject's policies are path-free,
          so the hit path is a single probe. Cached verdicts still advance
          [verify.hops_total] and the per-status counters, preserving the
          golden-metrics invariant that the status counters sum to the hop
          total. *)
       Obs.Counter.incr c_memo_hits;
-      count_status hop.Report.status;
-      hop
+      count_status entry.e_hop.Report.status;
+      if tracing then
+        emit_trace ~direction ~subject ~remote ~prefix ~path ~memo:"hit" entry.e_hop
+          entry.e_prov;
+      entry.e_hop
     | exception Not_found ->
-      let hop = verify_hop_impl t ~direction ~subject ~remote ~prefix ~path in
+      let hop, prov = verify_hop_full t ~direction ~subject ~remote ~prefix ~path in
       (* Path-dependent policies bypass the memo (nothing is inserted, so
          later identical keys cannot hit) and results stay bit-identical
          to an unmemoized engine. *)
-      if not (policies_read_path t ~subject ~direction) then begin
-        Obs.Counter.incr c_memo_misses;
-        Hop_tbl.add t.hop_memo key hop
-      end;
+      let memo_label =
+        if not (policies_read_path t ~subject ~direction) then begin
+          Obs.Counter.incr c_memo_misses;
+          Hop_tbl.add t.hop_memo key { e_hop = hop; e_prov = prov };
+          "miss"
+        end
+        else "bypass"
+      in
+      if tracing then
+        emit_trace ~direction ~subject ~remote ~prefix ~path ~memo:memo_label hop prov;
       hop
   end
 

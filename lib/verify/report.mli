@@ -37,6 +37,11 @@ type route_report = {
 }
 
 val item_to_string : item -> string
+
+val verb_of : hop -> string
+(** The Appendix-C verb combining status class and direction, e.g.
+    ["OkImport"], ["MehExport"], ["BadExport"]. *)
+
 val hop_to_string : hop -> string
 (** E.g. [MehImport { from: 1299, to: 3257, items: [MatchRemoteAsNum(AS12), SpecTier1Pair] }]. *)
 

@@ -73,6 +73,31 @@ if [ -n "$JSON_CHECK" ]; then
   "$JSON_CHECK" "$DIR/metrics_stdout.json" || fail "stdout metrics JSON does not re-parse via Rz_json"
   "$JSON_CHECK" "$DIR/metrics_file.json" || fail "file metrics JSON does not re-parse via Rz_json"
 fi
+# the --metrics snapshot leads with the run-metadata header
+expect metrics-meta '"meta"' "$DIR/metrics_file.json"
+expect metrics-meta-cmd '"subcommand":"verify"' "$DIR/metrics_file.json"
+
+# --trace + --metrics-stream around a verify run: Chrome trace-event
+# export (spans as "X", hop records as "i") and JSONL metric streaming.
+"$CLI" verify -d "$DIR/world" --trace "$DIR/trace.json" --trace-sample all \
+  --metrics-stream "$DIR/stream.jsonl" --metrics-interval 1 > "$DIR/verify3.txt"
+expect trace-verify-intact 'hop statuses' "$DIR/verify3.txt"
+expect trace-span '"ph":"X"' "$DIR/trace.json"
+expect trace-hop '"ph":"i"' "$DIR/trace.json"
+test -s "$DIR/stream.jsonl" || fail "metrics stream empty"
+expect stream-metrics '"metrics"' "$DIR/stream.jsonl"
+head -n 1 "$DIR/stream.jsonl" > "$DIR/stream_line.json"
+
+# explain --json: per-hop verdicts with full provenance records
+"$CLI" explain -d "$DIR/world" --json "$PFX" $PATH_ASNS > "$DIR/explain.json"
+expect explain-json-trace '"trace"' "$DIR/explain.json"
+expect explain-json-verdict '"verdict"' "$DIR/explain.json"
+
+if [ -n "$JSON_CHECK" ]; then
+  "$JSON_CHECK" --chrome "$DIR/trace.json" || fail "trace file is not a well-formed Chrome trace"
+  "$JSON_CHECK" "$DIR/explain.json" || fail "explain --json does not re-parse via Rz_json"
+  "$JSON_CHECK" "$DIR/stream_line.json" || fail "metrics stream line does not re-parse"
+fi
 
 "$CLI" gen --seed 6 --tier1 3 --mid 15 --stub 40 -o "$DIR/world2" >/dev/null
 "$CLI" diff "$DIR/world" "$DIR/world2" > "$DIR/diff.txt"

@@ -1,13 +1,49 @@
 (* Exit 0 iff the file named on the command line holds JSON that Rz_json
    re-parses; cli_test.sh uses it to validate `--metrics` output with the
-   same parser the library ships. *)
+   same parser the library ships.
+
+   With --chrome the file must additionally be a well-formed Chrome
+   trace-event document: a non-empty JSON array whose every element is
+   an object carrying at least "ph" (a known phase) and "name". *)
 let () =
-  let path = Sys.argv.(1) in
+  let chrome, path =
+    match Sys.argv with
+    | [| _; "--chrome"; p |] -> (true, p)
+    | [| _; p |] -> (false, p)
+    | _ ->
+      prerr_endline "usage: json_check [--chrome] FILE";
+      exit 2
+  in
   let ic = open_in_bin path in
   let s = really_input_string ic (in_channel_length ic) in
   close_in ic;
-  match Rz_json.Json.of_string s with
-  | Ok _ -> ()
-  | Error e ->
-    Printf.eprintf "json_check: %s: %s\n" path e;
+  let fail msg =
+    Printf.eprintf "json_check: %s: %s\n" path msg;
     exit 1
+  in
+  match Rz_json.Json.of_string s with
+  | Error e -> fail e
+  | Ok doc ->
+    if chrome then begin
+      let events =
+        match doc with
+        | Rz_json.Json.List [] -> fail "chrome trace is empty"
+        | Rz_json.Json.List es -> es
+        | _ -> fail "chrome trace is not a JSON array"
+      in
+      List.iteri
+        (fun i e ->
+          let field k =
+            match Rz_json.Json.member k e with
+            | Some (Rz_json.Json.String v) -> v
+            | _ -> fail (Printf.sprintf "event %d has no string %S" i k)
+          in
+          (match e with
+           | Rz_json.Json.Obj _ -> ()
+           | _ -> fail (Printf.sprintf "event %d is not an object" i));
+          let ph = field "ph" in
+          if not (List.mem ph [ "M"; "X"; "i"; "B"; "E" ]) then
+            fail (Printf.sprintf "event %d has unknown phase %S" i ph);
+          ignore (field "name"))
+        events
+    end

@@ -92,6 +92,54 @@ let test_histogram_underflow_and_empty () =
   Alcotest.(check bool) "underflow representative < 1" true
     (Obs.Histogram.quantile h 0.5 < 1.0)
 
+(* Degenerate-input pins for Histogram.quantile: these exact semantics
+   are documented in obs.mli and relied on by metrics consumers — an
+   empty histogram is 0.0 at every q, a single observation collapses
+   every q (including out-of-range and NaN, which clamp) to its bucket
+   representative, q=0/q=1 are the lowest/highest occupied buckets, and
+   the underflow bucket's representative is the 0.5 sentinel. *)
+let test_quantile_degenerate_pins () =
+  let h = Obs.Histogram.make "test.hist_degenerate" in
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0)) "empty histogram -> 0.0" 0.0
+        (Obs.Histogram.quantile h q))
+    [ -1.0; 0.0; 0.5; 1.0; 2.0; Float.nan ];
+  Obs.Histogram.observe h 100.0;
+  let rep = Obs.Histogram.quantile h 0.5 in
+  let g = Obs.Histogram.gamma h in
+  Alcotest.(check bool) "single observation lands in its bucket" true
+    (rep >= 100.0 /. g && rep <= 100.0 *. g);
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "single observation: q=%.2f collapses" q)
+        rep (Obs.Histogram.quantile h q))
+    [ 0.0; 0.25; 1.0; -3.0; 7.0; Float.nan ]
+
+let test_quantile_extreme_qs () =
+  let h = Obs.Histogram.make "test.hist_extreme_qs" in
+  Obs.Histogram.observe h 1.0;
+  Obs.Histogram.observe h 1000.0;
+  let g = Obs.Histogram.gamma h in
+  let q0 = Obs.Histogram.quantile h 0.0 in
+  let q1 = Obs.Histogram.quantile h 1.0 in
+  Alcotest.(check bool) "q=0 is the lowest occupied bucket" true
+    (q0 >= 1.0 /. g && q0 <= 1.0 *. g);
+  Alcotest.(check bool) "q=1 is the highest occupied bucket" true
+    (q1 >= 1000.0 /. g && q1 <= 1000.0 *. g);
+  Alcotest.(check (float 0.0)) "q>1 clamps to q=1" q1
+    (Obs.Histogram.quantile h 42.0);
+  Alcotest.(check (float 0.0)) "q<0 clamps to q=0" q0
+    (Obs.Histogram.quantile h (-1.0));
+  Alcotest.(check (float 0.0)) "NaN q behaves as q=0" q0
+    (Obs.Histogram.quantile h Float.nan);
+  let hu = Obs.Histogram.make "test.hist_underflow_only" in
+  Obs.Histogram.observe hu 0.0;
+  Obs.Histogram.observe hu (-5.0);
+  Alcotest.(check (float 0.0)) "underflow-only stream reports the 0.5 sentinel"
+    0.5 (Obs.Histogram.quantile hu 0.5)
+
 (* ---------------- spans ---------------- *)
 
 let test_span_nesting () =
@@ -190,6 +238,38 @@ let test_multi_domain_no_lost_increments () =
   Alcotest.(check int) "every domain's span recorded" stress_domains
     (Obs.Span.count "test.stress.span")
 
+(* A domain that dies with spans open must not disturb any other
+   domain's DLS stack or the final snapshot: Span.with_ records the
+   raising span on the way out, the dead domain's stack dies with its
+   DLS, and every surviving domain's counts stay exact. *)
+let test_span_crash_isolation () =
+  let crash_domains = 4 in
+  let iters = 1000 in
+  let work d () =
+    for i = 1 to iters do
+      Obs.Span.with_ "test.crash.outer" (fun () ->
+          Obs.Span.with_ "test.crash.inner" (fun () ->
+              if d = 0 && i = iters / 2 then failwith "injected span crash"))
+    done
+  in
+  let handles = List.init crash_domains (fun d -> Domain.spawn (work d)) in
+  let crashed = ref 0 in
+  List.iter (fun h -> try Domain.join h with Failure _ -> incr crashed) handles;
+  Alcotest.(check int) "exactly one domain crashed" 1 !crashed;
+  (* survivors completed all iterations; the crashed domain recorded every
+     span it entered, including the raising one (exception-safe finish) *)
+  let expect = ((crash_domains - 1) * iters) + (iters / 2) in
+  Alcotest.(check int) "outer spans exact" expect (Obs.Span.count "test.crash.outer");
+  Alcotest.(check int) "inner spans exact" expect (Obs.Span.count "test.crash.inner");
+  Alcotest.(check int) "main domain's stack untouched" 0 (Obs.Span.depth ());
+  Obs.Span.with_ "test.crash.after" (fun () ->
+      Alcotest.(check int) "main domain still nests" 1 (Obs.Span.depth ()));
+  match
+    Json.of_string (Json.to_string (Obs.Registry.to_json (Obs.Registry.snapshot ())))
+  with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "snapshot after crash invalid: %s" e
+
 let test_parallel_verify_counters_match_sequential () =
   (* the counters under Pipeline.verify_parallel (domains = 4) must agree
      with a sequential run over the same world: nothing lost, nothing
@@ -220,6 +300,10 @@ let suite =
       (with_metrics test_histogram_constant_stream);
     Alcotest.test_case "histogram underflow/empty" `Quick
       (with_metrics test_histogram_underflow_and_empty);
+    Alcotest.test_case "quantile degenerate pins" `Quick
+      (with_metrics test_quantile_degenerate_pins);
+    Alcotest.test_case "quantile extreme qs" `Quick
+      (with_metrics test_quantile_extreme_qs);
     Alcotest.test_case "span nesting" `Quick (with_metrics test_span_nesting);
     Alcotest.test_case "span exception" `Quick (with_metrics test_span_exception_still_recorded);
     Alcotest.test_case "span accumulates" `Quick (with_metrics test_span_accumulates);
@@ -227,5 +311,7 @@ let suite =
     Alcotest.test_case "text rendering" `Quick (with_metrics test_text_rendering);
     Alcotest.test_case "multi-domain stress (4 domains)" `Quick
       (with_metrics test_multi_domain_no_lost_increments);
+    Alcotest.test_case "span crash isolation (4 domains)" `Quick
+      (with_metrics test_span_crash_isolation);
     Alcotest.test_case "verify_parallel counters" `Quick
       (with_metrics test_parallel_verify_counters_match_sequential) ]

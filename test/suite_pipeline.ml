@@ -211,7 +211,8 @@ let test_golden_metrics () =
       "verify.memo_hits"; "verify.memo_misses"; "nfa.compile_hits";
       "dedup.collapsed"; "steal.batches";
       "ingest.parallel.domains"; "ingest.files_stolen";
-      "snapshot.hits"; "snapshot.misses"; "snapshot.rejects" ];
+      "snapshot.hits"; "snapshot.misses"; "snapshot.rejects";
+      "trace.records_total"; "trace.dropped_total" ];
   let span_names = List.map fst (Obs.Registry.spans snap) in
   List.iter
     (fun name ->
@@ -278,7 +279,22 @@ let test_golden_metrics () =
   Alcotest.(check int) "parallel hop ledger exact"
     (counter "verify.hops_total" + Aggregate.n_hops agg2)
     (counter2 "verify.hops_total");
-  (* the snapshot renders to JSON that Rz_json re-parses *)
+  (* the snapshot renders to JSON that Rz_json re-parses, and the run
+     metadata set through Obs.Meta leads the document under "meta" *)
+  Obs.Meta.set "subcommand" (Rz_json.Json.String "golden-test");
+  Obs.Meta.set "seed" (Rz_json.Json.Int 7);
+  let snap3 = Obs.Registry.snapshot () in
+  Alcotest.(check bool) "meta in snapshot" true
+    (List.assoc_opt "seed" (Obs.Registry.meta snap3) = Some (Rz_json.Json.Int 7));
+  (match Rz_json.Json.of_string (Rz_json.Json.to_string (Obs.Registry.to_json snap3)) with
+   | Ok doc ->
+     (match Rz_json.Json.member "meta" doc with
+      | Some meta ->
+        Alcotest.(check bool) "meta.subcommand round-trips" true
+          (Rz_json.Json.member "subcommand" meta
+           = Some (Rz_json.Json.String "golden-test"))
+      | None -> Alcotest.fail "snapshot JSON has no meta header")
+   | Error e -> Alcotest.failf "snapshot JSON invalid: %s" e);
   (match Rz_json.Json.of_string (Rz_json.Json.to_string (Obs.Registry.to_json snap)) with
    | Ok _ -> ()
    | Error e -> Alcotest.failf "snapshot JSON invalid: %s" e)

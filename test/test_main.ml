@@ -17,6 +17,7 @@ let () =
       ("synthirr", Suite_synthirr.suite);
       ("stats", Suite_stats.suite);
       ("obs", Suite_obs.suite);
+      ("trace", Suite_trace.suite);
       ("pipeline", Suite_pipeline.suite);
       ("lint", Suite_lint.suite);
       ("classify", Suite_classify.suite);
