@@ -1214,7 +1214,7 @@ let security_comparison () =
      \ intent but depends on adoption. Full adoption assumed below.)";
   let topo = world.topo in
   let observer = topo.ases.(0) in
-  let roa = Rz_rpki.Roa.of_topology ~adoption:1.0 topo in
+  let roa = Rz_rpki.Roagen.of_topology ~adoption:1.0 topo in
   let aspa = Rz_rpki.Aspa.of_topology ~adoption:1.0 topo in
   let engine = Rz_verify.Engine.create world.db world.rels in
   let rpsl_flags route =
@@ -1227,7 +1227,7 @@ let security_comparison () =
   in
   let rov_flags (route : Rz_bgp.Route.t) =
     match Rz_bgp.Route.origin route with
-    | Some origin -> Rz_rpki.Roa.validate roa route.prefix origin = Rz_rpki.Roa.Invalid
+    | Some origin -> Rz_rpki.Roa.is_invalid (Rz_rpki.Roa.validate roa route.prefix origin)
     | None -> false
   in
   let aspa_flags route =

@@ -200,7 +200,8 @@ let with_obs ~cmd ?seed opts body =
 (* ---------------- gen ---------------- *)
 
 let gen_cmd =
-  let run obs seed n_tier1 n_mid n_stub out =
+  let run obs seed n_tier1 n_mid n_stub out roa_adoption roa_wrong roa_stale
+      roa_hostile =
     guarded @@ fun () ->
     with_obs ~cmd:"gen" ~seed obs @@ fun () ->
     let topo_params =
@@ -215,7 +216,26 @@ let gen_cmd =
         0 world.table_dumps
     in
     Printf.printf "wrote %d IRR dumps, as-rel.txt, %d collector routes to %s\n"
-      (List.length world.dumps) n_routes out
+      (List.length world.dumps) n_routes out;
+    let roagen =
+      Rz_rpki.Roagen.generate
+        ~config:
+          { seed = seed + 2;
+            adoption = roa_adoption;
+            wrong_maxlen_prob = roa_wrong;
+            stale_origin_prob = roa_stale;
+            hostile_covering_prob = roa_hostile }
+        world.topo
+    in
+    let roa_path = Filename.concat out "roas.csv" in
+    write_file ~what:"roas.csv" roa_path
+      (Rz_rpki.Roa.render roagen.roas);
+    let s = roagen.stats in
+    Printf.printf
+      "wrote %d ROAs (%d clean, %d wrong-maxLength, %d stale-origin, %d \
+       hostile-covering) to %s\n"
+      (List.length roagen.roas)
+      s.Rz_rpki.Roagen.n_clean s.n_wrong_maxlen s.n_stale s.n_hostile roa_path
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
   let n_tier1 = Arg.(value & opt int 5 & info [ "tier1" ] ~doc:"Number of Tier-1 ASes.") in
@@ -227,9 +247,36 @@ let gen_cmd =
       & opt (some string) None
       & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Output directory.")
   in
+  let roa_adoption =
+    Arg.(
+      value & opt float Rz_rpki.Roagen.default.adoption
+      & info [ "roa-adoption" ] ~docv:"P"
+          ~doc:"Probability an AS signs ROAs for its prefixes.")
+  in
+  let roa_wrong =
+    Arg.(
+      value & opt float Rz_rpki.Roagen.default.wrong_maxlen_prob
+      & info [ "roa-wrong-maxlen" ] ~docv:"P"
+          ~doc:"Per-prefix probability of a misconfigured-maxLength ROA.")
+  in
+  let roa_stale =
+    Arg.(
+      value & opt float Rz_rpki.Roagen.default.stale_origin_prob
+      & info [ "roa-stale" ] ~docv:"P"
+          ~doc:"Per-prefix probability of a stale-origin ROA.")
+  in
+  let roa_hostile =
+    Arg.(
+      value & opt float Rz_rpki.Roagen.default.hostile_covering_prob
+      & info [ "roa-hostile" ] ~docv:"P"
+          ~doc:"Per-prefix probability of a hostile covering ROA.")
+  in
   Cmd.v
-    (Cmd.info "gen" ~doc:"Generate a synthetic world (IRRs, relationships, BGP dumps).")
-    Term.(const run $ obs_opts_term $ seed $ n_tier1 $ n_mid $ n_stub $ out)
+    (Cmd.info "gen"
+       ~doc:"Generate a synthetic world (IRRs, relationships, BGP dumps, ROAs).")
+    Term.(
+      const run $ obs_opts_term $ seed $ n_tier1 $ n_mid $ n_stub $ out
+      $ roa_adoption $ roa_wrong $ roa_stale $ roa_hostile)
 
 (* ---------------- parse ---------------- *)
 
@@ -650,14 +697,162 @@ let diff_cmd =
     (Cmd.info "diff" ~doc:"Diff two IRR snapshots (policy evolution).")
     Term.(const run $ before_dir $ after_dir)
 
-(* ---------------- faultinject ---------------- *)
-
 (* The recovery counters the exit-2 policy keys on: each names one
    hardened layer (injector, reader, flattener, regex matcher, parallel
-   verifier). All zero -> the run was clean -> exit 0. *)
+   verifier, ROA parser). All zero -> the run was clean -> exit 0. *)
 let recovery_counter_names =
   [ "fault.injected"; "reader.lines_dropped"; "flatten.truncated"; "nfa.capped";
-    "verify.domain_retries" ]
+    "verify.domain_retries"; "rpki.roas_rejected" ]
+
+(* ---------------- rpki ---------------- *)
+
+let rpki_cmd =
+  let run obs dir snapshot roa_file fault_rate fault_seed json_out golden =
+    guarded @@ fun () ->
+    (* Counters drive the exit policy (degraded ROA input -> exit 2), so
+       the registry is always on here, like faultinject. *)
+    Rpslyzer.Obs.enable ();
+    let mismatches = ref [] in
+    let degraded =
+      with_obs ~cmd:"rpki" obs @@ fun () ->
+      let world = Rpslyzer.Pipeline.load_world ?snapshot dir in
+      let roa_path =
+        match roa_file with
+        | Some path -> path
+        | None -> Filename.concat dir "roas.csv"
+      in
+      let text =
+        try
+          let ic = open_in_bin roa_path in
+          let text = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          text
+        with Sys_error e -> failwith ("cannot read ROAs: " ^ e)
+      in
+      let text =
+        if fault_rate > 0. then begin
+          let plan = Rz_fault.Fault.plan ~seed:fault_seed ~rate:fault_rate () in
+          let corrupted, report = Rz_fault.Fault.corrupt_dump plan text in
+          Printf.eprintf "rpki: injected %d faults into %s\n%!"
+            (Rz_fault.Fault.total_faults report)
+            roa_path;
+          corrupted
+        end
+        else text
+      in
+      let parsed = Rz_rpki.Roa.parse_string text in
+      let matrix = Rpslyzer.Pipeline.cross_validate world parsed.table in
+      let module C = Rz_stats.Rpki_cross in
+      let doc =
+        Rpslyzer.Json.Obj
+          [ ("roas",
+             Rpslyzer.Json.Obj
+               [ ("loaded", Rpslyzer.Json.Int parsed.loaded);
+                 ("rejected", Rpslyzer.Json.Int parsed.n_rejected) ]);
+            ("cross", C.to_json matrix) ]
+      in
+      if json_out then print_endline (Rpslyzer.Json.to_string ~indent:2 doc)
+      else begin
+        Printf.printf "ROAs: %d loaded, %d rejected from %s\n" parsed.loaded
+          parsed.n_rejected roa_path;
+        List.iteri
+          (fun i (e : Rz_rpki.Roa.parse_error) ->
+            if i < 5 then
+              Printf.printf "  rejected line %d: %s (%s)\n" e.line e.reason
+                e.text)
+          parsed.rejected;
+        Printf.printf "\n== RPSL verdict x RPKI origin-validation state ==\n";
+        Rz_util.Table.print
+          ~align:(Rz_util.Table.Left :: List.map (fun _ -> Rz_util.Table.Right) C.rpki_states)
+          ~header:("rpsl \\ rpki" :: C.rpki_states)
+          (C.to_rows matrix);
+        let classified = C.classified matrix in
+        Printf.printf
+          "\nroutes: %d total, %d classified, %d excluded, %d without plain origin\n"
+          (C.total matrix) classified
+          (C.total matrix - classified)
+          (C.n_no_origin matrix);
+        Printf.printf "agreement: %d/%d classified routes (%s)\n"
+          (C.agree matrix) classified
+          (Rz_util.Table.pct
+             (if classified = 0 then 0.
+              else float_of_int (C.agree matrix) /. float_of_int classified));
+        Printf.printf "RPSL-verified but RPKI-invalid: %d\n"
+          (C.verified_but_rpki_invalid matrix);
+        Printf.printf "RPSL-unrecorded but RPKI-valid: %d\n"
+          (C.unrecorded_but_rpki_valid matrix)
+      end;
+      (match golden with
+       | None -> ()
+       | Some path ->
+         let baseline_text =
+           try
+             let ic = open_in_bin path in
+             let text = really_input_string ic (in_channel_length ic) in
+             close_in ic;
+             text
+           with Sys_error e -> failwith ("cannot read golden file: " ^ e)
+         in
+         match Rpslyzer.Json.of_string baseline_text with
+         | Error e -> failwith (Printf.sprintf "golden file %s: %s" path e)
+         | Ok baseline -> mismatches := C.diff_json ~baseline doc);
+      let snapshot = Rpslyzer.Obs.Registry.snapshot () in
+      let counters = Rpslyzer.Obs.Registry.counters snapshot in
+      let value name = Option.value ~default:0 (List.assoc_opt name counters) in
+      List.exists (fun name -> value name > 0) recovery_counter_names
+    in
+    (match !mismatches with
+     | [] ->
+       if golden <> None then print_endline "golden: MATCH"
+     | diffs ->
+       Printf.eprintf "golden: MISMATCH (%d differences)\n" (List.length diffs);
+       List.iter (fun d -> Printf.eprintf "  %s\n" d) diffs;
+       exit 1);
+    if degraded then exit 2
+  in
+  let roa_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "roa-file" ] ~docv:"FILE"
+          ~doc:"ROA file to validate against (default: DIR/roas.csv).")
+  in
+  let fault_rate =
+    Arg.(
+      value & opt float 0.
+      & info [ "fault-rate" ] ~docv:"P"
+          ~doc:"Corrupt the ROA file in memory with this per-entry \
+                probability before parsing (hostile-input drill).")
+  in
+  let fault_seed =
+    Arg.(value & opt int 42 & info [ "fault-seed" ] ~doc:"Fault-plan seed.")
+  in
+  let json_out =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the agreement matrix as JSON.")
+  in
+  let golden =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "golden" ] ~docv:"FILE"
+          ~doc:"Structurally compare this run's JSON document against the \
+                baseline in $(docv); any difference is printed and the \
+                command exits 1.")
+  in
+  Cmd.v
+    (Cmd.info "rpki"
+       ~doc:
+         "Cross-validate RPSL verification against RFC 6811 origin \
+          validation: classify every collector route by both systems and \
+          print the per-(RPSL-verdict, RPKI-state) agreement matrix. \
+          Exits 0 when clean, 1 on golden mismatch or hard failure, 2 \
+          when ROA input was degraded (rejected entries or injected \
+          faults).")
+    Term.(
+      const run $ obs_opts_term $ dir_arg $ snapshot_arg $ roa_file
+      $ fault_rate $ fault_seed $ json_out $ golden)
+
+(* ---------------- faultinject ---------------- *)
 
 (* Walk every Path_regex filter of every lowered policy rule through the
    capped NFA compiler. Verification only compiles the regexes of hops it
@@ -809,4 +1004,4 @@ let () =
        (Cmd.group info
           [ gen_cmd; parse_cmd; stats_cmd; verify_cmd; explain_cmd; whois_cmd;
             query_cmd; peval_cmd; lint_cmd; classify_cmd; diff_cmd;
-            faultinject_cmd ]))
+            rpki_cmd; faultinject_cmd ]))

@@ -99,6 +99,28 @@ if [ -n "$JSON_CHECK" ]; then
   "$JSON_CHECK" "$DIR/stream_line.json" || fail "metrics stream line does not re-parse"
 fi
 
+# rpki: RFC 6811 origin validation cross-validated against the RPSL
+# verdicts, over the ROAs gen wrote next to the dumps
+test -f "$DIR/world/roas.csv" || fail "roas.csv missing"
+expect gen-roas 'ROAs' "$DIR/gen.txt"
+"$CLI" rpki -d "$DIR/world" > "$DIR/rpki.txt"
+expect rpki-matrix 'RPSL verdict x RPKI' "$DIR/rpki.txt"
+expect rpki-agreement 'agreement:' "$DIR/rpki.txt"
+expect rpki-loaded 'ROAs: .* loaded' "$DIR/rpki.txt"
+
+"$CLI" rpki -d "$DIR/world" --json > "$DIR/rpki.json"
+expect rpki-json-cross '"cross"' "$DIR/rpki.json"
+expect rpki-json-matrix '"matrix"' "$DIR/rpki.json"
+
+"$CLI" rpki -d "$DIR/world" --metrics "$DIR/rpki_metrics.json" > /dev/null
+expect rpki-metrics-rov '"rpki.rov_total"' "$DIR/rpki_metrics.json"
+expect rpki-metrics-cross '"rpki.cross.routes_total"' "$DIR/rpki_metrics.json"
+
+if [ -n "$JSON_CHECK" ]; then
+  "$JSON_CHECK" "$DIR/rpki.json" || fail "rpki --json does not re-parse via Rz_json"
+  "$JSON_CHECK" "$DIR/rpki_metrics.json" || fail "rpki metrics JSON does not re-parse"
+fi
+
 "$CLI" gen --seed 6 --tier1 3 --mid 15 --stub 40 -o "$DIR/world2" >/dev/null
 "$CLI" diff "$DIR/world" "$DIR/world2" > "$DIR/diff.txt"
 expect diff 'aut-nums:' "$DIR/diff.txt"

@@ -98,6 +98,94 @@ let test_reader_error_budget () =
   Alcotest.(check bool) "summary mentions suppression" true
     (Rz_util.Strings.split_on_string ~sep:"suppressed" summary.reason |> List.length > 1)
 
+(* ---- hostile ROA input ---- *)
+
+(* fixtures are declared as test deps, so they sit next to the built
+   executable; anchor there so dune exec from the project root works too *)
+let fixture_dir =
+  lazy
+    (let candidates =
+       [ Filename.concat (Filename.dirname Sys.executable_name) "fixtures";
+         "fixtures"; Filename.concat "test" "fixtures" ]
+     in
+     match List.find_opt Sys.file_exists candidates with
+     | Some dir -> dir
+     | None -> "fixtures")
+
+let fixture path = Filename.concat (Lazy.force fixture_dir) path
+
+(* the hostile ROA corpus: (file, loaded, rejected). Every file must parse
+   without raising, load exactly the well-formed entries, and count every
+   rejection on rpki.roas_rejected. *)
+let roa_fixture_expectations =
+  [ ("roa_truncated.roa", 2, 4);
+    ("roa_duplicates.roa", 3, 3);
+    ("roa_bad_maxlen.roa", 1, 5);
+    ("roa_nul_injection.roa", 2, 2) ]
+
+let test_hostile_roa_fixtures () =
+  Obs.enable ();
+  Obs.reset ();
+  let c = Obs.Counter.make "rpki.roas_rejected" in
+  Fun.protect ~finally:(fun () -> Obs.disable (); Obs.reset ()) @@ fun () ->
+  List.iter
+    (fun (file, exp_loaded, exp_rejected) ->
+      match Rz_rpki.Roa.load_file (fixture file) with
+      | Error e -> Alcotest.failf "%s: cannot read: %s" file e
+      | Ok parsed ->
+        Alcotest.(check int) (file ^ " loaded") exp_loaded parsed.loaded;
+        Alcotest.(check int) (file ^ " rejected") exp_rejected parsed.n_rejected;
+        Alcotest.(check int)
+          (file ^ " every rejection recorded")
+          parsed.n_rejected
+          (List.length parsed.rejected);
+        List.iter
+          (fun (e : Rz_rpki.Roa.parse_error) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s line %d text sanitized" file e.line)
+              false
+              (String.exists (fun ch -> Char.code ch < 0x20) e.text))
+          parsed.rejected)
+    roa_fixture_expectations;
+  let total_rejected =
+    List.fold_left (fun acc (_, _, r) -> acc + r) 0 roa_fixture_expectations
+  in
+  Alcotest.(check int) "rpki.roas_rejected counts the corpus" total_rejected
+    (Obs.Counter.get c)
+
+let test_roa_corruption_recovery () =
+  (* the faultinject drill the [rpki --fault-rate] path runs: corrupt a
+     clean rendered ROA file at full blast; the parser must stay graceful
+     and both fault.injected and rpki.roas_rejected must fire. *)
+  Obs.enable ();
+  Obs.reset ();
+  let c_injected = Obs.Counter.make "fault.injected" in
+  let c_rejected = Obs.Counter.make "rpki.roas_rejected" in
+  Fun.protect ~finally:(fun () -> Obs.disable (); Obs.reset ()) @@ fun () ->
+  let clean =
+    Rz_rpki.Roa.render
+      [ { Rz_rpki.Roa.prefix = Rz_net.Prefix.of_string_exn "192.0.2.0/24";
+          max_length = 24; origin = 65001 };
+        { Rz_rpki.Roa.prefix = Rz_net.Prefix.of_string_exn "198.51.100.0/24";
+          max_length = 25; origin = 65002 };
+        { Rz_rpki.Roa.prefix = Rz_net.Prefix.of_string_exn "2001:db8::/32";
+          max_length = 48; origin = 65003 } ]
+  in
+  Alcotest.(check int) "clean render has no rejects" 0
+    (Rz_rpki.Roa.parse_string clean).n_rejected;
+  List.iter
+    (fun seed ->
+      let p = Fault.plan ~seed ~rate:1.0 () in
+      let corrupted, report = Fault.corrupt_dump p clean in
+      Alcotest.(check bool) "faults were injected" true
+        (Fault.total_faults report > 0);
+      let parsed = Rz_rpki.Roa.parse_string corrupted in
+      Alcotest.(check bool) "loaded and rejected account for the damage" true
+        (parsed.loaded >= 0 && parsed.n_rejected >= 0))
+    [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check bool) "fault.injected fired" true (Obs.Counter.get c_injected > 0);
+  Alcotest.(check bool) "rpki.roas_rejected fired" true (Obs.Counter.get c_rejected > 0)
+
 let test_parse_file_missing () =
   let r = Reader.parse_file "/nonexistent/rpslyzer-fault-test.db" in
   Alcotest.(check int) "no objects" 0 (List.length r.objects);
@@ -397,6 +485,8 @@ let suite =
     Alcotest.test_case "corrupted parse never raises" `Quick test_parse_corrupted_never_raises;
     Alcotest.test_case "oversized line dropped" `Quick test_reader_oversized_line_dropped;
     Alcotest.test_case "error budget" `Quick test_reader_error_budget;
+    Alcotest.test_case "hostile roa fixtures" `Quick test_hostile_roa_fixtures;
+    Alcotest.test_case "roa corruption recovery" `Quick test_roa_corruption_recovery;
     Alcotest.test_case "parse_file missing" `Quick test_parse_file_missing;
     Alcotest.test_case "parse_file clean" `Quick test_parse_file_partial;
     Alcotest.test_case "deep bomb truncates" `Quick test_deep_bomb_truncates;

@@ -1,8 +1,13 @@
-(* Tests for rz_rpki (ROV + ASPA) and the anomaly injection workload. *)
+(* Tests for rz_rpki (ROV + ROA generation + ASPA), the RPSL x RPKI
+   agreement matrix, and the anomaly injection workload. *)
 module Roa = Rz_rpki.Roa
+module Roagen = Rz_rpki.Roagen
 module Aspa = Rz_rpki.Aspa
+module Cross = Rz_stats.Rpki_cross
 module Anomaly = Rz_routegen.Anomaly
 module Gen = Rz_topology.Gen
+module Prefix = Rz_net.Prefix
+module Json = Rz_json.Json
 
 let p = Rz_net.Prefix.of_string_exn
 
@@ -14,29 +19,53 @@ let roa_table () =
   Roa.add t { Roa.prefix = p "198.51.0.0/16"; max_length = 20; origin = 65002 };
   t
 
-let check_validity name expected got =
-  Alcotest.(check string) name (Roa.validity_to_string expected) (Roa.validity_to_string got)
+let check_state name expected got =
+  Alcotest.(check string) name (Roa.state_to_string expected) (Roa.state_to_string got)
 
 let test_rov_valid () =
   let t = roa_table () in
-  check_validity "exact match" Roa.Valid (Roa.validate t (p "192.0.2.0/24") 65001);
-  check_validity "within maxLength" Roa.Valid (Roa.validate t (p "198.51.16.0/20") 65002)
+  check_state "exact match" Roa.Valid (Roa.validate t (p "192.0.2.0/24") 65001);
+  check_state "within maxLength" Roa.Valid (Roa.validate t (p "198.51.16.0/20") 65002)
 
 let test_rov_invalid () =
   let t = roa_table () in
-  check_validity "wrong origin" Roa.Invalid (Roa.validate t (p "192.0.2.0/24") 64999);
-  check_validity "too specific" Roa.Invalid (Roa.validate t (p "198.51.100.0/24") 65002);
-  check_validity "hijacked subprefix" Roa.Invalid (Roa.validate t (p "192.0.2.128/25") 64999)
+  check_state "wrong origin" Roa.Invalid_origin (Roa.validate t (p "192.0.2.0/24") 64999);
+  check_state "too specific" Roa.Invalid_length (Roa.validate t (p "198.51.100.0/24") 65002);
+  check_state "hijacked subprefix" Roa.Invalid_origin
+    (Roa.validate t (p "192.0.2.128/25") 64999)
 
 let test_rov_not_found () =
   let t = roa_table () in
-  check_validity "uncovered space" Roa.Not_found (Roa.validate t (p "203.0.113.0/24") 65001)
+  check_state "uncovered space" Roa.Not_found (Roa.validate t (p "203.0.113.0/24") 65001)
 
-let test_rov_competing_roas () =
-  (* two ROAs for the same prefix: any match validates *)
+(* The four states pinned one-by-one: the refined RFC 6811 outcomes the
+   agreement matrix columns are built on. *)
+let test_rov_four_states () =
+  let t = roa_table () in
+  check_state "valid" Roa.Valid (Roa.validate t (p "192.0.2.0/24") 65001);
+  check_state "invalid-origin" Roa.Invalid_origin
+    (Roa.validate t (p "198.51.16.0/20") 65099);
+  (* /25 under a maxLength-24 ROA by the right origin: only length fails *)
+  check_state "invalid-length" Roa.Invalid_length
+    (Roa.validate t (p "192.0.2.0/25") 65001);
+  check_state "not-found" Roa.Not_found (Roa.validate t (p "2001:db8::/32") 65001);
+  Alcotest.(check bool) "is_invalid origin" true (Roa.is_invalid Roa.Invalid_origin);
+  Alcotest.(check bool) "is_invalid length" true (Roa.is_invalid Roa.Invalid_length);
+  Alcotest.(check bool) "is_invalid valid" false (Roa.is_invalid Roa.Valid);
+  Alcotest.(check string) "coarse invalid-length" "invalid" (Roa.coarse Roa.Invalid_length);
+  List.iter
+    (fun s ->
+      Alcotest.(check (option string)) "state string round-trip"
+        (Some (Roa.state_to_string s))
+        (Option.map Roa.state_to_string (Roa.state_of_string (Roa.state_to_string s))))
+    [ Roa.Valid; Roa.Invalid_origin; Roa.Invalid_length; Roa.Not_found ]
+
+let test_rov_valid_beats_invalid () =
+  (* Valid wins over a competing covering ROA that would be invalid, and a
+     matching-origin cover makes length the deciding failure. *)
   let t = roa_table () in
   Roa.add t { Roa.prefix = p "192.0.2.0/24"; max_length = 24; origin = 64999 };
-  check_validity "either origin valid" Roa.Valid (Roa.validate t (p "192.0.2.0/24") 64999);
+  check_state "either origin valid" Roa.Valid (Roa.validate t (p "192.0.2.0/24") 64999);
   Alcotest.(check int) "size" 3 (Roa.size t)
 
 let small_topo =
@@ -44,17 +73,218 @@ let small_topo =
 
 let test_rov_of_topology () =
   let topo = Lazy.force small_topo in
-  let full = Roa.of_topology ~adoption:1.0 topo in
-  let none = Roa.of_topology ~adoption:0.0 topo in
+  let full = Roagen.of_topology ~adoption:1.0 topo in
+  let none = Roagen.of_topology ~adoption:0.0 topo in
   Alcotest.(check int) "no adoption -> empty" 0 (Roa.size none);
   Alcotest.(check bool) "full adoption covers" true (Roa.size full > 100);
   (* ground truth validates *)
   let asn = topo.ases.(10) in
   List.iter
     (fun prefix ->
-      check_validity "own announcement valid" Roa.Valid (Roa.validate full prefix asn);
-      check_validity "foreign origin invalid" Roa.Invalid (Roa.validate full prefix (asn + 1)))
+      check_state "own announcement valid" Roa.Valid (Roa.validate full prefix asn);
+      Alcotest.(check bool) "foreign origin invalid" true
+        (Roa.is_invalid (Roa.validate full prefix (asn + 1))))
     (Gen.prefixes_of topo asn)
+
+(* ---------------- ROV trie vs. brute-force oracle ---------------- *)
+
+(* Linear-scan reimplementation of RFC 6811 with the same precedence as
+   Roa.validate, over a plain list instead of the trie. *)
+let oracle_validate roas prefix origin =
+  let len = prefix.Prefix.len in
+  let covering = List.filter (fun r -> Prefix.contains r.Roa.prefix prefix) roas in
+  if covering = [] then Roa.Not_found
+  else if
+    List.exists (fun r -> r.Roa.origin = origin && len <= r.Roa.max_length) covering
+  then Roa.Valid
+  else if List.exists (fun r -> r.Roa.origin = origin) covering then Roa.Invalid_length
+  else Roa.Invalid_origin
+
+(* Random prefixes biased toward the edge lengths (/0, /32, /128) and
+   shared high bits, so covering relations actually occur. *)
+let prefix_gen =
+  let open QCheck.Gen in
+  let v4 =
+    let* len = oneofl [ 0; 1; 2; 8; 15; 16; 24; 31; 32 ] in
+    let* a = int_bound 0xFF in
+    (* keep the top byte in a tiny pool so prefixes nest *)
+    let* top = oneofl [ 0x0A; 0x0B ] in
+    return (Prefix.v4 ((top lsl 24) lor (a lsl 8)) len)
+  in
+  let v6 =
+    let* len = oneofl [ 0; 1; 32; 48; 64; 96; 127; 128 ] in
+    let* hi = oneofl [ 0x20010DB8_00000000L; 0x20010DB8_00000001L ] in
+    let* lo = oneofl [ 0L; 1L; 0x8000000000000000L ] in
+    return (Prefix.v6 (hi, lo) len)
+  in
+  QCheck.Gen.oneof [ v4; v6 ]
+
+let roa_gen =
+  let open QCheck.Gen in
+  let* prefix = prefix_gen in
+  let* slack = int_bound (Prefix.max_len prefix - prefix.Prefix.len) in
+  let* origin = int_range 64496 64500 in
+  return { Roa.prefix; max_length = prefix.Prefix.len + slack; origin }
+
+let rov_oracle_case =
+  let gen =
+    QCheck.Gen.(
+      triple (list_size (int_bound 8) roa_gen) prefix_gen (int_range 64496 64500))
+  in
+  QCheck.Test.make ~name:"trie ROV = linear-scan ROV" ~count:1000 (QCheck.make gen)
+    (fun (roas, prefix, origin) ->
+      let table = Roa.of_list roas in
+      Roa.validate table prefix origin = oracle_validate roas prefix origin)
+
+let test_rov_oracle_edges () =
+  (* the edge lengths pinned deterministically on top of the random sweep *)
+  let roas =
+    [ { Roa.prefix = p "0.0.0.0/0"; max_length = 8; origin = 64496 };
+      { Roa.prefix = p "10.0.0.0/8"; max_length = 32; origin = 64497 };
+      { Roa.prefix = p "::/0"; max_length = 64; origin = 64498 } ]
+  in
+  let table = Roa.of_list roas in
+  List.iter
+    (fun (prefix, origin) ->
+      check_state
+        (Printf.sprintf "oracle at %s" (Prefix.to_string prefix))
+        (oracle_validate roas prefix origin)
+        (Roa.validate table prefix origin))
+    [ (p "0.0.0.0/0", 64496); (p "10.1.2.3/32", 64497); (p "10.1.2.3/32", 64496);
+      (p "10.0.0.0/8", 64496); (p "::/0", 64498);
+      (p "2001:db8::1/128", 64498); (p "2001:db8::/64", 64498) ]
+
+(* ---------------- ROA generation ---------------- *)
+
+let test_roagen_deterministic () =
+  let topo = Lazy.force small_topo in
+  let a = Roagen.generate topo and b = Roagen.generate topo in
+  Alcotest.(check bool) "same config, same ROAs" true
+    (List.map Roa.roa_to_line a.roas = List.map Roa.roa_to_line b.roas);
+  let c = Roagen.generate ~config:{ Roagen.default with seed = 8 } topo in
+  Alcotest.(check bool) "different seed, different ROAs" true
+    (List.map Roa.roa_to_line a.roas <> List.map Roa.roa_to_line c.roas)
+
+let test_roagen_misconfigurations () =
+  let topo = Lazy.force small_topo in
+  let result =
+    Roagen.generate
+      ~config:
+        { Roagen.seed = 11; adoption = 1.0; wrong_maxlen_prob = 0.2;
+          stale_origin_prob = 0.2; hostile_covering_prob = 0.1 }
+      topo
+  in
+  let s = result.stats in
+  Alcotest.(check bool) "each kind generated" true
+    (s.n_clean > 0 && s.n_wrong_maxlen > 0 && s.n_stale > 0 && s.n_hostile > 0);
+  Alcotest.(check int) "stats account for every ROA"
+    (List.length result.roas)
+    (s.n_clean + s.n_wrong_maxlen + s.n_stale + s.n_hostile);
+  (* under only-misconfigured signing, ground-truth announcements must
+     validate invalid, never valid *)
+  let bad =
+    Roagen.table_of
+      (Roagen.generate
+         ~config:
+           { Roagen.seed = 12; adoption = 1.0; wrong_maxlen_prob = 1.0;
+             stale_origin_prob = 0.0; hostile_covering_prob = 0.0 }
+         topo)
+  in
+  Array.iter
+    (fun asn ->
+      List.iter
+        (fun prefix ->
+          if prefix.Prefix.len >= 2 then
+            check_state "wrong maxLength invalidates the signer" Roa.Invalid_length
+              (Roa.validate bad prefix asn))
+        (Gen.prefixes_of topo asn))
+    topo.ases
+
+let test_roa_render_round_trip () =
+  let topo = Lazy.force small_topo in
+  let result = Roagen.generate topo in
+  let parsed = Roa.parse_string (Roa.render result.roas) in
+  Alcotest.(check int) "no rejects on rendered output" 0 parsed.n_rejected;
+  (* duplicates collapse on load; everything else survives byte-for-byte *)
+  let dedup lines =
+    List.sort_uniq compare (List.map Roa.roa_to_line lines)
+  in
+  Alcotest.(check (list string)) "round trip"
+    (dedup result.roas) (dedup parsed.roas);
+  Alcotest.(check int) "loaded = distinct" (List.length (dedup result.roas)) parsed.loaded
+
+(* ---------------- RPSL x RPKI agreement matrix ---------------- *)
+
+let test_cross_matrix_counts () =
+  let m = Cross.create () in
+  Cross.add m ~rpsl:"verified" Roa.Valid;
+  Cross.add m ~rpsl:"verified" Roa.Invalid_origin;
+  Cross.add m ~rpsl:"verified" Roa.Invalid_length;
+  Cross.add m ~rpsl:"unrecorded" Roa.Not_found;
+  Cross.add m ~rpsl:"unrecorded" Roa.Valid;
+  Cross.add m ~rpsl:"unverified" Roa.Invalid_origin;
+  Cross.add m ~rpsl:"skipped" Roa.Valid;
+  Cross.add m ~rpsl:"excluded" Roa.Valid;
+  Cross.add_no_origin m;
+  Alcotest.(check int) "cell" 1 (Cross.cell m ~rpsl:"verified" ~rpki:"invalid-origin");
+  Alcotest.(check int) "total" 8 (Cross.total m);
+  Alcotest.(check int) "classified excludes excluded row" 7 (Cross.classified m);
+  (* agree: verified x valid, unrecorded x not-found, unverified x invalid *)
+  Alcotest.(check int) "agree" 3 (Cross.agree m);
+  Alcotest.(check int) "verified but invalid" 2 (Cross.verified_but_rpki_invalid m);
+  Alcotest.(check int) "unrecorded but valid" 1 (Cross.unrecorded_but_rpki_valid m);
+  Alcotest.(check int) "no origin" 1 (Cross.n_no_origin m);
+  Alcotest.check_raises "unknown class rejected"
+    (Invalid_argument "Rpki_cross: unknown RPSL class \"bogus\"") (fun () ->
+      Cross.add m ~rpsl:"bogus" Roa.Valid)
+
+let test_cross_json_round_trip () =
+  let m = Cross.create () in
+  Cross.add m ~rpsl:"verified" Roa.Valid;
+  Cross.add m ~rpsl:"relaxed" Roa.Invalid_length;
+  Cross.add_no_origin m;
+  let json = Cross.to_json m in
+  (match Cross.of_json json with
+   | Error e -> Alcotest.failf "of_json: %s" e
+   | Ok m' ->
+     Alcotest.(check bool) "round trip" true (Json.equal json (Cross.to_json m')));
+  Alcotest.(check (list string)) "self-diff is empty" []
+    (Cross.diff_json ~baseline:json json)
+
+let test_cross_diff_localizes () =
+  let m = Cross.create () in
+  Cross.add m ~rpsl:"verified" Roa.Valid;
+  let baseline = Cross.to_json m in
+  Cross.add m ~rpsl:"verified" Roa.Valid;
+  let diffs = Cross.diff_json ~baseline (Cross.to_json m) in
+  Alcotest.(check bool) "perturbation detected" true (diffs <> []);
+  Alcotest.(check bool) "diff names the moved cell" true
+    (List.exists
+       (fun d ->
+         String.length d >= String.length "matrix.verified.valid"
+         && String.sub d 0 (String.length "matrix.verified.valid")
+            = "matrix.verified.valid")
+       diffs)
+
+let test_cross_validate_pipeline () =
+  let world =
+    Rpslyzer.Pipeline.build_synthetic
+      ~topo_params:
+        { Gen.default_params with seed = 3; n_tier1 = 3; n_mid = 12; n_stub = 30 }
+      ()
+  in
+  let roagen = Roagen.generate world.topo in
+  let m = Rpslyzer.Pipeline.cross_validate world (Roagen.table_of roagen) in
+  let n_routes =
+    List.fold_left
+      (fun acc (d : Rz_bgp.Table_dump.t) -> acc + List.length d.routes)
+      0 world.table_dumps
+  in
+  Alcotest.(check int) "every route lands somewhere" n_routes
+    (Cross.total m + Cross.n_no_origin m);
+  Alcotest.(check bool) "matrix is populated" true (Cross.classified m > 0);
+  Alcotest.(check bool) "agreement bounded" true
+    (Cross.agree m <= Cross.classified m)
 
 (* ---------------- ASPA ---------------- *)
 
@@ -185,14 +415,14 @@ let test_inject_route_leak () =
 let test_rov_catches_hijacks () =
   let topo = Lazy.force small_topo in
   let observer = topo.ases.(0) in
-  let roa = Roa.of_topology ~adoption:1.0 topo in
+  let roa = Roagen.of_topology ~adoption:1.0 topo in
   let events = Anomaly.inject topo ~observer ~n:20 Anomaly.Prefix_hijack in
   List.iter
     (fun (e : Anomaly.event) ->
       match Rz_bgp.Route.origin e.route with
       | Some origin ->
-        check_validity "hijack invalid under full ROV" Roa.Invalid
-          (Roa.validate roa e.prefix origin)
+        Alcotest.(check bool) "hijack invalid under full ROV" true
+          (Roa.is_invalid (Roa.validate roa e.prefix origin))
       | None -> Alcotest.fail "no origin")
     events
 
@@ -200,13 +430,13 @@ let test_rov_misses_forged_origin () =
   (* the known ROV blind spot: the forged origin IS the authorized one *)
   let topo = Lazy.force small_topo in
   let observer = topo.ases.(0) in
-  let roa = Roa.of_topology ~adoption:1.0 topo in
+  let roa = Roagen.of_topology ~adoption:1.0 topo in
   let events = Anomaly.inject topo ~observer ~n:10 Anomaly.Forged_origin in
   List.iter
     (fun (e : Anomaly.event) ->
       match Rz_bgp.Route.origin e.route with
       | Some origin ->
-        check_validity "forged origin evades ROV" Roa.Valid (Roa.validate roa e.prefix origin)
+        check_state "forged origin evades ROV" Roa.Valid (Roa.validate roa e.prefix origin)
       | None -> Alcotest.fail "no origin")
     events
 
@@ -232,8 +462,18 @@ let suite =
   [ Alcotest.test_case "rov valid" `Quick test_rov_valid;
     Alcotest.test_case "rov invalid" `Quick test_rov_invalid;
     Alcotest.test_case "rov not-found" `Quick test_rov_not_found;
-    Alcotest.test_case "rov competing roas" `Quick test_rov_competing_roas;
+    Alcotest.test_case "rov four states" `Quick test_rov_four_states;
+    Alcotest.test_case "rov competing roas" `Quick test_rov_valid_beats_invalid;
     Alcotest.test_case "rov from topology" `Quick test_rov_of_topology;
+    QCheck_alcotest.to_alcotest rov_oracle_case;
+    Alcotest.test_case "rov oracle edge lengths" `Quick test_rov_oracle_edges;
+    Alcotest.test_case "roagen deterministic" `Quick test_roagen_deterministic;
+    Alcotest.test_case "roagen misconfigurations" `Quick test_roagen_misconfigurations;
+    Alcotest.test_case "roa render round trip" `Quick test_roa_render_round_trip;
+    Alcotest.test_case "cross matrix counts" `Quick test_cross_matrix_counts;
+    Alcotest.test_case "cross json round trip" `Quick test_cross_json_round_trip;
+    Alcotest.test_case "cross diff localizes" `Quick test_cross_diff_localizes;
+    Alcotest.test_case "cross validate pipeline" `Quick test_cross_validate_pipeline;
     Alcotest.test_case "aspa valid paths" `Quick test_aspa_valid_up_down;
     Alcotest.test_case "aspa apex ambiguity" `Quick test_aspa_single_suspect_pair_is_unknown;
     Alcotest.test_case "aspa deep valley" `Quick test_aspa_invalid_deep_leak;
