@@ -50,6 +50,24 @@ let bench_verify_out =
   in
   find 1
 
+(* --bench-stream [FILE]: run the streaming-verification benchmark
+   (sustained updates/sec through the incremental service, bounded-queue
+   hwm, rate-1.0 chaos survival), write the JSON result to FILE (default
+   BENCH_stream.json), and exit. Shares --bench-baseline for the
+   accounting gate. *)
+let bench_stream_out =
+  let rec find i =
+    if i >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--bench-stream" then
+      if
+        i + 1 < Array.length Sys.argv
+        && not (String.length Sys.argv.(i + 1) >= 2 && String.sub Sys.argv.(i + 1) 0 2 = "--")
+      then Some Sys.argv.(i + 1)
+      else Some "BENCH_stream.json"
+    else find (i + 1)
+  in
+  find 1
+
 let bench_baseline_path =
   let rec find i =
     if i >= Array.length Sys.argv - 1 then None
@@ -822,6 +840,194 @@ let () =
                fail
                  (Printf.sprintf
                     "ingest accounting drifted from baseline %s\nbaseline:  %s\nmeasured: %s"
+                    path (Json.to_string base_acc) (Json.to_string accounting))
+             else Printf.printf "accounting matches baseline %s\n" path
+           | _ -> fail (Printf.sprintf "baseline %s missing mode/accounting" path))));
+    exit 0
+
+(* ------------------------------------------------------------------ *)
+(* Streaming benchmark (--bench-stream)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Sustained updates/sec through the incremental verification service
+   (bounded queue, churn-safe invalidation, memo-warm sweeps), with the
+   contracts that make the number meaningful:
+
+     - differential: the stream's final per-route verdicts must equal a
+       from-scratch batch verify of the final RIB on the final database
+       generation — the caches must be invisible in the output;
+     - bounded memory: the queue high-water mark stays within capacity
+       and is reported (the Block policy also guarantees losslessness);
+     - chaos survival: a rate-1.0 chaos pass must complete with every
+       event abandoned and nothing crashed or deadlocked.
+
+   Accounting (event/verdict integers) is deterministic and gated by
+   [--bench-baseline]; throughput floats are reported, not gated. *)
+let () =
+  match bench_stream_out with
+  | None -> ()
+  | Some out ->
+    section "Streaming verification: sustained updates/sec, bounded queue";
+    let module Json = Rpslyzer.Json in
+    let module S = Rz_stream.Stream in
+    let module E = Rz_routegen.Events in
+    let fail msg =
+      Printf.eprintf "BENCH STREAM FAILED: %s\n" msg;
+      exit 1
+    in
+    let base_routes =
+      List.concat_map
+        (fun (d : Rz_bgp.Table_dump.t) -> d.routes)
+        world.Rpslyzer.Pipeline.table_dumps
+    in
+    let view = S.view_of world.Rpslyzer.Pipeline.db base_routes in
+    let n_events = if quick then 1500 else 4000 in
+    let items = E.generate ~seed:42 ~n:n_events ~edit_rate:0.05 view in
+    let capacity = 512 in
+    let config =
+      { S.default_config with
+        window = 256;
+        queue_capacity = capacity;
+        policy = Rz_stream.Bqueue.Block;
+        backoff_ms = 0. }
+    in
+    Rpslyzer.Obs.disable ();
+    let ir = Rz_irr.Db.ir world.Rpslyzer.Pipeline.db in
+    let rels = world.Rpslyzer.Pipeline.rels in
+    let reps = 3 in
+    let best_t = ref infinity and best = ref None in
+    for _ = 1 to reps do
+      let t = S.create ~config ~ir ~rels () in
+      let t0 = Unix.gettimeofday () in
+      let stats = S.run ~seed:42 t items in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best_t then begin
+        best_t := dt;
+        best := Some (t, stats)
+      end
+    done;
+    let t, stats = Option.get !best in
+    (* contracts *)
+    if stats.S.r_processed <> n_events then fail "events were lost";
+    if stats.S.r_dropped <> 0 || stats.S.r_sampled <> 0 then
+      fail "Block policy dropped events";
+    if stats.S.r_hwm > capacity then fail "queue exceeded its capacity";
+    let final_reports = S.reports t in
+    let batch_engine = Rz_verify.Engine.create (S.db t) rels in
+    List.iter
+      (fun (route, streamed) ->
+        let batch = Rz_verify.Engine.verify_route batch_engine route in
+        if streamed <> batch then
+          fail
+            (Printf.sprintf "incremental verdict differs from batch for %s"
+               (Rz_bgp.Route.to_line route)))
+      final_reports;
+    (* chaos survival: everything fails, nothing crashes *)
+    let chaos_config =
+      { config with
+        chaos = Some (Rz_fault.Fault.plan ~seed:42 ~rate:1.0 ()) }
+    in
+    let tc = S.create ~config:chaos_config ~ir ~rels () in
+    let t0c = Unix.gettimeofday () in
+    let chaos_stats = S.run ~seed:42 tc items in
+    let t_chaos = Unix.gettimeofday () -. t0c in
+    if chaos_stats.S.r_processed <> n_events then fail "chaos run lost events";
+    if chaos_stats.S.r_abandoned <> n_events then
+      fail "rate-1.0 chaos did not abandon every event";
+    if S.rib_routes tc <> [] then fail "abandoned events mutated the RIB";
+    let eps t = if t > 0. then fint n_events /. t else 0. in
+    if eps !best_t <= 0. then fail "zero throughput";
+    let rib = List.length final_reports in
+    let routes =
+      List.length (List.filter (fun (_, r) -> r <> None) final_reports)
+    in
+    let counts = Aggregate.zero_counts () in
+    List.iter
+      (fun (_, report) ->
+        Option.iter
+          (fun (r : Rz_verify.Report.route_report) ->
+            List.iter
+              (fun (h : Rz_verify.Report.hop) ->
+                Aggregate.counts_add counts h.Rz_verify.Report.status)
+              r.Rz_verify.Report.hops)
+          report)
+      final_reports;
+    Table.print
+      ~header:[ "pass"; "secs"; "events/s"; "notes" ]
+      [ [ "incremental stream (block)"; Printf.sprintf "%.3f" !best_t;
+          Printf.sprintf "%.0f" (eps !best_t);
+          Printf.sprintf "hwm %d/%d" stats.S.r_hwm capacity ];
+        [ "chaos rate 1.0"; Printf.sprintf "%.3f" t_chaos;
+          Printf.sprintf "%.0f" (eps t_chaos);
+          Printf.sprintf "%d abandoned" chaos_stats.S.r_abandoned ] ];
+    Printf.printf
+      "\n%s events: %d applied; %d generations, %d invalidations; final rib \
+       %d; incremental == batch held\n"
+      (Table.commas n_events) stats.S.r_applied (S.generations t)
+      (S.invalidated t) rib;
+    let mode = if quick then "quick" else if big then "big" else "default" in
+    let accounting =
+      Json.Obj
+        ([ ("events", Json.Int n_events);
+           ("applied", Json.Int stats.S.r_applied);
+           ("abandoned", Json.Int stats.S.r_abandoned);
+           ("rejected", Json.Int stats.S.r_rejected);
+           ("generations", Json.Int (S.generations t));
+           ("invalidations", Json.Int (S.invalidated t));
+           ("rib", Json.Int rib);
+           ("routes", Json.Int routes);
+           ("excluded", Json.Int (rib - routes)) ]
+        @ List.map
+            (fun (label, v) -> (label, Json.Int v))
+            (Aggregate.counts_classes counts))
+    in
+    let json =
+      Json.Obj
+        [ ("mode", Json.String mode);
+          ("accounting", accounting);
+          ( "stream",
+            Json.Obj
+              [ ("secs", Json.Float !best_t);
+                ("events_per_sec", Json.Float (eps !best_t));
+                ("queue_capacity", Json.Int capacity);
+                ("queue_hwm", Json.Int stats.S.r_hwm);
+                ("window", Json.Int config.S.window) ] );
+          ( "chaos",
+            Json.Obj
+              [ ("rate", Json.Float 1.0);
+                ("secs", Json.Float t_chaos);
+                ("events_per_sec", Json.Float (eps t_chaos));
+                ("abandoned", Json.Int chaos_stats.S.r_abandoned) ] );
+          ("incremental_equals_batch", Json.Bool true) ]
+    in
+    let oc = open_out out in
+    output_string oc (Json.to_string ~indent:2 json);
+    output_string oc "\n";
+    close_out oc;
+    Printf.printf "(wrote %s)\n" out;
+    (match bench_baseline_path with
+     | None -> ()
+     | Some path ->
+       let text =
+         let ic = open_in path in
+         let s = really_input_string ic (in_channel_length ic) in
+         close_in ic;
+         s
+       in
+       (match Json.of_string text with
+        | Error e -> fail (Printf.sprintf "baseline %s: %s" path e)
+        | Ok base ->
+          (match (Json.member "mode" base, Json.member "accounting" base) with
+           | Some (Json.String base_mode), Some base_acc ->
+             if base_mode <> mode then
+               fail
+                 (Printf.sprintf "baseline mode %s does not match run mode %s"
+                    base_mode mode)
+             else if not (Json.equal base_acc accounting) then
+               fail
+                 (Printf.sprintf
+                    "stream accounting drifted from baseline %s\nbaseline:  \
+                     %s\nmeasured: %s"
                     path (Json.to_string base_acc) (Json.to_string accounting))
              else Printf.printf "accounting matches baseline %s\n" path
            | _ -> fail (Printf.sprintf "baseline %s missing mode/accounting" path))));

@@ -697,12 +697,10 @@ let diff_cmd =
     (Cmd.info "diff" ~doc:"Diff two IRR snapshots (policy evolution).")
     Term.(const run $ before_dir $ after_dir)
 
-(* The recovery counters the exit-2 policy keys on: each names one
-   hardened layer (injector, reader, flattener, regex matcher, parallel
-   verifier, ROA parser). All zero -> the run was clean -> exit 0. *)
-let recovery_counter_names =
-  [ "fault.injected"; "reader.lines_dropped"; "flatten.truncated"; "nfa.capped";
-    "verify.domain_retries"; "rpki.roas_rejected" ]
+(* The recovery counters the exit-2 policy keys on. The list itself lives
+   in rz_obs ([Obs.recovery_counter_names]) — the single source of truth
+   shared by this CLI, DESIGN.md, and the suite_obs drift test. *)
+let recovery_counter_names = Rpslyzer.Obs.recovery_counter_names
 
 (* ---------------- rpki ---------------- *)
 
@@ -851,6 +849,288 @@ let rpki_cmd =
     Term.(
       const run $ obs_opts_term $ dir_arg $ snapshot_arg $ roa_file
       $ fault_rate $ fault_seed $ json_out $ golden)
+
+(* ---------------- stream ---------------- *)
+
+let stream_cmd =
+  let run obs dir seed events window capacity policy edit_rate chaos_rate
+      chaos_seed max_retries backoff_ms watchdog_ms journal_out replay json_out
+      golden =
+    guarded @@ fun () ->
+    let module S = Rz_stream.Stream in
+    let module E = Rz_routegen.Events in
+    (* Counters drive the exit policy (degradation -> exit 2), so the
+       registry is always on here, like faultinject and rpki. *)
+    Rpslyzer.Obs.enable ();
+    let mismatches = ref [] in
+    let degraded =
+      with_obs ~cmd:"stream" ~seed obs @@ fun () ->
+      let world =
+        match dir with
+        | Some dir -> Rpslyzer.Pipeline.load_world dir
+        | None ->
+          let topo_params =
+            { Rz_topology.Gen.default_params with
+              seed; n_tier1 = 3; n_mid = 40; n_stub = 150 }
+          in
+          let irr_config = { Rz_synthirr.Config.default with seed = seed + 1 } in
+          Rpslyzer.Pipeline.build_synthetic ~topo_params ~irr_config ()
+      in
+      let base_routes =
+        List.concat_map
+          (fun (d : Rz_bgp.Table_dump.t) -> d.routes)
+          world.Rpslyzer.Pipeline.table_dumps
+      in
+      let items =
+        match replay with
+        | Some path ->
+          let text =
+            try
+              let ic = open_in_bin path in
+              let text = really_input_string ic (in_channel_length ic) in
+              close_in ic;
+              text
+            with Sys_error e -> failwith ("cannot read journal: " ^ e)
+          in
+          let items, errors = E.parse text in
+          List.iteri
+            (fun i (line, reason) ->
+              if i < 5 then
+                Printf.eprintf "stream: journal line %d rejected: %s\n%!" line
+                  reason)
+            errors;
+          items
+        | None ->
+          let view = S.view_of world.Rpslyzer.Pipeline.db base_routes in
+          E.generate ~seed ~n:events ~edit_rate view
+      in
+      (match journal_out with
+       | Some path -> write_file ~what:"journal" path (E.render items)
+       | None -> ());
+      let policy =
+        match String.lowercase_ascii policy with
+        | "block" -> Rz_stream.Bqueue.Block
+        | "shed-oldest" -> Rz_stream.Bqueue.Shed_oldest
+        | p when String.length p > 7 && String.sub p 0 7 = "sample:" -> (
+          match float_of_string_opt (String.sub p 7 (String.length p - 7)) with
+          | Some f when f >= 0. && f <= 1. -> Rz_stream.Bqueue.Sample f
+          | _ -> failwith (Printf.sprintf "bad sample rate in --policy %s" p))
+        | p -> failwith (Printf.sprintf "unknown --policy %s" p)
+      in
+      let chaos =
+        if chaos_rate > 0. then
+          Some (Rz_fault.Fault.plan ~seed:chaos_seed ~rate:chaos_rate ())
+        else None
+      in
+      let config =
+        { S.window;
+          queue_capacity = capacity;
+          policy;
+          chaos;
+          max_retries;
+          backoff_ms;
+          watchdog_ms }
+      in
+      let t =
+        S.create ~config
+          ~ir:(Rz_irr.Db.ir world.Rpslyzer.Pipeline.db)
+          ~rels:world.Rpslyzer.Pipeline.rels ()
+      in
+      let stats = S.run ~seed t items in
+      let doc = S.stats_to_json t stats in
+      let snapshot = Rpslyzer.Obs.Registry.snapshot () in
+      let counters = Rpslyzer.Obs.Registry.counters snapshot in
+      let value name = Option.value ~default:0 (List.assoc_opt name counters) in
+      let degraded =
+        stats.S.r_degraded
+        || List.exists (fun name -> value name > 0) recovery_counter_names
+      in
+      if json_out then print_endline (Rpslyzer.Json.to_string ~indent:2 doc)
+      else begin
+        Printf.printf "== stream ==\n";
+        Printf.printf
+          "events: %d processed, %d applied, %d abandoned, %d rejected\n"
+          stats.S.r_processed stats.S.r_applied stats.S.r_abandoned
+          stats.S.r_rejected;
+        Printf.printf "queue: %d dropped, %d sampled, hwm %d, final policy %s\n"
+          stats.S.r_dropped stats.S.r_sampled stats.S.r_hwm
+          (Rz_stream.Bqueue.policy_name stats.S.r_final_policy);
+        Printf.printf
+          "engine: %d generations, %d invalidations, %d watchdog trips\n"
+          (S.generations t) (S.invalidated t) stats.S.r_watchdog_trips;
+        Printf.printf "\n== windows ==\n";
+        List.iter
+          (fun (w : S.window) ->
+            Printf.printf
+              "  [%d] seq %d-%d: %dA/%dW/%dE rib=%d routes=%d hops: %s\n"
+              w.S.w_index w.S.w_start_seq w.S.w_end_seq w.S.w_announce
+              w.S.w_withdraw w.S.w_edit w.S.w_rib w.S.w_routes
+              (String.concat ", "
+                 (List.filter_map
+                    (fun (label, n) ->
+                      if n = 0 then None
+                      else Some (Printf.sprintf "%s=%d" label n))
+                    (Rz_verify.Aggregate.counts_classes w.S.w_hops))))
+          (S.windows t);
+        if degraded then
+          print_endline "\nresult: DEGRADED (recovery paths fired; exit 2)"
+        else print_endline "\nresult: CLEAN (exit 0)"
+      end;
+      (match golden with
+       | None -> ()
+       | Some path ->
+         let baseline_text =
+           try
+             let ic = open_in_bin path in
+             let text = really_input_string ic (in_channel_length ic) in
+             close_in ic;
+             text
+           with Sys_error e -> failwith ("cannot read golden file: " ^ e)
+         in
+         match Rpslyzer.Json.of_string baseline_text with
+         | Error e -> failwith (Printf.sprintf "golden file %s: %s" path e)
+         | Ok baseline ->
+           (* The event stream and verdicts are deterministic, but queue
+              occupancy depends on producer/consumer interleaving, so the
+              golden surface projects those timing-dependent fields away.
+              The baseline is a full `--json` dump; both sides are
+              projected, so regeneration is just re-running with --json. *)
+           let stable doc =
+             Rpslyzer.Json.Obj
+               (List.filter_map
+                  (fun k ->
+                    Option.map (fun v -> (k, v)) (Rpslyzer.Json.member k doc))
+                  [ "processed"; "applied"; "abandoned"; "rejected";
+                    "generations"; "invalidated"; "rib"; "windows" ])
+           in
+           mismatches :=
+             Rz_stats.Rpki_cross.diff_json ~baseline:(stable baseline)
+               (stable doc));
+      degraded
+    in
+    (match !mismatches with
+     | [] -> if golden <> None then print_endline "golden: MATCH"
+     | diffs ->
+       Printf.eprintf "golden: MISMATCH (%d differences)\n" (List.length diffs);
+       List.iter (fun d -> Printf.eprintf "  %s\n" d) diffs;
+       exit 1);
+    if degraded then exit 2
+  in
+  let dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "d"; "dir" ] ~docv:"DIR"
+          ~doc:"World directory to stream against; a small synthetic world \
+                is generated in memory when omitted.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"World and feed seed.")
+  in
+  let events =
+    Arg.(
+      value & opt int 512
+      & info [ "events" ] ~docv:"N" ~doc:"Number of feed events to generate.")
+  in
+  let window =
+    Arg.(
+      value & opt int 64
+      & info [ "window" ] ~docv:"N"
+          ~doc:"Events per windowed per-verdict aggregate.")
+  in
+  let capacity =
+    Arg.(
+      value & opt int 256
+      & info [ "capacity" ] ~docv:"N" ~doc:"Bounded queue capacity.")
+  in
+  let policy =
+    Arg.(
+      value & opt string "block"
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:"Backpressure policy when the queue is full: $(b,block) \
+                (lossless, deterministic), $(b,shed-oldest) (newest wins), \
+                or $(b,sample:P) (admit with probability P).")
+  in
+  let edit_rate =
+    Arg.(
+      value & opt float 0.05
+      & info [ "edit-rate" ] ~docv:"P"
+          ~doc:"Per-event probability of a policy-object edit.")
+  in
+  let chaos_rate =
+    Arg.(
+      value & opt float 0.
+      & info [ "chaos" ] ~docv:"P"
+          ~doc:"Per-attempt probability that applying an event fails \
+                (seeded, replayable). Retries with exponential backoff; \
+                budget exhaustion abandons the event and degrades the run.")
+  in
+  let chaos_seed =
+    Arg.(value & opt int 42 & info [ "chaos-seed" ] ~doc:"Chaos plan seed.")
+  in
+  let max_retries =
+    Arg.(
+      value & opt int 2
+      & info [ "max-retries" ] ~docv:"N"
+          ~doc:"Retries before an event is abandoned.")
+  in
+  let backoff_ms =
+    Arg.(
+      value & opt float 0.
+      & info [ "backoff-ms" ] ~docv:"MS"
+          ~doc:"Base retry backoff in milliseconds, doubled per attempt.")
+  in
+  let watchdog_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "watchdog-ms" ] ~docv:"MS"
+          ~doc:"Stall-detection interval; a stalled consumer degrades the \
+                queue policy to shed-oldest. 0 disables.")
+  in
+  let journal_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal-out" ] ~docv:"FILE"
+          ~doc:"Write the generated event journal to $(docv) for replay.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Replay a journal instead of generating events; malformed \
+                lines are rejected (stream.journal_rejected) and the run \
+                is marked degraded.")
+  in
+  let json_out =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the run summary as JSON.")
+  in
+  let golden =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "golden" ] ~docv:"FILE"
+          ~doc:"Structurally compare this run's JSON summary against the \
+                baseline in $(docv); any difference is printed and the \
+                command exits 1. Timing-dependent fields (queue occupancy, \
+                backpressure tallies) are projected away on both sides, so \
+                a baseline is just a committed $(b,--json) dump.")
+  in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:
+         "Stream a live update feed (announce/withdraw/policy-edit events) \
+          through the incremental verification service: bounded queues \
+          with explicit backpressure, churn-safe cache invalidation, \
+          windowed per-verdict aggregates. Exits 0 when clean, 1 on \
+          golden mismatch or hard failure, 2 when the pipeline degraded \
+          (dropped, sampled, abandoned, or rejected events; watchdog \
+          trips).")
+    Term.(
+      const run $ obs_opts_term $ dir $ seed $ events $ window $ capacity
+      $ policy $ edit_rate $ chaos_rate $ chaos_seed $ max_retries $ backoff_ms
+      $ watchdog_ms $ journal_out $ replay $ json_out $ golden)
 
 (* ---------------- faultinject ---------------- *)
 
@@ -1004,4 +1284,4 @@ let () =
        (Cmd.group info
           [ gen_cmd; parse_cmd; stats_cmd; verify_cmd; explain_cmd; whois_cmd;
             query_cmd; peval_cmd; lint_cmd; classify_cmd; diff_cmd;
-            rpki_cmd; faultinject_cmd ]))
+            rpki_cmd; stream_cmd; faultinject_cmd ]))

@@ -142,6 +142,8 @@ module Cache = struct
       nfa
 
   let size cache = Hashtbl.length cache.tbl
+
+  let remove cache ast = Hashtbl.remove cache.tbl ast
 end
 
 (* Subset simulation. States are tracked together with anchor context:

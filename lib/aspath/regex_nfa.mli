@@ -52,4 +52,10 @@ module Cache : sig
 
   val size : cache -> int
   (** Number of distinct patterns compiled so far. *)
+
+  val remove : cache -> Regex_ast.t -> unit
+  (** Evict one pattern. The cache is a pure memo (recompiling is always
+      semantically safe), so eviction exists for bounded memory under
+      policy churn, not correctness: the streaming engine drops patterns
+      whose owning aut-num rules were edited away. No-op when absent. *)
 end

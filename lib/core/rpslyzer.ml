@@ -27,6 +27,7 @@ module Rpki = Rz_rpki
 module Obs = Rz_obs.Obs
 module Trace = Rz_trace.Trace
 module Ingest = Rz_ingest
+module Stream = Rz_stream
 
 (** {1 End-to-end pipeline} *)
 
@@ -181,8 +182,23 @@ module Pipeline = struct
      faultinject harness and the chaos bench: it runs at the top of each
      spawned domain (with the domain index) and may raise to simulate a
      domain crash. It deliberately does NOT run during the sequential
-     retry, which is the recovery path under test. *)
-  let verify_parallel ?config ?(domains = 4) ?inject_domain_fault world =
+     retry, which is the recovery path under test; that path has its own
+     hook, [inject_batch_fault], driven by a seed derived below. *)
+
+  let max_batch_attempts = 3
+
+  (* The retry sweep's per-attempt seed: a pure function of the run seed,
+     the batch being retried, and the attempt number, so a chaos run
+     replays bit-identically — no ambient RNG state leaks in. *)
+  let retry_seed ~run_seed ~batch ~attempt =
+    let rng =
+      Rz_util.Splitmix.create
+        (run_seed lxor (batch * 0x9E3779B1) lxor (attempt * 0x85EBCA77))
+    in
+    Rz_util.Splitmix.int rng max_int
+
+  let verify_parallel ?config ?(domains = 4) ?(seed = 0) ?inject_domain_fault
+      ?inject_batch_fault world =
     Rz_obs.Obs.Span.with_ "verify" @@ fun () ->
     let all_routes =
       Array.of_list
@@ -279,11 +295,37 @@ module Pipeline = struct
       let engine = Rz_verify.Engine.create ?config world.db world.rels in
       for b = 0 to n_batches - 1 do
         let owner = Atomic.get owners.(b) in
-        if owner < 0 || crashed.(owner) then
-          ignore
-            (verify_batch engine agg excluded
-               ~on_route_error:(fun i _ -> excluded := !excluded + weights.(i))
-               b)
+        if owner < 0 || crashed.(owner) then begin
+          (* Bounded attempts. The fault hook runs before the batch is
+             verified, so a failed attempt adds nothing to the aggregate
+             and a retry never double-counts. An exhausted batch is
+             excluded whole — the accounting invariant (every route
+             verified or excluded) survives even a hook that always
+             raises. *)
+          let rec attempt k =
+            match
+              (match inject_batch_fault with
+              | Some f ->
+                f ~seed:(retry_seed ~run_seed:seed ~batch:b ~attempt:k)
+                  ~batch:b ~attempt:k
+              | None -> ());
+              verify_batch engine agg excluded
+                ~on_route_error:(fun i _ -> excluded := !excluded + weights.(i))
+                b
+            with
+            | _ -> ()
+            | exception _ when k < max_batch_attempts ->
+              Rz_obs.Obs.Counter.incr c_domain_retries;
+              attempt (k + 1)
+            | exception _ ->
+              Rz_obs.Obs.Counter.incr c_domain_retries;
+              let lo = b * batch_size and hi = min n ((b + 1) * batch_size) in
+              for i = lo to hi - 1 do
+                excluded := !excluded + weights.(i)
+              done
+          in
+          attempt 1
+        end
       done
     end;
     (agg, `Total n_total, `Excluded !excluded)

@@ -117,6 +117,19 @@ let create () =
     route_seen = Hashtbl.create 4096;
     errors = [] }
 
+let copy t =
+  { aut_nums = Hashtbl.copy t.aut_nums;
+    mntners = Hashtbl.copy t.mntners;
+    inet_rtrs = Hashtbl.copy t.inet_rtrs;
+    rtr_sets = Hashtbl.copy t.rtr_sets;
+    as_sets = Hashtbl.copy t.as_sets;
+    route_sets = Hashtbl.copy t.route_sets;
+    peering_sets = Hashtbl.copy t.peering_sets;
+    filter_sets = Hashtbl.copy t.filter_sets;
+    routes = t.routes;
+    route_seen = Hashtbl.copy t.route_seen;
+    errors = t.errors }
+
 let error_kind_to_string = function
   | Syntax_error msg -> "syntax error: " ^ msg
   | Invalid_as_set_name -> "invalid as-set name"

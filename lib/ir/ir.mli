@@ -124,6 +124,12 @@ type t = {
 
 val create : unit -> t
 
+val copy : t -> t
+(** Independent tables over shared (immutable) object records: mutating
+    the copy — replacing entries, adding routes — leaves the original
+    untouched. Streaming verification copies the IR it is given so the
+    caller's database generation stays valid. *)
+
 val error_kind_to_string : error_kind -> string
 
 val n_rules : aut_num -> int

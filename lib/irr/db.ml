@@ -329,6 +329,118 @@ let warm_caches t =
     (fun _ (s : Rz_ir.Ir.route_set) -> ignore (flatten_route_set t s.name))
     t.ir.route_sets
 
+(* ---------------- set reference graph ---------------- *)
+
+(* Direct set-to-set references of one named set object, across every set
+   class sharing the canonical name space: as-set member sets, route-set
+   [Rs_set] members, set references inside a filter-set's filter, and
+   as-sets / nested sets named by a peering-set's peerings. This is the
+   edge relation behind the streaming engine's invalidation walk — edges
+   are a {e superset} of what evaluation can read (sound: reachability
+   over-approximation can only widen invalidation, never miss it), and
+   deliberately ignore the flattening work/depth caps. *)
+let rec filter_set_refs acc (f : Rz_policy.Ast.filter) =
+  match f with
+  | Rz_policy.Ast.As_set_ref (name, _)
+  | Rz_policy.Ast.Route_set_ref (name, _)
+  | Rz_policy.Ast.Filter_set_ref name -> canon name :: acc
+  | Rz_policy.Ast.And_f (a, b) | Rz_policy.Ast.Or_f (a, b) ->
+    filter_set_refs (filter_set_refs acc a) b
+  | Rz_policy.Ast.Not_f a -> filter_set_refs acc a
+  | Rz_policy.Ast.Any | Rz_policy.Ast.Peer_as_filter | Rz_policy.Ast.As_num _
+  | Rz_policy.Ast.Prefix_set _ | Rz_policy.Ast.Path_regex _
+  | Rz_policy.Ast.Community _ | Rz_policy.Ast.Fltr_martian -> acc
+
+let rec as_expr_set_refs acc (e : Rz_policy.Ast.as_expr) =
+  match e with
+  | Rz_policy.Ast.As_set name -> canon name :: acc
+  | Rz_policy.Ast.Asn _ | Rz_policy.Ast.Any_as -> acc
+  | Rz_policy.Ast.And (a, b) | Rz_policy.Ast.Or (a, b)
+  | Rz_policy.Ast.Except_as (a, b) -> as_expr_set_refs (as_expr_set_refs acc a) b
+
+let peering_set_refs acc (p : Rz_policy.Ast.peering) =
+  match p with
+  | Rz_policy.Ast.Peering_spec { as_expr; _ } -> as_expr_set_refs acc as_expr
+  | Rz_policy.Ast.Peering_set_ref name -> canon name :: acc
+
+let referenced_sets t name =
+  let key = canon name in
+  let acc = [] in
+  let acc =
+    match Hashtbl.find_opt t.ir.as_sets key with
+    | None -> acc
+    | Some s -> List.rev_append (List.map canon s.member_sets) acc
+  in
+  let acc =
+    match Hashtbl.find_opt t.ir.route_sets key with
+    | None -> acc
+    | Some s ->
+      List.fold_left
+        (fun acc m ->
+          match m with
+          | Rz_ir.Ir.Rs_set (child, _) -> canon child :: acc
+          | Rz_ir.Ir.Rs_prefix _ | Rz_ir.Ir.Rs_asn _ -> acc)
+        acc s.members
+  in
+  let acc =
+    match Hashtbl.find_opt t.ir.filter_sets key with
+    | None -> acc
+    | Some s -> filter_set_refs acc s.filter
+  in
+  let acc =
+    match Hashtbl.find_opt t.ir.peering_sets key with
+    | None -> acc
+    | Some s -> List.fold_left peering_set_refs acc s.peerings
+  in
+  List.sort_uniq compare acc
+
+let set_reaches t ~root ~target =
+  let root = canon root and target = canon target in
+  if root = target then true
+  else begin
+    let visited = Hashtbl.create 16 in
+    let rec go name =
+      name = target
+      || (not (Hashtbl.mem visited name))
+         && begin
+              Hashtbl.replace visited name ();
+              List.exists go (referenced_sets t name)
+            end
+    in
+    go root
+  end
+
+(* Whether flattening the set named [root] consults the route objects of
+   [asn] (a route-set [Rs_asn] member, or an as-set member whose flattened
+   ASNs include it) — the flatten-time origin reads invisible to the
+   verification engine's own dependency notes. *)
+let set_consults_origin t ~root asn =
+  let visited = Hashtbl.create 16 in
+  let rec go name =
+    if Hashtbl.mem visited name then false
+    else begin
+      Hashtbl.replace visited name ();
+      let here =
+        match Hashtbl.find_opt t.ir.route_sets name with
+        | None -> false
+        | Some s ->
+          List.exists
+            (fun m ->
+              match m with
+              | Rz_ir.Ir.Rs_asn (a, _) -> a = asn
+              | Rz_ir.Ir.Rs_set (child, _) ->
+                let child_key = canon child in
+                (not (Hashtbl.mem t.ir.route_sets child_key))
+                && Hashtbl.mem t.ir.as_sets child_key
+                && Asn_set.mem asn (flatten_as_set t child_key)
+              | Rz_ir.Ir.Rs_prefix _ -> false)
+            s.members
+      in
+      here || List.exists go (referenced_sets t name)
+    end
+  in
+  go (canon root)
+
 (* ---------------- delegates ---------------- *)
 
 let find_aut_num t asn = Rz_ir.Ir.find_aut_num t.ir asn

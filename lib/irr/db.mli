@@ -96,6 +96,32 @@ val warm_caches : t -> unit
     detection) so subsequent queries are read-only — required before
     sharing the database across domains for parallel verification. *)
 
+(** {1 Set reference graph}
+
+    The edge relation behind churn-safe cache invalidation
+    ({!Rz_verify.Engine.apply_edits}): which other sets can a set's
+    evaluation or flattening read? Edges are a {e superset} of actual
+    reads (unbounded by the flattening work/depth caps), so reachability
+    over-approximates — invalidation can only widen, never miss. *)
+
+val referenced_sets : t -> string -> string list
+(** Canonical names of sets directly referenced by the set object(s) with
+    this (canonicalized) name, across every set class: as-set member
+    sets, route-set [Rs_set] members, set references inside a
+    filter-set's filter, peering-set peerings. Sorted, deduplicated;
+    empty for unknown names. *)
+
+val set_reaches : t -> root:string -> target:string -> bool
+(** Whether [target] is reachable from [root] over {!referenced_sets}
+    edges (reflexively: a set reaches itself). Cycle-safe. *)
+
+val set_consults_origin : t -> root:string -> Rz_net.Asn.t -> bool
+(** Whether flattening rooted at [root] consults the route objects
+    originated by this ASN — a route-set [Rs_asn] member naming it, or a
+    route-set member as-set whose flattened ASNs include it. These are
+    the flatten-time reads of [origin_prefixes] that the verification
+    engine cannot observe from outside {!flatten_route_set}. *)
+
 (** {1 Other object queries (delegates to the IR)} *)
 
 val find_aut_num : t -> Rz_net.Asn.t -> Rz_ir.Ir.aut_num option

@@ -238,6 +238,34 @@ let reset () =
         Span.table)
 
 (* ------------------------------------------------------------------ *)
+(* Recovery counters                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Single source of truth for the graceful-degradation contract: a run
+   that kept going but fired any of these exits 2 under the keep-going
+   subcommands (faultinject / rpki / stream). The CLI and the docs both
+   read this list; suite_obs checks it stays in sync with what the
+   instrumented libraries actually register. *)
+let recovery_counter_names =
+  [ "fault.injected";
+    "reader.lines_dropped";
+    "flatten.truncated";
+    "nfa.capped";
+    "verify.domain_retries";
+    "rpki.roas_rejected";
+    "stream.events_dropped";
+    "stream.events_sampled";
+    "stream.events_abandoned";
+    "stream.journal_rejected";
+    "stream.watchdog_trips";
+    "stream.retries" ]
+
+let recovery_suffixes = [ "rejected"; "dropped"; "truncated"; "capped" ]
+
+let looks_like_recovery name =
+  List.exists (fun suf -> Filename.check_suffix name suf) recovery_suffixes
+
+(* ------------------------------------------------------------------ *)
 (* Registry snapshots                                                  *)
 (* ------------------------------------------------------------------ *)
 

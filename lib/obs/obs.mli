@@ -132,6 +132,20 @@ module Meta : sig
   (** Sorted by key. *)
 end
 
+val recovery_counter_names : string list
+(** Canonical list of graceful-degradation ("recovery") counters: the
+    counters a keep-going run increments instead of crashing. The CLI's
+    exit-2 contract (faultinject / rpki / stream) sums exactly this
+    list; enumerate new recovery counters here, nowhere else. Kept in
+    sync with runtime registration by a suite_obs test: every registered
+    counter matching {!looks_like_recovery} must appear here. *)
+
+val looks_like_recovery : string -> bool
+(** Whether a counter name carries a recovery-ish suffix
+    ([rejected]/[dropped]/[truncated]/[capped], regardless of whether the
+    preceding separator is [.] or [_]) and therefore belongs in
+    {!recovery_counter_names}. *)
+
 module Registry : sig
   (** A consistent-enough point-in-time view of every registered
       metric. (Individual atomics are read without a global lock;

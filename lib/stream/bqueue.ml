@@ -1,0 +1,106 @@
+(* Bounded producer/consumer queue with an explicit backpressure policy.
+   See bqueue.mli. *)
+
+module Obs = Rz_obs.Obs
+module Splitmix = Rz_util.Splitmix
+
+let c_dropped = Obs.Counter.make "stream.events_dropped"
+let c_sampled = Obs.Counter.make "stream.events_sampled"
+
+type policy = Block | Shed_oldest | Sample of float
+
+let policy_name = function
+  | Block -> "block"
+  | Shed_oldest -> "shed-oldest"
+  | Sample f -> Printf.sprintf "sample:%g" f
+
+type 'a t = {
+  q : 'a Queue.t;
+  capacity : int;
+  mutex : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  mutable policy : policy;
+  mutable closed : bool;
+  mutable hwm : int;
+  mutable dropped : int;
+  mutable sampled : int;
+  rng : Splitmix.t;  (* Sample admission decisions; guarded by [mutex] *)
+}
+
+let create ?(policy = Block) ?(seed = 0) ~capacity () =
+  if capacity <= 0 then invalid_arg "Bqueue.create: capacity must be positive";
+  { q = Queue.create ();
+    capacity;
+    mutex = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+    policy;
+    closed = false;
+    hwm = 0;
+    dropped = 0;
+    sampled = 0;
+    rng = Splitmix.create seed }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let set_policy t p = with_lock t (fun () -> t.policy <- p; Condition.broadcast t.not_full)
+let policy t = with_lock t (fun () -> t.policy)
+let length t = with_lock t (fun () -> Queue.length t.q)
+let hwm t = with_lock t (fun () -> t.hwm)
+let dropped t = with_lock t (fun () -> t.dropped)
+let sampled t = with_lock t (fun () -> t.sampled)
+
+let enqueue t x =
+  Queue.push x t.q;
+  if Queue.length t.q > t.hwm then t.hwm <- Queue.length t.q;
+  Condition.signal t.not_empty
+
+let push t x =
+  with_lock t (fun () ->
+      if t.closed then invalid_arg "Bqueue.push: closed";
+      let rec go () =
+        if Queue.length t.q < t.capacity then (enqueue t x; true)
+        else
+          match t.policy with
+          | Block ->
+              Condition.wait t.not_full t.mutex;
+              if t.closed then invalid_arg "Bqueue.push: closed" else go ()
+          | Shed_oldest ->
+              ignore (Queue.pop t.q);
+              t.dropped <- t.dropped + 1;
+              Obs.Counter.incr c_dropped;
+              enqueue t x;
+              true
+          | Sample keep ->
+              if Splitmix.chance t.rng keep then (
+                ignore (Queue.pop t.q);
+                t.dropped <- t.dropped + 1;
+                Obs.Counter.incr c_dropped;
+                enqueue t x;
+                true)
+              else (
+                t.sampled <- t.sampled + 1;
+                Obs.Counter.incr c_sampled;
+                false)
+      in
+      go ())
+
+let pop t =
+  with_lock t (fun () ->
+      let rec go () =
+        match Queue.take_opt t.q with
+        | Some x -> Condition.signal t.not_full; Some x
+        | None ->
+            if t.closed then None
+            else (Condition.wait t.not_empty t.mutex; go ())
+      in
+      go ())
+
+let close t =
+  with_lock t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.not_empty;
+      Condition.broadcast t.not_full)

@@ -1,0 +1,61 @@
+(** Bounded multi-producer/consumer queue with explicit backpressure.
+
+    The queue is the seam between the update-feed producer and the
+    verification consumer: its capacity bounds pipeline memory, and its
+    policy says what happens when the consumer falls behind:
+
+    - [Block]: the producer waits — lossless, backpressure propagates
+      upstream. The only policy under which streams are deterministic
+      end to end.
+    - [Shed_oldest]: the oldest queued event is discarded to make room
+      ([stream.events_dropped]); the freshest state wins, as in a BGP
+      RIB where a newer update supersedes a queued older one.
+    - [Sample keep]: an arriving event is admitted with probability
+      [keep] (displacing the oldest, counted as dropped) and discarded
+      otherwise ([stream.events_sampled]) — degrade-to-sampling under
+      sustained overload. Admission decisions come from a seeded
+      generator, so a given arrival order replays identically.
+
+    All operations are thread-safe; blocking uses a mutex + condition
+    pair, no spinning. *)
+
+type policy = Block | Shed_oldest | Sample of float
+
+val policy_name : policy -> string
+
+type 'a t
+
+val create : ?policy:policy -> ?seed:int -> capacity:int -> unit -> 'a t
+(** [policy] defaults to [Block]; [seed] (default 0) drives [Sample]
+    admission. Raises [Invalid_argument] on non-positive capacity. *)
+
+val push : 'a t -> 'a -> bool
+(** Enqueue per the current policy. [true] if the element was admitted,
+    [false] if it was sampled away. Blocks only under [Block] when full.
+    Raises [Invalid_argument] if the queue is closed. *)
+
+val pop : 'a t -> 'a option
+(** Dequeue, blocking while empty; [None] once the queue is closed and
+    drained. *)
+
+val close : 'a t -> unit
+(** No further pushes; blocked consumers drain and then see [None]. *)
+
+val set_policy : 'a t -> policy -> unit
+(** Switch policy live — the watchdog's degradation lever
+    ([Block] -> [Shed_oldest] keeps a stuck pipeline's producer from
+    blocking forever). *)
+
+val policy : 'a t -> policy
+val length : 'a t -> int
+
+val hwm : 'a t -> int
+(** High-water mark: the largest queue length observed — the
+    bounded-memory witness reported in stream metrics. *)
+
+val dropped : 'a t -> int
+(** Events shed to make room (this queue only — the global counterpart is
+    [stream.events_dropped], which no-ops when metrics are disabled). *)
+
+val sampled : 'a t -> int
+(** Events discarded by [Sample] admission (global: [stream.events_sampled]). *)

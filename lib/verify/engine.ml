@@ -3,9 +3,9 @@ module Db = Rz_irr.Db
 module Rel_db = Rz_asrel.Rel_db
 module Range_op = Rz_net.Range_op
 
-type config = { paper_compat : bool; memoize : bool }
+type config = { paper_compat : bool; memoize : bool; track_deps : bool }
 
-let default_config = { paper_compat = false; memoize = true }
+let default_config = { paper_compat = false; memoize = true; track_deps = false }
 
 (* Observability: one increment of [verify.hops_total] plus exactly one
    per-status counter per hop check, so the status counters always sum
@@ -28,6 +28,14 @@ let c_routes_excluded = Obs.Counter.make "verify.routes_excluded_total"
 let c_memo_hits = Obs.Counter.make "verify.memo_hits"
 let c_memo_misses = Obs.Counter.make "verify.memo_misses"
 let h_route_ns = Obs.Histogram.make "verify.route_ns"
+
+(* Churn-safe invalidation (the streaming engine's contract): entries
+   surgically removed from the hop memo when a policy object changes, and
+   compiled NFAs evicted when the rules that contributed them change.
+   Registered here because the memo lives here, named under [stream.*]
+   because only the streaming scenario exercises them. *)
+let c_invalidations = Obs.Counter.make "stream.invalidations"
+let c_nfa_evicted = Obs.Counter.make "stream.nfa_evicted"
 
 let status_counter (status : Status.t) =
   match status with
@@ -100,8 +108,27 @@ type prov = {
    ones its hits can find) always hold [Some prov]. *)
 type memo_entry = { e_hop : Report.hop; e_prov : prov option }
 
+(* Database reads a hop evaluation performed beyond what {!hop_key}
+   captures, recorded when [config.track_deps] so a later policy-object
+   edit can surgically invalidate exactly the entries that read the
+   edited object. Set names are the {e roots} consulted (flattening
+   recurses inside [Db]; the reachability walk in {!apply_edits} expands
+   them). Origins are the ASNs whose route-object {e presence} gated the
+   verdict (the [Zero_route_as] abstain). [n_overflow] marks an entry
+   that blew the cap and must be treated as depending on everything. *)
+type dep_note = {
+  mutable n_sets : string list;
+  mutable n_origins : int list;
+  mutable n_overflow : bool;
+}
+
+let max_deps = 128
+let fresh_deps () = { n_sets = []; n_origins = []; n_overflow = false }
+
 type t = {
-  db : Db.t;
+  mutable db : Db.t;
+      (* mutable for generation swaps: {!apply_edits} installs the next
+         database generation after invalidating what the edits touched *)
   rels : Rel_db.t;
   config : config;
   only_provider_memo : (Rz_net.Asn.t, bool) Hashtbl.t;
@@ -110,6 +137,15 @@ type t = {
   path_dep_memo : (int, bool) Hashtbl.t;
       (* (subject lsl 1) lor is_export -> policies reference the AS-path *)
   hop_memo : memo_entry Hop_tbl.t;
+  (* Reverse dependency indexes over memoized keys, maintained only when
+     [config.track_deps]. A key may be listed more than once (re-inserted
+     after an invalidation through another index); removal is idempotent
+     and [stream.invalidations] counts actual memo removals only. The
+     ["*"] bucket of [idx_set] holds overflowed entries. *)
+  idx_subject : (Rz_net.Asn.t, hop_key list ref) Hashtbl.t;
+  idx_prefix : (Rz_net.Prefix.t, hop_key list ref) Hashtbl.t;
+  idx_set : (string, hop_key list ref) Hashtbl.t;
+  idx_origin : (Rz_net.Asn.t, hop_key list ref) Hashtbl.t;
 }
 
 let create ?(config = default_config) db rels =
@@ -117,7 +153,15 @@ let create ?(config = default_config) db rels =
     only_provider_memo = Hashtbl.create 64;
     regex_cache = Rz_aspath.Regex_nfa.Cache.create ();
     path_dep_memo = Hashtbl.create 64;
-    hop_memo = Hop_tbl.create 4096 }
+    hop_memo = Hop_tbl.create 4096;
+    idx_subject = Hashtbl.create 64;
+    idx_prefix = Hashtbl.create 256;
+    idx_set = Hashtbl.create 64;
+    idx_origin = Hashtbl.create 64 }
+
+let db t = t.db
+let hop_memo_size t = Hop_tbl.length t.hop_memo
+let nfa_cache_size t = Rz_aspath.Regex_nfa.Cache.size t.regex_cache
 
 (* ------------------------------------------------------------------ *)
 (* Tri-valued evaluation: a filter/peering either matches, mismatches,  *)
@@ -155,20 +199,49 @@ type ctx = {
   mutable sets_walked : string list;
       (** set names consulted (reverse order), only when [trace] *)
   mutable sets_n : int;
+  deps : dep_note option;
+      (** database reads recorded for invalidation, when [track_deps] *)
 }
 
 (* Bound on [sets_walked]: trace records must stay small even under an
    as-set bomb. *)
 let max_traced_sets = 8
 
-let make_ctx ~trace ~prefix ~path ~remote ~origin =
-  { prefix; path; remote; origin; covering = None; trace; sets_walked = []; sets_n = 0 }
+let make_ctx ~trace ~deps ~prefix ~path ~remote ~origin =
+  { prefix; path; remote; origin; covering = None; trace; sets_walked = [];
+    sets_n = 0; deps }
 
 let trace_set ctx name =
   if ctx.trace && ctx.sets_n < max_traced_sets then begin
     ctx.sets_walked <- name :: ctx.sets_walked;
     ctx.sets_n <- ctx.sets_n + 1
   end
+
+let dep_set ctx name =
+  match ctx.deps with
+  | None -> ()
+  | Some d ->
+    if not d.n_overflow then begin
+      let key = Rz_rpsl.Set_name.canonical name in
+      if not (List.mem key d.n_sets) then
+        if List.length d.n_sets >= max_deps then d.n_overflow <- true
+        else d.n_sets <- key :: d.n_sets
+    end
+
+let dep_origin ctx asn =
+  match ctx.deps with
+  | None -> ()
+  | Some d ->
+    if (not d.n_overflow) && not (List.mem asn d.n_origins) then
+      if List.length d.n_origins >= max_deps then d.n_overflow <- true
+      else d.n_origins <- asn :: d.n_origins
+
+(* Every set-reference evaluation site notes the name for both consumers:
+   the trace record (display name, capped small) and the invalidation
+   index (canonical name, capped large). *)
+let note_set ctx name =
+  trace_set ctx name;
+  dep_set ctx name
 
 let covering t ctx =
   match ctx.covering with
@@ -191,16 +264,25 @@ let rec eval_filter t ctx (filter : Ast.filter) : outcome =
   | Ast.Any -> Match
   | Ast.Peer_as_filter ->
     if prefix_from_origin t ctx ctx.remote Range_op.None_ then Match
-    else if not (Db.origin_has_routes t.db ctx.remote) then
-      Abstain (A_unrec (Status.Zero_route_as ctx.remote))
-    else NoMatch
+    else begin
+      (* The verdict now hinges on whether [remote] has any route object
+         at all — record the origin dependency so a route add/del for it
+         (anywhere, not just under this prefix) invalidates the entry. *)
+      dep_origin ctx ctx.remote;
+      if not (Db.origin_has_routes t.db ctx.remote) then
+        Abstain (A_unrec (Status.Zero_route_as ctx.remote))
+      else NoMatch
+    end
   | Ast.As_num (asn, op) ->
     if prefix_from_origin t ctx asn op then Match
-    else if not (Db.origin_has_routes t.db asn) then
-      Abstain (A_unrec (Status.Zero_route_as asn))
-    else NoMatch
+    else begin
+      dep_origin ctx asn;
+      if not (Db.origin_has_routes t.db asn) then
+        Abstain (A_unrec (Status.Zero_route_as asn))
+      else NoMatch
+    end
   | Ast.As_set_ref (name, op) ->
-    trace_set ctx name;
+    note_set ctx name;
     if not (Db.as_set_exists t.db name) then
       Abstain (A_unrec (Status.Unrecorded_as_set name))
     else begin
@@ -215,7 +297,7 @@ let rec eval_filter t ctx (filter : Ast.filter) : outcome =
       else NoMatch
     end
   | Ast.Route_set_ref (name, op) ->
-    trace_set ctx name;
+    note_set ctx name;
     if not (Db.route_set_exists t.db name) then
       Abstain (A_unrec (Status.Unrecorded_route_set name))
     else begin
@@ -230,7 +312,7 @@ let rec eval_filter t ctx (filter : Ast.filter) : outcome =
       else NoMatch
     end
   | Ast.Filter_set_ref name ->
-    trace_set ctx name;
+    note_set ctx name;
     (match Db.find_filter_set t.db name with
      | None -> Abstain (A_unrec (Status.Unrecorded_filter_set name))
      | Some fs -> eval_filter t ctx fs.filter)
@@ -273,7 +355,7 @@ let rec eval_as_expr t ctx (expr : Ast.as_expr) : outcome =
   match expr with
   | Ast.Asn asn -> if asn = ctx.remote then Match else NoMatch
   | Ast.As_set name ->
-    trace_set ctx name;
+    note_set ctx name;
     if not (Db.as_set_exists t.db name) then
       Abstain (A_unrec (Status.Unrecorded_as_set name))
     else if Db.asn_in_as_set t.db name ctx.remote then Match
@@ -288,7 +370,7 @@ let eval_peering t ctx (peering : Ast.peering) : outcome =
   match peering with
   | Ast.Peering_spec { as_expr; _ } -> eval_as_expr t ctx as_expr
   | Ast.Peering_set_ref name ->
-    trace_set ctx name;
+    note_set ctx name;
     (match Db.find_peering_set t.db name with
      | None -> Abstain (A_unrec (Status.Unrecorded_peering_set name))
      | Some ps ->
@@ -577,8 +659,9 @@ let emit_trace ~direction ~subject ~remote ~prefix ~path ~memo (hop : Report.hop
   end
 
 let verify_hop_full t ~direction ~subject ~remote ~prefix ~path :
-    Report.hop * prov option =
+    Report.hop * prov option * dep_note option =
   let tracing = Trace.enabled () in
+  let deps = if t.config.track_deps then Some (fresh_deps ()) else None in
   let from_as, to_as =
     match direction with `Export -> (subject, remote) | `Import -> (remote, subject)
   in
@@ -590,15 +673,17 @@ let verify_hop_full t ~direction ~subject ~remote ~prefix ~path :
   | None ->
     ( finish (Status.Unrecorded (Status.No_aut_num subject))
         [ Report.Unrec (Status.No_aut_num subject) ],
-      if tracing then Some empty_prov else None )
+      (if tracing then Some empty_prov else None),
+      deps )
   | Some an ->
     let rules = match direction with `Import -> an.imports | `Export -> an.exports in
     if rules = [] then
       ( finish (Status.Unrecorded Status.No_rules) [ Report.Unrec Status.No_rules ],
-        if tracing then Some empty_prov else None )
+        (if tracing then Some empty_prov else None),
+        deps )
     else begin
       let origin = path.(Array.length path - 1) in
-      let ctx = make_ctx ~trace:tracing ~prefix ~path ~remote ~origin in
+      let ctx = make_ctx ~trace:tracing ~deps ~prefix ~path ~remote ~origin in
       let facts = ref [] in
       let matched_rule = ref None in
       let overall =
@@ -656,7 +741,7 @@ let verify_hop_full t ~direction ~subject ~remote ~prefix ~path :
               p_sets = List.rev ctx.sets_walked }
         end
       in
-      let finish ?attrs status items = (finish ?attrs status items, prov ()) in
+      let finish ?attrs status items = (finish ?attrs status items, prov (), deps) in
       match overall with
       | Match ->
         (* the attributes the first fully-matching factor assigns *)
@@ -763,11 +848,31 @@ let verify_hop_full t ~direction ~subject ~remote ~prefix ~path :
    collide with a real [path.(1)]. *)
 let no_second_as = -1
 
+(* Reverse-index maintenance: push a key under an index bucket. Buckets
+   are plain cons lists — duplicates are tolerated (see the [t] comment)
+   and removal is wholesale per bucket. *)
+let idx_push tbl k v =
+  match Hashtbl.find_opt tbl k with
+  | Some l -> l := v :: !l
+  | None -> Hashtbl.add tbl k (ref [ v ])
+
+let index_entry t key (deps : dep_note option) =
+  idx_push t.idx_subject key.k_subject key;
+  idx_push t.idx_prefix key.k_prefix key;
+  match deps with
+  | None -> idx_push t.idx_set "*" key
+  | Some d ->
+    if d.n_overflow then idx_push t.idx_set "*" key
+    else begin
+      List.iter (fun name -> idx_push t.idx_set name key) d.n_sets;
+      List.iter (fun asn -> idx_push t.idx_origin asn key) d.n_origins
+    end
+
 let verify_hop t ~direction ~subject ~remote ~prefix ~path : Report.hop =
   let n = Array.length path in
   let tracing = Trace.enabled () in
   if (not t.config.memoize) || n = 0 then begin
-    let hop, prov = verify_hop_full t ~direction ~subject ~remote ~prefix ~path in
+    let hop, prov, _deps = verify_hop_full t ~direction ~subject ~remote ~prefix ~path in
     if tracing then
       emit_trace ~direction ~subject ~remote ~prefix ~path ~memo:"computed" hop prov;
     hop
@@ -796,7 +901,7 @@ let verify_hop t ~direction ~subject ~remote ~prefix ~path : Report.hop =
           entry.e_prov;
       entry.e_hop
     | exception Not_found ->
-      let hop, prov = verify_hop_full t ~direction ~subject ~remote ~prefix ~path in
+      let hop, prov, deps = verify_hop_full t ~direction ~subject ~remote ~prefix ~path in
       (* Path-dependent policies bypass the memo (nothing is inserted, so
          later identical keys cannot hit) and results stay bit-identical
          to an unmemoized engine. *)
@@ -804,6 +909,7 @@ let verify_hop t ~direction ~subject ~remote ~prefix ~path : Report.hop =
         if not (policies_read_path t ~subject ~direction) then begin
           Obs.Counter.incr c_memo_misses;
           Hop_tbl.add t.hop_memo key { e_hop = hop; e_prov = prov };
+          if t.config.track_deps then index_entry t key deps;
           "miss"
         end
         else "bypass"
@@ -812,6 +918,143 @@ let verify_hop t ~direction ~subject ~remote ~prefix ~path : Report.hop =
         emit_trace ~direction ~subject ~remote ~prefix ~path ~memo:memo_label hop prov;
       hop
   end
+
+(* ---------------- generation swaps and churn-safe invalidation ------- *)
+
+(* A policy-object change, described by the object that changed. The
+   caller (the streaming engine) mutates its IR, rebuilds the database
+   indexes, and hands the new generation here together with what changed;
+   this function removes exactly the memoized state the change can reach
+   and swaps the engine onto the new database.
+
+   [Edit_aut_num] covers rule changes of that aut-num (member-of changes
+   must additionally be reported as [Edit_set] of the affected sets).
+   [Edit_set] covers any definition/member change of the named set, in
+   any set class, including creation and deletion. [Edit_route] covers
+   adding or removing the (prefix, origin) route object (its [member-of]
+   sets, when any, must be reported as [Edit_set] too). *)
+type edit =
+  | Edit_aut_num of Rz_net.Asn.t
+  | Edit_set of string
+  | Edit_route of Rz_net.Prefix.t * Rz_net.Asn.t
+
+let canon = Rz_rpsl.Set_name.canonical
+
+let rec patterns_of_filter acc (f : Ast.filter) =
+  match f with
+  | Ast.Path_regex r -> r :: acc
+  | Ast.And_f (a, b) | Ast.Or_f (a, b) ->
+    patterns_of_filter (patterns_of_filter acc a) b
+  | Ast.Not_f a -> patterns_of_filter acc a
+  | Ast.Any | Ast.Peer_as_filter | Ast.As_num _ | Ast.As_set_ref _
+  | Ast.Route_set_ref _ | Ast.Filter_set_ref _ | Ast.Prefix_set _
+  | Ast.Community _ | Ast.Fltr_martian -> acc
+
+let patterns_of_rules rules =
+  List.fold_left
+    (fun acc (rule : Ast.rule) ->
+      List.fold_left
+        (fun acc (term : Ast.term) ->
+          List.fold_left
+            (fun acc (factor : Ast.factor) -> patterns_of_filter acc factor.filter)
+            acc term.factors)
+        acc (Ast.expr_terms rule.expr))
+    [] rules
+
+let evict_patterns t patterns =
+  List.iter
+    (fun p ->
+      Rz_aspath.Regex_nfa.Cache.remove t.regex_cache p;
+      Obs.Counter.incr c_nfa_evicted)
+    patterns
+
+let apply_edits t ~db:new_db edits =
+  let old_db = t.db in
+  let removed = ref 0 in
+  let invalidate_key key =
+    if Hop_tbl.mem t.hop_memo key then begin
+      Hop_tbl.remove t.hop_memo key;
+      incr removed
+    end
+  in
+  let invalidate_bucket tbl k =
+    match Hashtbl.find_opt tbl k with
+    | Some l ->
+      List.iter invalidate_key !l;
+      Hashtbl.remove tbl k
+    | None -> ()
+  in
+  (* Overflowed entries depend on unknown objects: any edit kills them. *)
+  if edits <> [] then invalidate_bucket t.idx_set "*";
+  let set_roots () =
+    Hashtbl.fold (fun r _ acc -> if r = "*" then acc else r :: acc) t.idx_set []
+  in
+  let any_set_edit = ref false in
+  List.iter
+    (fun edit ->
+      match edit with
+      | Edit_aut_num x ->
+        Hashtbl.remove t.only_provider_memo x;
+        Hashtbl.remove t.path_dep_memo (x lsl 1);
+        Hashtbl.remove t.path_dep_memo ((x lsl 1) lor 1);
+        invalidate_bucket t.idx_subject x;
+        (* Evict the NFAs of both the outgoing and the incoming rule
+           sets; the cache is pure, so eviction is a memory-bound
+           measure, never a correctness one. *)
+        List.iter
+          (fun db0 ->
+            match Db.find_aut_num db0 x with
+            | None -> ()
+            | Some an ->
+              evict_patterns t (patterns_of_rules (an.imports @ an.exports)))
+          [ old_db; new_db ]
+      | Edit_set name ->
+        any_set_edit := true;
+        let target = canon name in
+        List.iter
+          (fun db0 ->
+            match Db.find_filter_set db0 target with
+            | None -> ()
+            | Some fs -> evict_patterns t (patterns_of_filter [] fs.filter))
+          [ old_db; new_db ];
+        (* Invalidate every entry whose recorded root set can reach the
+           edited set — in the old graph (the entry read it) or the new
+           one (covers multi-edit batches where an earlier edit wires up
+           the path). *)
+        List.iter
+          (fun root ->
+            if
+              Db.set_reaches old_db ~root ~target
+              || Db.set_reaches new_db ~root ~target
+            then invalidate_bucket t.idx_set root)
+          (set_roots ())
+      | Edit_route (p, o) ->
+        (* Covering-route reads: every memoized evaluation under a prefix
+           the edited route object covers saw a different covering list. *)
+        let prefixes = Hashtbl.fold (fun q _ acc -> q :: acc) t.idx_prefix [] in
+        List.iter
+          (fun q -> if Rz_net.Prefix.contains p q then invalidate_bucket t.idx_prefix q)
+          prefixes;
+        (* Route-presence reads: entries whose verdict hinged on whether
+           [o] originates anything at all. *)
+        invalidate_bucket t.idx_origin o;
+        (* Flatten-time reads: route-set flattens that consult [o]'s
+           route objects. Route edits leave the set graph untouched, so
+           either generation answers identically; use the new one. *)
+        List.iter
+          (fun root ->
+            if Db.set_consults_origin new_db ~root o then
+              invalidate_bucket t.idx_set root)
+          (set_roots ()))
+    edits;
+  (* Path-freeness can flip when a filter-set starts or stops hiding a
+     Path_regex; the memo is small and lazily refilled, so clear it
+     wholesale on any set edit. (Per-subject entries for edited aut-nums
+     were already removed above.) *)
+  if !any_set_edit then Hashtbl.reset t.path_dep_memo;
+  t.db <- new_db;
+  Obs.Counter.add c_invalidations !removed;
+  !removed
 
 let verify_route_impl t (route : Rz_bgp.Route.t) : Report.route_report option =
   if Rz_bgp.Route.contains_as_set route then None

@@ -23,16 +23,62 @@ type config = {
           the cache, so memoized results are bit-identical to
           [memoize = false]. Observable via [verify.memo_hits] /
           [verify.memo_misses]. *)
+  track_deps : bool;
+      (** [true] additionally records, per memoized hop verdict, which
+          database objects the evaluation read beyond the memo key — set
+          roots consulted and ASNs whose route-object presence gated the
+          verdict — in reverse indexes, so {!apply_edits} can invalidate
+          exactly the entries a policy-object change can reach. [false]
+          (the default) keeps the batch hot path free of the bookkeeping;
+          {!apply_edits} then has nothing to consult and the engine must
+          not be fed edits. *)
 }
 
 val default_config : config
-(** [{paper_compat = false; memoize = true}]. *)
+(** [{paper_compat = false; memoize = true; track_deps = false}]. *)
 
 type t
 
 val create : ?config:config -> Rz_irr.Db.t -> Rz_asrel.Rel_db.t -> t
 (** [create db rels] — IRR database plus the business-relationship
     database used by the special-case checks. *)
+
+val db : t -> Rz_irr.Db.t
+(** The engine's current database generation. *)
+
+val hop_memo_size : t -> int
+(** Number of memoized hop verdicts (bounded-memory reporting). *)
+
+val nfa_cache_size : t -> int
+(** Number of compiled AS-path NFAs held by the engine's cache. *)
+
+(** {1 Generation swaps (streaming verification)} *)
+
+(** A policy-object change: the object whose definition changed. The
+    caller mutates its IR, rebuilds the database ({!Rz_irr.Db.build}),
+    and reports what changed via {!apply_edits}. [Edit_aut_num] is a rule
+    change of that aut-num ([member-of] changes must also be reported as
+    [Edit_set] of the affected sets); [Edit_set] is any change to the set
+    with that (canonicalized) name in any set class, including creation
+    and deletion; [Edit_route] is the addition or removal of the
+    (prefix, origin) route object (plus [Edit_set] for its [member-of]
+    targets, when any). Relationship (rels) data is static. *)
+type edit =
+  | Edit_aut_num of Rz_net.Asn.t
+  | Edit_set of string
+  | Edit_route of Rz_net.Prefix.t * Rz_net.Asn.t
+
+val apply_edits : t -> db:Rz_irr.Db.t -> edit list -> int
+(** [apply_edits t ~db edits] invalidates every memoized hop verdict the
+    edits can reach — via the reverse dependency indexes recorded under
+    [track_deps] — evicts compiled NFAs contributed by edited objects,
+    drops the affected path-freeness and only-provider memo entries, and
+    swaps the engine onto the [db] generation. Returns the number of hop
+    memo entries removed (also added to [stream.invalidations]; NFA
+    evictions count on [stream.nfa_evicted]). Invalidation is {e sound}
+    (no stale entry survives — the streaming differential test proves
+    incremental verdicts equal a from-scratch batch) and {e surgical}
+    (an entry is removed only through a dependency it recorded). *)
 
 val verify_hop :
   t ->

@@ -477,6 +477,144 @@ let test_stealing_crash_loses_nothing () =
   Alcotest.(check bool) "dedup collapsed the triplicated dumps" true
     (3 * Obs.Counter.get collapsed >= 2 * t2)
 
+(* ---- bounded retry of crashed batches (sequential sweep) ---- *)
+
+let test_retry_seed_pure () =
+  let s = Rpslyzer.Pipeline.retry_seed in
+  Alcotest.(check int) "same inputs, same seed"
+    (s ~run_seed:42 ~batch:3 ~attempt:1) (s ~run_seed:42 ~batch:3 ~attempt:1);
+  Alcotest.(check bool) "attempt changes it" true
+    (s ~run_seed:42 ~batch:3 ~attempt:1 <> s ~run_seed:42 ~batch:3 ~attempt:2);
+  Alcotest.(check bool) "batch changes it" true
+    (s ~run_seed:42 ~batch:3 ~attempt:1 <> s ~run_seed:42 ~batch:4 ~attempt:1);
+  Alcotest.(check bool) "run seed changes it" true
+    (s ~run_seed:42 ~batch:3 ~attempt:1 <> s ~run_seed:43 ~batch:3 ~attempt:1)
+
+let test_batch_retry_recovers () =
+  Obs.enable ();
+  Obs.reset ();
+  let retries = Obs.Counter.make "verify.domain_retries" in
+  let world = Lazy.force small_world in
+  let seq, `Total t1, `Excluded e1 = Rpslyzer.Pipeline.verify world in
+  (* crash every domain so the sweep owns every batch, then fail each
+     batch's first attempt: the second attempt must recover everything,
+     and the seed handed to the hook must be the pinned pure function of
+     (run seed, batch, attempt) — chaos runs replay bit-identically *)
+  let seen = Hashtbl.create 16 in
+  let par, `Total t2, `Excluded e2 =
+    Rpslyzer.Pipeline.verify_parallel ~domains:4 ~seed:7
+      ~inject_domain_fault:(fun _ -> failwith "injected crash")
+      ~inject_batch_fault:(fun ~seed ~batch ~attempt ->
+        Hashtbl.replace seen (batch, attempt) seed;
+        if attempt = 1 then failwith "first attempt fails")
+      world
+  in
+  Obs.disable ();
+  Alcotest.(check int) "totals equal" t1 t2;
+  Alcotest.(check int) "excluded equal" e1 e2;
+  Alcotest.(check bool) "aggregates identical" true
+    (agg_fingerprint seq = agg_fingerprint par);
+  Alcotest.(check bool) "batches were retried" true (Hashtbl.length seen > 0);
+  Hashtbl.iter
+    (fun (batch, attempt) seed ->
+      Alcotest.(check int)
+        (Printf.sprintf "seed for batch %d attempt %d" batch attempt)
+        (Rpslyzer.Pipeline.retry_seed ~run_seed:7 ~batch ~attempt)
+        seed)
+    seen;
+  Alcotest.(check bool) "retries counted" true (Obs.Counter.get retries > 0)
+
+let test_batch_exhaustion_excludes_whole_batch () =
+  let world = Lazy.force small_world in
+  let _, `Total t1, `Excluded _ = Rpslyzer.Pipeline.verify world in
+  let attempts = Hashtbl.create 16 in
+  (* a hook that always raises: every batch burns its full attempt budget
+     and is excluded whole — accounting still covers every route *)
+  let par, `Total t2, `Excluded e2 =
+    Rpslyzer.Pipeline.verify_parallel ~domains:4 ~seed:7
+      ~inject_domain_fault:(fun _ -> failwith "injected crash")
+      ~inject_batch_fault:(fun ~seed:_ ~batch ~attempt ->
+        Hashtbl.replace attempts batch attempt;
+        failwith "always fails")
+      world
+  in
+  Alcotest.(check int) "totals still cover every route" t1 t2;
+  Alcotest.(check int) "every route excluded" t2 e2;
+  Alcotest.(check int) "nothing aggregated" 0 (Rz_verify.Aggregate.n_hops par);
+  Hashtbl.iter
+    (fun batch attempt ->
+      Alcotest.(check int)
+        (Printf.sprintf "batch %d stopped at the attempt budget" batch)
+        Rpslyzer.Pipeline.max_batch_attempts attempt)
+    attempts
+
+(* ---- journal parser hardening (table-driven) ---- *)
+
+(* Each case: journal text, expected accepted count, expected rejected
+   count, and a substring every rejection reason must mention. *)
+let journal_cases =
+  [ ( "clean interleaved announce/withdraw, same prefix",
+      "1 A 192.0.2.0/24|65001 65002\n\
+       2 W 192.0.2.0/24|65001\n\
+       3 A 192.0.2.0/24|65001 65002\n",
+      3, 0, "" );
+    ( "truncated event line",
+      "1 A 192.0.2.0/24|65001 65002\n2 E autnum AS65001\n",
+      1, 1, "truncated" );
+    ( "missing rule text",
+      "1 E autnum AS65001 add-import\n",
+      0, 1, "rule text" );
+    ( "NUL byte rejected",
+      "1 A 192.0.2.0/24|65001 65002\n2 A 198.51.100.0/24|65\0001 65002\n",
+      1, 1, "NUL" );
+    ( "out-of-order sequence rejected",
+      "2 A 192.0.2.0/24|65001 65002\n\
+       1 A 198.51.100.0/24|65001 65002\n\
+       3 W 192.0.2.0/24|65001\n",
+      2, 1, "out-of-order" );
+    ( "duplicate sequence rejected",
+      "1 A 192.0.2.0/24|65001 65002\n1 W 192.0.2.0/24|65001\n",
+      1, 1, "out-of-order" );
+    ( "bad prefix rejected, parse continues",
+      "1 A not-a-prefix|65001 65002\n2 W 192.0.2.0/24|65001\n",
+      1, 1, "" );
+    ( "unknown event kind rejected",
+      "1 Q 192.0.2.0/24|65001\n",
+      0, 1, "unknown event kind" );
+    ( "bare sequence number rejected",
+      "7\n",
+      0, 1, "truncated" ) ]
+
+let test_journal_parser_table () =
+  Obs.enable ();
+  Obs.reset ();
+  let c = Obs.Counter.make "stream.journal_rejected" in
+  let total_rejected =
+    List.fold_left
+      (fun acc (name, text, want_ok, want_bad, needle) ->
+        let items, errors = Rz_routegen.Events.parse text in
+        Alcotest.(check int) (name ^ ": accepted") want_ok (List.length items);
+        Alcotest.(check int) (name ^ ": rejected") want_bad (List.length errors);
+        if needle <> "" then
+          List.iter
+            (fun (lineno, reason) ->
+              let found =
+                let nl = String.length needle and rl = String.length reason in
+                let rec scan i = i + nl <= rl && (String.sub reason i nl = needle || scan (i + 1)) in
+                scan 0
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: line %d reason mentions %S (got %S)" name
+                   lineno needle reason)
+                true found)
+            errors;
+        acc + want_bad)
+      0 journal_cases
+  in
+  Alcotest.(check int) "every rejection counted on stream.journal_rejected"
+    total_rejected (Obs.Counter.get c);
+  Obs.disable ()
+
 let suite =
   [ Alcotest.test_case "determinism" `Quick test_determinism;
     Alcotest.test_case "rate 0 identity" `Quick test_rate_zero_identity;
@@ -503,4 +641,9 @@ let suite =
     Alcotest.test_case "all-domain crash loses nothing" `Quick test_domain_crash_loses_nothing;
     Alcotest.test_case "single-domain crash" `Quick test_single_domain_crash;
     Alcotest.test_case "stealing crash loses nothing" `Quick
-      test_stealing_crash_loses_nothing ]
+      test_stealing_crash_loses_nothing;
+    Alcotest.test_case "retry seed pure" `Quick test_retry_seed_pure;
+    Alcotest.test_case "batch retry recovers" `Quick test_batch_retry_recovers;
+    Alcotest.test_case "batch exhaustion excludes whole batch" `Quick
+      test_batch_exhaustion_excludes_whole_batch;
+    Alcotest.test_case "journal parser table" `Quick test_journal_parser_table ]

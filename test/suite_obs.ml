@@ -291,6 +291,33 @@ let test_parallel_verify_counters_match_sequential () =
     (Rz_verify.Aggregate.n_hops agg_par) (Obs.Counter.get hops);
   Alcotest.(check int) "parallel = sequential" seq_hops (Obs.Counter.get hops)
 
+let test_recovery_names_complete () =
+  (* Obs.recovery_counter_names is the single source of truth the CLI's
+     exit-2 policy and the docs both read. Counters register at library
+     init, so by the time this test runs the registry holds every counter
+     any linked library defines: any name that *looks* like a recovery
+     counter (suffix rejected/dropped/truncated/capped) but is missing
+     from the list is drift — a recovery path the CLI would ignore. *)
+  let registered =
+    List.map fst (Obs.Registry.counters (Obs.Registry.snapshot ()))
+  in
+  Alcotest.(check bool) "registry is populated" true (registered <> []);
+  List.iter
+    (fun name ->
+      if Obs.looks_like_recovery name then
+        Alcotest.(check bool)
+          (Printf.sprintf "%s is in Obs.recovery_counter_names" name)
+          true
+          (List.mem name Obs.recovery_counter_names))
+    registered;
+  (* and the list itself never names a counter no library registers *)
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s is actually registered" name)
+        true (List.mem name registered))
+    Obs.recovery_counter_names
+
 let suite =
   [ Alcotest.test_case "counter basics" `Quick (with_metrics test_counter_basics);
     Alcotest.test_case "counter disabled no-op" `Quick (with_metrics test_counter_disabled_noop);
@@ -314,4 +341,6 @@ let suite =
     Alcotest.test_case "span crash isolation (4 domains)" `Quick
       (with_metrics test_span_crash_isolation);
     Alcotest.test_case "verify_parallel counters" `Quick
-      (with_metrics test_parallel_verify_counters_match_sequential) ]
+      (with_metrics test_parallel_verify_counters_match_sequential);
+    Alcotest.test_case "recovery counter list complete" `Quick
+      (with_metrics test_recovery_names_complete) ]

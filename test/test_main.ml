@@ -29,4 +29,5 @@ let () =
       ("inference", Suite_inference.suite);
       ("edge", Suite_edge.suite);
       ("fault", Suite_fault.suite);
+      ("stream", Suite_stream.suite);
       ("ingest", Suite_ingest.suite) ]
