@@ -68,6 +68,31 @@ let bench_stream_out =
   in
   find 1
 
+(* --bench-scale [FILE]: run the paper-scale shard-and-merge benchmark
+   (multi-process verify over a replicated RIB vs the in-process oracle),
+   write FILE (default BENCH_scale.json), and exit. Shares
+   --bench-baseline for the accounting gate. *)
+let bench_scale_out =
+  let rec find i =
+    if i >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--bench-scale" then
+      if
+        i + 1 < Array.length Sys.argv
+        && not (String.length Sys.argv.(i + 1) >= 2 && String.sub Sys.argv.(i + 1) 0 2 = "--")
+      then Some Sys.argv.(i + 1)
+      else Some "BENCH_scale.json"
+    else find (i + 1)
+  in
+  find 1
+
+(* OCaml 5 forbids Unix.fork in a process that has ever spawned a
+   domain, and the shard-and-merge bench forks workers. Pin the world
+   build (parallel ingest) to one domain for that mode, via the same env
+   override every call site already honors; the in-process oracle pass
+   (which does spawn a domain) runs after the forking passes. *)
+let () =
+  if bench_scale_out <> None then Unix.putenv "RPSLYZER_DOMAINS" "1"
+
 let bench_baseline_path =
   let rec find i =
     if i >= Array.length Sys.argv - 1 then None
@@ -146,7 +171,8 @@ let () =
     let skip_keys =
       [ "secs"; "save_secs"; "load_secs"; "ablation_secs"; "sharded_secs";
         "total_ns"; "max_ns"; "p50"; "p90"; "p99"; "duration_s";
-        "start_unix_s"; "elapsed_s"; "domains_effective" ]
+        "start_unix_s"; "elapsed_s"; "domains_effective"; "cores";
+        "minor_words"; "major_words" ]
     in
     let starts_with p s =
       String.length s >= String.length p && String.sub s 0 (String.length p) = p
@@ -244,6 +270,17 @@ let section title =
 
 let pct = Table.pct
 let fint = float_of_int
+
+(* GC pressure of the whole bench process up to payload-write time —
+   recorded in every BENCH_*.json so allocation regressions show up in
+   snapshot history even when wall-clock noise hides them. Run-varying,
+   so the metrics diff skips these keys. *)
+let gc_json () =
+  let module Json = Rpslyzer.Json in
+  let s = Gc.quick_stat () in
+  Json.Obj
+    [ ("minor_words", Json.Float s.Gc.minor_words);
+      ("major_words", Json.Float s.Gc.major_words) ]
 
 (* ------------------------------------------------------------------ *)
 (* World construction (calibrated to the paper's population mixes)     *)
@@ -496,11 +533,11 @@ let () =
         [ Printf.sprintf "overhauled, %d domains" par_domains;
           Printf.sprintf "%.3f" t_par; Printf.sprintf "%.0f" (rps t_par);
           Printf.sprintf "%.2fx" (t_off /. t_par) ] ];
-    if Domain.recommended_domain_count () < par_domains then
+    if Rz_util.Domains.recommended () < par_domains then
       Printf.printf
         "(%d-domain row oversubscribed: %d core(s) available)\n"
         par_domains
-        (Domain.recommended_domain_count ());
+        (Rz_util.Domains.recommended ());
     Printf.printf
       "\n%s routes (%s unique), memo hit rate %s, %d batches stolen\n"
       (Table.commas n_total)
@@ -538,7 +575,8 @@ let () =
                 ("secs", Json.Float t_par);
                 ("routes_per_sec", Json.Float (rps t_par));
                 ("steal_batches", Json.Int steal_batches) ] );
-          ("speedup_sequential", Json.Float speedup) ]
+          ("speedup_sequential", Json.Float speedup);
+          ("gc", gc_json ()) ]
     in
     let oc = open_out out in
     output_string oc (Json.to_string ~indent:2 json);
@@ -567,6 +605,187 @@ let () =
                fail
                  (Printf.sprintf
                     "route accounting drifted from baseline %s\nbaseline:  %s\nmeasured: %s"
+                    path (Json.to_string base_acc) (Json.to_string accounting))
+             else Printf.printf "accounting matches baseline %s\n" path
+           | _ -> fail (Printf.sprintf "baseline %s missing mode/accounting" path))));
+    exit 0
+
+(* ------------------------------------------------------------------ *)
+(* Paper-scale shard-and-merge benchmark (--bench-scale)                *)
+(* ------------------------------------------------------------------ *)
+
+(* Times the multi-process shard-and-merge engine (Rz_shard) over a RIB
+   replicated to the paper-run shape — >= 10M routes per pass, where the
+   same routes recur across collectors and snapshots — against the
+   in-process 1-domain oracle. Three hard gates: the route floor, the
+   canonical aggregate fingerprint (sharded == oracle, bit for bit), and
+   nonzero throughput. The near-linear shard-scaling gate (>= 2.5x at 4
+   shards) only applies when the host actually has 4 cores: forked
+   workers time-slicing one core measure scheduler fairness, not the
+   protocol — the same oversubscription caveat BENCH_verify documents
+   for its domain row. The core count is recorded in the payload. *)
+let () =
+  match bench_scale_out with
+  | None -> ()
+  | Some out ->
+    section "Paper-scale verification: multi-process shard-and-merge";
+    let module Json = Rpslyzer.Json in
+    let fail msg =
+      Printf.eprintf "BENCH SCALE FAILED: %s\n" msg;
+      exit 1
+    in
+    let route_floor = 10_000_000 in
+    let base_routes =
+      List.fold_left
+        (fun acc (d : Rz_bgp.Table_dump.t) -> acc + List.length d.routes)
+        0 world.Rpslyzer.Pipeline.table_dumps
+    in
+    if base_routes = 0 then fail "empty world";
+    let snapshots = (route_floor + base_routes - 1) / base_routes in
+    let bench_world =
+      { world with
+        Rpslyzer.Pipeline.table_dumps =
+          List.concat
+            (List.init snapshots (fun _ -> world.Rpslyzer.Pipeline.table_dumps)) }
+    in
+    let n_total = base_routes * snapshots in
+    Printf.printf "workload: %s routes (%d RIB snapshots of %s)\n"
+      (Table.commas n_total) snapshots (Table.commas base_routes);
+    if n_total < route_floor then fail "route floor not reached";
+    Rpslyzer.Obs.disable ();
+    Rz_irr.Db.warm_caches world.Rpslyzer.Pipeline.db;
+    Rz_asrel.Rel_db.warm_cones world.Rpslyzer.Pipeline.rels;
+    (* Each pass walks >= 10M routes; one rep keeps the quick/CI rule
+       affordable, and the gates here are exactness gates (fingerprint,
+       floor), not tight perf floors — those need min-of-reps. *)
+    let reps = if quick then 1 else 2 in
+    let timed f =
+      let best_t = ref infinity and best_r = ref None in
+      for _ = 1 to reps do
+        let t0 = Unix.gettimeofday () in
+        let r = f () in
+        let dt = Unix.gettimeofday () -. t0 in
+        if dt < !best_t then begin
+          best_t := dt;
+          best_r := Some r
+        end
+      done;
+      (Option.get !best_r, !best_t)
+    in
+    let run_sharded shards =
+      timed (fun () ->
+          let agg, `Total total, `Excluded excluded =
+            Rz_shard.Shard.verify_sharded ~shards bench_world
+          in
+          if total <> n_total then
+            fail (Printf.sprintf "%d-shard run dropped routes" shards);
+          (agg, excluded))
+    in
+    (* forking passes first: verify_parallel spawns a domain, after which
+       the runtime refuses Unix.fork for the life of the process *)
+    let (agg_s1, excl_s1), t_s1 = run_sharded 1 in
+    let (agg_s4, excl_s4), t_s4 = run_sharded 4 in
+    (* in-process oracle: the overhauled single-domain engine *)
+    let (agg_oracle, excl_oracle), t_oracle =
+      timed (fun () ->
+          let agg, `Total total, `Excluded excluded =
+            Rpslyzer.Pipeline.verify_parallel ~domains:1 bench_world
+          in
+          if total <> n_total then fail "oracle dropped routes";
+          (agg, excluded))
+    in
+    (* exact-merge contract: canonical fingerprints, bit for bit *)
+    let fp = Aggregate.fingerprint agg_oracle in
+    if Aggregate.fingerprint agg_s1 <> fp || excl_s1 <> excl_oracle then
+      fail "1-shard aggregate differs from the in-process oracle";
+    if Aggregate.fingerprint agg_s4 <> fp || excl_s4 <> excl_oracle then
+      fail "4-shard merged aggregate differs from the in-process oracle";
+    let rps t = if t > 0. then fint n_total /. t else 0. in
+    if rps t_oracle <= 0. || rps t_s1 <= 0. || rps t_s4 <= 0. then
+      fail "zero throughput";
+    let speedup_shards = t_s1 /. t_s4 in
+    let cores = Domain.recommended_domain_count () in
+    Table.print
+      ~header:[ "engine"; "secs"; "routes/s"; "vs 1 shard" ]
+      [ [ "in-process oracle (1 domain)"; Printf.sprintf "%.3f" t_oracle;
+          Printf.sprintf "%.0f" (rps t_oracle); "-" ];
+        [ "sharded, 1 worker"; Printf.sprintf "%.3f" t_s1;
+          Printf.sprintf "%.0f" (rps t_s1); "1.00x" ];
+        [ "sharded, 4 workers"; Printf.sprintf "%.3f" t_s4;
+          Printf.sprintf "%.0f" (rps t_s4);
+          Printf.sprintf "%.2fx" speedup_shards ] ];
+    Printf.printf "aggregate fingerprint %s (sharded == oracle)\n" fp;
+    if cores >= 4 then begin
+      if speedup_shards < 2.5 then
+        fail
+          (Printf.sprintf
+             "4-shard speedup %.2fx below the 2.5x floor on a %d-core host"
+             speedup_shards cores)
+    end
+    else
+      Printf.printf
+        "(4-worker speedup gate skipped: %d core(s) available, workers \
+         time-slice)\n"
+        cores;
+    let mode = if quick then "quick" else if big then "big" else "default" in
+    let counts = Aggregate.counts_classes (Aggregate.overall agg_oracle) in
+    let accounting =
+      Json.Obj
+        ([ ("routes", Json.Int n_total);
+           ("excluded", Json.Int excl_oracle);
+           ("hops", Json.Int (Aggregate.n_hops agg_oracle));
+           ("fingerprint", Json.String fp) ]
+        @ List.map (fun (label, v) -> (label, Json.Int v)) counts)
+    in
+    let json =
+      Json.Obj
+        [ ("mode", Json.String mode);
+          ("accounting", accounting);
+          ("route_floor", Json.Int route_floor);
+          ("snapshots", Json.Int snapshots);
+          ("cores", Json.Int cores);
+          ( "oracle",
+            Json.Obj
+              [ ("secs", Json.Float t_oracle);
+                ("routes_per_sec", Json.Float (rps t_oracle)) ] );
+          ( "shards_1",
+            Json.Obj
+              [ ("secs", Json.Float t_s1);
+                ("routes_per_sec", Json.Float (rps t_s1)) ] );
+          ( "shards_4",
+            Json.Obj
+              [ ("secs", Json.Float t_s4);
+                ("routes_per_sec", Json.Float (rps t_s4)) ] );
+          ("speedup_shards", Json.Float speedup_shards);
+          ("gc", gc_json ()) ]
+    in
+    let oc = open_out out in
+    output_string oc (Json.to_string ~indent:2 json);
+    output_string oc "\n";
+    close_out oc;
+    Printf.printf "(wrote %s)\n" out;
+    (match bench_baseline_path with
+     | None -> ()
+     | Some path ->
+       let text =
+         let ic = open_in path in
+         let s = really_input_string ic (in_channel_length ic) in
+         close_in ic;
+         s
+       in
+       (match Json.of_string text with
+        | Error e -> fail (Printf.sprintf "baseline %s: %s" path e)
+        | Ok base ->
+          (match (Json.member "mode" base, Json.member "accounting" base) with
+           | Some (Json.String base_mode), Some base_acc ->
+             if base_mode <> mode then
+               fail
+                 (Printf.sprintf "baseline mode %s does not match run mode %s"
+                    base_mode mode)
+             else if not (Json.equal base_acc accounting) then
+               fail
+                 (Printf.sprintf
+                    "scale accounting drifted from baseline %s\nbaseline:  %s\nmeasured: %s"
                     path (Json.to_string base_acc) (Json.to_string accounting))
              else Printf.printf "accounting matches baseline %s\n" path
            | _ -> fail (Printf.sprintf "baseline %s missing mode/accounting" path))));
@@ -639,7 +858,7 @@ let () =
        phase A (work-stealing scan over whole files) *)
     let files = Array.of_list dumps in
     let scan_all () =
-      let eff = min par_domains (max 1 (Domain.recommended_domain_count ())) in
+      let eff = min par_domains (max 1 (Rz_util.Domains.recommended ())) in
       if eff <= 1 then
         Array.iter (fun (_, t) -> ignore (Sys.opaque_identity (Rz_rpsl.Reader.scan_string t))) files
       else begin
@@ -766,10 +985,10 @@ let () =
         [ "snapshot load"; Printf.sprintf "%.4f" t_snap_load;
           Printf.sprintf "%.1f" (mibs t_snap_load);
           Printf.sprintf "%.2fx" snap_speedup ] ];
-    if Domain.recommended_domain_count () < par_domains then
+    if Rz_util.Domains.recommended () < par_domains then
       Printf.printf
         "(parallel rows clamped to %d core(s); domain sharding adds on multicore)\n"
-        (Domain.recommended_domain_count ());
+        (Rz_util.Domains.recommended ());
     Printf.printf
       "\n%d dumps, %s bytes; snapshot %s bytes, saved in %.4fs; identical IR held\n"
       n_dumps (Table.commas bytes) (Table.commas snap_bytes) t_snap_save;
@@ -780,7 +999,7 @@ let () =
           ("bytes", Json.Int bytes);
           ("aut_nums", Json.Int (Hashtbl.length oracle_ir.Rz_ir.Ir.aut_nums));
           ("as_sets", Json.Int (Hashtbl.length oracle_ir.Rz_ir.Ir.as_sets));
-          ("routes", Json.Int (List.length oracle_ir.Rz_ir.Ir.routes));
+          ("routes", Json.Int (Rz_ir.Ir.n_route_objs oracle_ir));
           ("errors", Json.Int (List.length oracle_ir.Rz_ir.Ir.errors));
           ("ir_json_bytes", Json.Int (String.length oracle)) ]
     in
@@ -795,7 +1014,7 @@ let () =
             Json.Obj
               [ ("domains_requested", Json.Int par_domains);
                 ("domains_effective",
-                 Json.Int (min par_domains (max 1 (Domain.recommended_domain_count ()))));
+                 Json.Int (min par_domains (max 1 (Rz_util.Domains.recommended ()))));
                 ("secs", Json.Float t_par);
                 ("mib_per_sec", Json.Float (mibs t_par));
                 ("speedup", Json.Float (t_seq /. t_par)) ] );
@@ -811,7 +1030,8 @@ let () =
                 ("load_secs", Json.Float t_snap_load);
                 ("speedup_vs_cold_parse", Json.Float snap_speedup);
                 ("flipped_byte", Json.String "rejected") ] );
-          ("identical_ir", Json.Bool true) ]
+          ("identical_ir", Json.Bool true);
+          ("gc", gc_json ()) ]
     in
     let oc = open_out out in
     output_string oc (Json.to_string ~indent:2 json);
@@ -998,7 +1218,8 @@ let () =
                 ("secs", Json.Float t_chaos);
                 ("events_per_sec", Json.Float (eps t_chaos));
                 ("abandoned", Json.Int chaos_stats.S.r_abandoned) ] );
-          ("incremental_equals_batch", Json.Bool true) ]
+          ("incremental_equals_batch", Json.Bool true);
+          ("gc", gc_json ()) ]
     in
     let oc = open_out out in
     output_string oc (Json.to_string ~indent:2 json);
@@ -1384,7 +1605,7 @@ let performance () =
     (Table.commas (List.length routes))
     verify_s
     (Table.commas (int_of_float (fint (List.length routes) /. verify_s)));
-  let cores = Domain.recommended_domain_count () in
+  let cores = Rz_util.Domains.recommended () in
   if cores <= 1 then
     print_endline
       "(single-core environment: skipping the multi-domain measurement;\n\
@@ -1537,7 +1758,7 @@ let evolution () =
       in
       Printf.printf "scrape %d: %d aut-nums, %s with rules, %d route objects\n" i n_aut
         (pct (fint with_rules /. fint (max 1 n_aut)))
-        (List.length ir.routes))
+        (Rz_ir.Ir.n_route_objs ir))
     snapshots;
   let rec pairwise = function
     | a :: (b :: _ as rest) ->
@@ -1600,10 +1821,13 @@ let bechamel_benches () =
     go name [] []
   in
   (* linear route scan for the trie ablation *)
-  let all_routes_list = (Rz_irr.Db.ir world.db).routes in
+  let all_routes_list =
+    let ir = Rz_irr.Db.ir world.db in
+    List.rev (Rz_ir.Ir.fold_routes ir ~init:[] ~f:(fun acc r -> r :: acc))
+  in
   let probe_prefix =
     match all_routes_list with
-    | r :: _ -> r.prefix
+    | (r : Rz_ir.Ir.route_obj) :: _ -> r.prefix
     | [] -> Rz_net.Prefix.of_string_exn "192.0.2.0/24"
   in
   let tests =

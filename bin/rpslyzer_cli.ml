@@ -134,6 +134,20 @@ let snapshot_arg =
            file is ignored (snapshot.misses / snapshot.rejects) and \
            rewritten after the parse.")
 
+(* Shared --domains N flag (verify/stream/rpki): worker-domain count for
+   the parallel ingest behind the world load. Defaults to the host
+   recommendation, which the RPSLYZER_DOMAINS environment variable
+   overrides (Rz_util.Domains) — flag beats env beats autodetect. *)
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel ingest. Defaults to the host's \
+           recommended count; the $(b,RPSLYZER_DOMAINS) environment \
+           variable overrides that default, and this flag overrides both.")
+
 let write_file ~what path contents =
   try
     let oc = open_out path in
@@ -159,7 +173,7 @@ let with_obs ~cmd ?seed opts body =
     Rpslyzer.Obs.Meta.set "subcommand" (Rpslyzer.Json.String cmd);
     Rpslyzer.Obs.Meta.set "start_unix_s" (Rpslyzer.Json.Float (Unix.gettimeofday ()));
     Rpslyzer.Obs.Meta.set "domains"
-      (Rpslyzer.Json.Int (Domain.recommended_domain_count ()));
+      (Rpslyzer.Json.Int (Rz_util.Domains.recommended ()));
     match seed with
     | Some s -> Rpslyzer.Obs.Meta.set "seed" (Rpslyzer.Json.Int s)
     | None -> ()
@@ -199,24 +213,89 @@ let with_obs ~cmd ?seed opts body =
 
 (* ---------------- gen ---------------- *)
 
+(* Populations of the paper preset at --scale 1.0, shrunk linearly by
+   --scale (with small floors so tiny scales still produce a connected,
+   verifiable world). Full scale approximates the paper's run: ~75k
+   registered ASes, 60 collectors peering with the large networks. *)
+let paper_preset ~scale =
+  let sc base floor =
+    max floor (int_of_float (Float.round (scale *. float_of_int base)))
+  in
+  ( sc 20 3 (* tier1 *),
+    sc 2500 10 (* mid *),
+    sc 72000 40 (* stub *),
+    sc 60 2 (* collectors *),
+    sc 300 4 (* collector-peer mids *) )
+
 let gen_cmd =
-  let run obs seed n_tier1 n_mid n_stub out roa_adoption roa_wrong roa_stale
-      roa_hostile =
+  let run obs seed n_tier1 n_mid n_stub out world_scale scale roa_adoption
+      roa_wrong roa_stale roa_hostile =
     guarded @@ fun () ->
     with_obs ~cmd:"gen" ~seed obs @@ fun () ->
-    let topo_params =
-      { Rz_topology.Gen.default_params with seed; n_tier1; n_mid; n_stub }
-    in
     let irr_config = { Rz_synthirr.Config.default with seed = seed + 1 } in
-    let world = Rpslyzer.Pipeline.build_synthetic ~topo_params ~irr_config () in
-    Rpslyzer.Pipeline.save_world world out;
-    let n_routes =
-      List.fold_left
-        (fun acc (d : Rz_bgp.Table_dump.t) -> acc + List.length d.routes)
-        0 world.table_dumps
+    let topo =
+      match world_scale with
+      | None ->
+        let topo_params =
+          { Rz_topology.Gen.default_params with seed; n_tier1; n_mid; n_stub }
+        in
+        let world =
+          Rpslyzer.Pipeline.build_synthetic ~topo_params ~irr_config ()
+        in
+        Rpslyzer.Pipeline.save_world world out;
+        let n_routes =
+          List.fold_left
+            (fun acc (d : Rz_bgp.Table_dump.t) -> acc + List.length d.routes)
+            0 world.table_dumps
+        in
+        Printf.printf
+          "wrote %d IRR dumps, as-rel.txt, %d collector routes to %s\n"
+          (List.length world.dumps) n_routes out;
+        world.topo
+      | Some preset ->
+        if preset <> "paper" then
+          failwith (Printf.sprintf "unknown --world-scale preset %S" preset);
+        (* Paper-scale path: same generators, but the collector RIBs are
+           streamed to disk one route at a time instead of being
+           materialized — at full scale the in-memory RIB, not the
+           topology, is the peak-RSS ceiling. The dumps are not parsed
+           back here; that is verify's job (and its snapshot cache's). *)
+        let n_tier1, n_mid, n_stub, n_collectors, n_peer_mids =
+          paper_preset ~scale
+        in
+        let topo_params =
+          { Rz_topology.Gen.default_params with seed; n_tier1; n_mid; n_stub }
+        in
+        let topo = Rz_topology.Gen.generate topo_params in
+        let synth = Rz_synthirr.Generate.generate ~config:irr_config topo in
+        if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+        List.iter
+          (fun (irr, text) ->
+            let oc = open_out (Filename.concat out (irr ^ ".db")) in
+            output_string oc text;
+            close_out oc)
+          synth.Rz_synthirr.Generate.dumps;
+        Rz_asrel.Rel_db.save topo.rels (Filename.concat out "as-rel.txt");
+        let peers =
+          Rz_routegen.Propagate.default_collector_peers topo ~n:n_peer_mids
+        in
+        let total = ref 0 in
+        Rz_routegen.Propagate.iter_collector_dumps topo ~n_collectors ~peers
+          ~f:(fun ~collector run ->
+            let oc = open_out (Filename.concat out (collector ^ ".routes")) in
+            Printf.fprintf oc "# collector: %s\n" collector;
+            run (fun route ->
+                output_string oc (Rz_bgp.Route.to_line route);
+                output_char oc '\n';
+                incr total);
+            close_out oc);
+        Printf.printf
+          "wrote %d IRR dumps, as-rel.txt, %d collector routes to %s (paper \
+           preset at scale %g, %d collectors, streamed)\n"
+          (List.length synth.Rz_synthirr.Generate.dumps)
+          !total out scale n_collectors;
+        topo
     in
-    Printf.printf "wrote %d IRR dumps, as-rel.txt, %d collector routes to %s\n"
-      (List.length world.dumps) n_routes out;
     let roagen =
       Rz_rpki.Roagen.generate
         ~config:
@@ -225,7 +304,7 @@ let gen_cmd =
             wrong_maxlen_prob = roa_wrong;
             stale_origin_prob = roa_stale;
             hostile_covering_prob = roa_hostile }
-        world.topo
+        topo
     in
     let roa_path = Filename.concat out "roas.csv" in
     write_file ~what:"roas.csv" roa_path
@@ -271,12 +350,33 @@ let gen_cmd =
       & info [ "roa-hostile" ] ~docv:"P"
           ~doc:"Per-prefix probability of a hostile covering ROA.")
   in
+  let world_scale =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "world-scale" ] ~docv:"PRESET"
+          ~doc:
+            "Population preset; the only value is $(b,paper) (the paper's \
+             run shape: ~75k ASes and 60 collectors at $(b,--scale) 1.0). \
+             Collector RIBs are then streamed to disk one route at a time \
+             instead of being built in memory, and $(b,--tier1/--mid/--stub) \
+             are ignored.")
+  in
+  let scale =
+    Arg.(
+      value & opt float 0.01
+      & info [ "scale" ] ~docv:"F"
+          ~doc:
+            "Linear shrink factor for $(b,--world-scale) populations \
+             (1.0 = full paper scale).")
+  in
   Cmd.v
     (Cmd.info "gen"
        ~doc:"Generate a synthetic world (IRRs, relationships, BGP dumps, ROAs).")
     Term.(
       const run $ obs_opts_term $ seed $ n_tier1 $ n_mid $ n_stub $ out
-      $ roa_adoption $ roa_wrong $ roa_stale $ roa_hostile)
+      $ world_scale $ scale $ roa_adoption $ roa_wrong $ roa_stale
+      $ roa_hostile)
 
 (* ---------------- parse ---------------- *)
 
@@ -368,19 +468,32 @@ let stats_cmd =
 (* ---------------- verify ---------------- *)
 
 let verify_cmd =
-  let run obs dir snapshot paper_compat verbose =
+  let run obs dir snapshot domains shards paper_compat verbose =
     guarded @@ fun () ->
+    (* Sharded runs keep going past lost workers; the recovery counters
+       drive the exit policy (degradation -> exit 2), so the registry is
+       always on for them, like faultinject / rpki / stream. *)
+    if shards > 0 then Rpslyzer.Obs.enable ();
     with_obs ~cmd:"verify" obs @@ fun () ->
-    let world = Rpslyzer.Pipeline.load_world ?snapshot dir in
+    (* OCaml 5 refuses Unix.fork in a process that has ever spawned a
+       domain, so a sharded run pins the ingest to one domain: process
+       sharding replaces domain parallelism wholesale in this mode. *)
+    let domains = if shards > 0 then Some 1 else domains in
+    let world = Rpslyzer.Pipeline.load_world ?snapshot ?domains dir in
     let config = { Rz_verify.Engine.default_config with paper_compat } in
     let t0 = Unix.gettimeofday () in
     let agg, `Total total, `Excluded excluded =
-      Rpslyzer.Pipeline.verify ~config world
+      if shards > 0 then Rz_shard.Shard.verify_sharded ~config ~shards world
+      else Rpslyzer.Pipeline.verify ~config world
     in
     let elapsed = Unix.gettimeofday () -. t0 in
     Printf.printf "verified %d routes (%d excluded) in %.2fs (%.0f routes/s)\n" total
       excluded elapsed
       (float_of_int total /. elapsed);
+    if shards > 0 then
+      Printf.printf "aggregate fingerprint: %s (%d shards)\n"
+        (Rz_verify.Aggregate.fingerprint agg)
+        shards;
     let c = Rz_verify.Aggregate.overall agg in
     let hop_total = float_of_int (Rz_verify.Aggregate.n_hops agg) in
     print_endline "\n== hop statuses ==";
@@ -394,7 +507,32 @@ let verify_cmd =
       Printf.printf "\nASes: %d (single-status %s, all-verified %s)\n" s2.n_ases
         (Rz_util.Table.pct (float_of_int s2.all_same_status /. float_of_int s2.n_ases))
         (Rz_util.Table.pct (float_of_int s2.all_verified /. float_of_int s2.n_ases))
+    end;
+    if shards > 0 then begin
+      let snapshot = Rpslyzer.Obs.Registry.snapshot () in
+      let counters = Rpslyzer.Obs.Registry.counters snapshot in
+      let value name = Option.value ~default:0 (List.assoc_opt name counters) in
+      let degraded =
+        List.exists
+          (fun name -> value name > 0)
+          Rpslyzer.Obs.recovery_counter_names
+      in
+      if degraded then begin
+        print_endline "\nresult: DEGRADED (recovery paths fired; exit 2)";
+        exit 2
+      end
     end
+  in
+  let shards =
+    Arg.(
+      value & opt int 0
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Verify across $(docv) forked worker processes (multi-process \
+             shard-and-merge; 0 = in-process). The merged aggregate is \
+             identical to the in-process run's; a worker whose result \
+             frame is lost or corrupt is re-verified inline and counted \
+             as degradation (exit 2).")
   in
   let paper_compat =
     Arg.(
@@ -406,7 +544,9 @@ let verify_cmd =
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Extra summaries.") in
   Cmd.v
     (Cmd.info "verify" ~doc:"Verify collector routes against the RPSL (Section 5).")
-    Term.(const run $ obs_opts_term $ dir_arg $ snapshot_arg $ paper_compat $ verbose)
+    Term.(
+      const run $ obs_opts_term $ dir_arg $ snapshot_arg $ domains_arg $ shards
+      $ paper_compat $ verbose)
 
 (* ---------------- explain ---------------- *)
 
@@ -705,7 +845,7 @@ let recovery_counter_names = Rpslyzer.Obs.recovery_counter_names
 (* ---------------- rpki ---------------- *)
 
 let rpki_cmd =
-  let run obs dir snapshot roa_file fault_rate fault_seed json_out golden =
+  let run obs dir snapshot domains roa_file fault_rate fault_seed json_out golden =
     guarded @@ fun () ->
     (* Counters drive the exit policy (degraded ROA input -> exit 2), so
        the registry is always on here, like faultinject. *)
@@ -713,7 +853,7 @@ let rpki_cmd =
     let mismatches = ref [] in
     let degraded =
       with_obs ~cmd:"rpki" obs @@ fun () ->
-      let world = Rpslyzer.Pipeline.load_world ?snapshot dir in
+      let world = Rpslyzer.Pipeline.load_world ?snapshot ?domains dir in
       let roa_path =
         match roa_file with
         | Some path -> path
@@ -847,15 +987,15 @@ let rpki_cmd =
           when ROA input was degraded (rejected entries or injected \
           faults).")
     Term.(
-      const run $ obs_opts_term $ dir_arg $ snapshot_arg $ roa_file
-      $ fault_rate $ fault_seed $ json_out $ golden)
+      const run $ obs_opts_term $ dir_arg $ snapshot_arg $ domains_arg
+      $ roa_file $ fault_rate $ fault_seed $ json_out $ golden)
 
 (* ---------------- stream ---------------- *)
 
 let stream_cmd =
-  let run obs dir seed events window capacity policy edit_rate chaos_rate
-      chaos_seed max_retries backoff_ms watchdog_ms journal_out replay json_out
-      golden =
+  let run obs dir domains seed events window capacity policy edit_rate
+      chaos_rate chaos_seed max_retries backoff_ms watchdog_ms journal_out
+      replay json_out golden =
     guarded @@ fun () ->
     let module S = Rz_stream.Stream in
     let module E = Rz_routegen.Events in
@@ -867,7 +1007,7 @@ let stream_cmd =
       with_obs ~cmd:"stream" ~seed obs @@ fun () ->
       let world =
         match dir with
-        | Some dir -> Rpslyzer.Pipeline.load_world dir
+        | Some dir -> Rpslyzer.Pipeline.load_world ?domains dir
         | None ->
           let topo_params =
             { Rz_topology.Gen.default_params with
@@ -1128,7 +1268,7 @@ let stream_cmd =
           (dropped, sampled, abandoned, or rejected events; watchdog \
           trips).")
     Term.(
-      const run $ obs_opts_term $ dir $ seed $ events $ window $ capacity
+      const run $ obs_opts_term $ dir $ domains_arg $ seed $ events $ window $ capacity
       $ policy $ edit_rate $ chaos_rate $ chaos_seed $ max_retries $ backoff_ms
       $ watchdog_ms $ journal_out $ replay $ json_out $ golden)
 

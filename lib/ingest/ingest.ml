@@ -34,7 +34,7 @@ let c_files_stolen = Rz_obs.Obs.Counter.make "ingest.files_stolen"
 let c_snapshot_hits = Rz_obs.Obs.Counter.make "snapshot.hits"
 let c_snapshot_misses = Rz_obs.Obs.Counter.make "snapshot.misses"
 
-let default_domains = max 1 (min 4 (Domain.recommended_domain_count ()))
+let default_domains = max 1 (min 4 (Rz_util.Domains.recommended ()))
 
 (* Requested domain counts are clamped to the host's recommended count:
    oversubscribing cores costs real time (every minor GC is a
@@ -43,7 +43,7 @@ let default_domains = max 1 (min 4 (Domain.recommended_domain_count ()))
    test harness bypass — differential suites must genuinely exercise
    multi-domain interleavings even where the scheduler would not. *)
 let effective_domains ~force ~requested n =
-  let cap = if force then requested else min requested (Domain.recommended_domain_count ()) in
+  let cap = if force then requested else min requested (Rz_util.Domains.recommended ()) in
   max 1 (min cap n)
 
 (* The sequential oracle: exactly what [Db.of_dumps] does before the
@@ -177,9 +177,10 @@ let ingest ?(domains = default_domains) ?(force_domains = false) ?inject_domain_
       union merged.peering_sets p.peering_sets;
       union merged.filter_sets p.filter_sets;
       union merged.route_seen p.route_seen;
-      (* routes/errors are reversed insertion lists: prepending earlier
-         dumps keeps the merged reversed list equal to the oracle's *)
-      merged.routes <- p.routes @ merged.routes;
+      (* routes append in dump order with ids re-interned into the
+         merged pool, reproducing the oracle's insertion order; errors
+         are still a reversed cons list, so earlier dumps prepend *)
+      Rz_ir.Ir.absorb_routes merged p;
       merged.errors <- p.errors @ merged.errors
     done;
     merged

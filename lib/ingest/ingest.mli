@@ -11,7 +11,7 @@
     {!Rz_ir.Ir_snapshot}). *)
 
 val default_domains : int
-(** [max 1 (min 4 (Domain.recommended_domain_count ()))]. *)
+(** [max 1 (min 4 (Rz_util.Domains.recommended ()))] (honors the [RPSLYZER_DOMAINS] override). *)
 
 val ingest_sequential : (string * string) list -> Rz_ir.Ir.t
 (** The sequential oracle: exactly [Db.of_dumps]'s lowering loop. The
@@ -26,7 +26,7 @@ val ingest :
   Rz_ir.Ir.t
 (** Parallel ingest of [(source, rpsl_text)] dumps given in priority
     order. [domains] is a requested upper bound: the pool is sized to
-    [min domains (min n_dumps (Domain.recommended_domain_count ()))]
+    [min domains (min n_dumps (Rz_util.Domains.recommended ()))]
     because oversubscribing cores is a measured slowdown (minor GCs are
     stop-the-world syncs across all domains). [force_domains] bypasses
     the recommended-count clamp so differential tests can genuinely

@@ -1,0 +1,161 @@
+module Pool = struct
+  type t = {
+    ids : (string, int) Hashtbl.t;
+    mutable strings : string array;
+    mutable n : int;
+  }
+
+  let create () = { ids = Hashtbl.create 64; strings = Array.make 16 ""; n = 0 }
+
+  let grow t =
+    let cap = Array.length t.strings in
+    if t.n = cap then begin
+      let strings = Array.make (cap * 2) "" in
+      Array.blit t.strings 0 strings 0 cap;
+      t.strings <- strings
+    end
+
+  let intern t s =
+    match Hashtbl.find_opt t.ids s with
+    | Some id -> id
+    | None ->
+      let id = t.n in
+      grow t;
+      t.strings.(id) <- s;
+      t.n <- t.n + 1;
+      Hashtbl.add t.ids s id;
+      id
+
+  let resolve t id =
+    if id < 0 || id >= t.n then
+      invalid_arg (Printf.sprintf "Intern.Pool.resolve: id %d (pool has %d)" id t.n);
+    t.strings.(id)
+
+  let find_opt t s = Hashtbl.find_opt t.ids s
+  let length t = t.n
+
+  let iter t f =
+    for id = 0 to t.n - 1 do
+      f id t.strings.(id)
+    done
+
+  let copy t =
+    { ids = Hashtbl.copy t.ids; strings = Array.copy t.strings; n = t.n }
+
+  let add_u32 buf v =
+    Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff));
+    Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+    Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+    Buffer.add_char buf (Char.chr (v land 0xff))
+
+  let encode buf t =
+    add_u32 buf t.n;
+    for id = 0 to t.n - 1 do
+      let s = t.strings.(id) in
+      add_u32 buf (String.length s);
+      Buffer.add_string buf s
+    done
+
+  let read_u32 s pos =
+    if pos + 4 > String.length s then failwith "Intern.Pool.decode: truncated";
+    (Char.code s.[pos] lsl 24)
+    lor (Char.code s.[pos + 1] lsl 16)
+    lor (Char.code s.[pos + 2] lsl 8)
+    lor Char.code s.[pos + 3]
+
+  let decode s ~pos =
+    let n = read_u32 s pos in
+    if n < 0 || n > String.length s then
+      failwith "Intern.Pool.decode: implausible count";
+    let t = create () in
+    let pos = ref (pos + 4) in
+    for _ = 1 to n do
+      let len = read_u32 s !pos in
+      if len < 0 || !pos + 4 + len > String.length s then
+        failwith "Intern.Pool.decode: truncated string";
+      let str = String.sub s (!pos + 4) len in
+      pos := !pos + 4 + len;
+      ignore (intern t str)
+    done;
+    if length t <> n then failwith "Intern.Pool.decode: duplicate strings";
+    (t, !pos)
+end
+
+module Arena = struct
+  type 'a t = {
+    mutable items : 'a array;
+    mutable n : int;
+    mutable capacity : int;  (* initial size once the first element arrives *)
+  }
+
+  let create ?(capacity = 16) () =
+    (* [items] stays empty until the first push provides a seed value, so
+       no dummy element (and no [Obj.magic]) is ever stored. *)
+    { items = [||]; n = 0; capacity = max 1 capacity }
+
+  let push t x =
+    let cap = Array.length t.items in
+    if t.n = cap then begin
+      let items = Array.make (max t.capacity (cap * 2)) x in
+      Array.blit t.items 0 items 0 cap;
+      t.items <- items
+    end;
+    t.items.(t.n) <- x;
+    t.n <- t.n + 1
+
+  let get t i =
+    if i < 0 || i >= t.n then invalid_arg "Intern.Arena.get";
+    t.items.(i)
+
+  let length t = t.n
+
+  let iter t f =
+    for i = 0 to t.n - 1 do
+      f t.items.(i)
+    done
+
+  let iter_rev t f =
+    for i = t.n - 1 downto 0 do
+      f t.items.(i)
+    done
+
+  let fold t ~init ~f =
+    let acc = ref init in
+    for i = 0 to t.n - 1 do
+      acc := f !acc t.items.(i)
+    done;
+    !acc
+
+  let filter_in_place t keep =
+    let j = ref 0 in
+    for i = 0 to t.n - 1 do
+      let x = t.items.(i) in
+      if keep x then begin
+        t.items.(!j) <- x;
+        incr j
+      end
+    done;
+    (* release dropped slots so the GC can reclaim them *)
+    if !j > 0 then
+      for i = !j to t.n - 1 do
+        t.items.(i) <- t.items.(0)
+      done;
+    t.n <- !j
+
+  let copy t = { items = Array.copy t.items; n = t.n; capacity = t.capacity }
+
+  let of_list l =
+    match l with
+    | [] -> create ()
+    | _ ->
+      let t = create ~capacity:(List.length l) () in
+      List.iter (fun x -> push t x) l;
+      t
+
+  let to_list t =
+    let acc = ref [] in
+    for i = t.n - 1 downto 0 do
+      acc := t.items.(i) :: !acc
+    done;
+    !acc
+end

@@ -1,0 +1,75 @@
+(** String interning and arena storage for the compact IR.
+
+    At paper scale the IR holds millions of route objects whose string
+    fields (route-set names, maintainer handles, IRR source tags) repeat
+    across nearly every object. [Pool] maps each distinct string to a
+    dense int id — insertion-order stable, so two pools fed the same
+    strings in the same order assign the same ids — and [Arena] stores
+    the hot objects in a growable array instead of a cons list (one
+    header word per element saved, cache-friendly iteration, in-place
+    filtering). *)
+
+module Pool : sig
+  type t
+
+  val create : unit -> t
+
+  val intern : t -> string -> int
+  (** Dense id for [s]; the same string always returns the same id, and
+      ids are assigned 0, 1, 2, … in first-seen order. *)
+
+  val resolve : t -> int -> string
+  (** Inverse of {!intern}. @raise Invalid_argument on an id never
+      issued by this pool. *)
+
+  val find_opt : t -> string -> int option
+  (** Id for [s] if already interned, without interning it. *)
+
+  val length : t -> int
+  (** Number of distinct strings interned so far. *)
+
+  val iter : t -> (int -> string -> unit) -> unit
+  (** Iterate (id, string) pairs in id order. *)
+
+  val copy : t -> t
+  (** Independent pool with the same contents and ids. *)
+
+  val encode : Buffer.t -> t -> unit
+  (** Append a self-delimiting binary encoding: u32 count, then each
+      string as u32 length + bytes, in id order. *)
+
+  val decode : string -> pos:int -> t * int
+  (** Read an encoding produced by {!encode} starting at [pos]; returns
+      the pool and the position one past it.
+      @raise Failure on truncated or implausible input. *)
+end
+
+module Arena : sig
+  type 'a t
+
+  val create : ?capacity:int -> unit -> 'a t
+  val push : 'a t -> 'a -> unit
+  val get : 'a t -> int -> 'a
+  val length : 'a t -> int
+
+  val iter : 'a t -> ('a -> unit) -> unit
+  (** In insertion order (index 0 first). *)
+
+  val iter_rev : 'a t -> ('a -> unit) -> unit
+  (** Newest first — the order the old reversed cons list presented. *)
+
+  val fold : 'a t -> init:'b -> f:('b -> 'a -> 'b) -> 'b
+  (** In insertion order. *)
+
+  val filter_in_place : 'a t -> ('a -> bool) -> unit
+  (** Drop elements failing the predicate; survivors keep their
+      relative order. *)
+
+  val copy : 'a t -> 'a t
+
+  val of_list : 'a list -> 'a t
+  (** Elements in list order. *)
+
+  val to_list : 'a t -> 'a list
+  (** In insertion order. *)
+end

@@ -69,9 +69,9 @@ type rtr_set = {
 type route_obj = {
   prefix : Rz_net.Prefix.t;
   origin : Rz_net.Asn.t;
-  member_of : string list;
-  mnt_by : string list;
-  source : string;
+  member_of_ids : int list;
+  mnt_by_ids : int list;
+  source_id : int;
 }
 
 type error_kind =
@@ -90,6 +90,9 @@ type error = {
   source : string;
 }
 
+module Pool = Rz_intern.Intern.Pool
+module Arena = Rz_intern.Intern.Arena
+
 type t = {
   aut_nums : (Rz_net.Asn.t, aut_num) Hashtbl.t;
   mntners : (string, mntner) Hashtbl.t;
@@ -99,7 +102,8 @@ type t = {
   route_sets : (string, route_set) Hashtbl.t;
   peering_sets : (string, peering_set) Hashtbl.t;
   filter_sets : (string, filter_set) Hashtbl.t;
-  mutable routes : route_obj list;
+  pool : Pool.t;
+  routes : route_obj Arena.t;
   route_seen : (Rz_net.Prefix.t * Rz_net.Asn.t, unit) Hashtbl.t;
   mutable errors : error list;
 }
@@ -113,7 +117,8 @@ let create () =
     route_sets = Hashtbl.create 256;
     peering_sets = Hashtbl.create 16;
     filter_sets = Hashtbl.create 16;
-    routes = [];
+    pool = Pool.create ();
+    routes = Arena.create ~capacity:1024 ();
     route_seen = Hashtbl.create 4096;
     errors = [] }
 
@@ -126,9 +131,58 @@ let copy t =
     route_sets = Hashtbl.copy t.route_sets;
     peering_sets = Hashtbl.copy t.peering_sets;
     filter_sets = Hashtbl.copy t.filter_sets;
-    routes = t.routes;
+    pool = Pool.copy t.pool;
+    routes = Arena.copy t.routes;
     route_seen = Hashtbl.copy t.route_seen;
     errors = t.errors }
+
+let intern t s = Pool.intern t.pool s
+let resolve t id = Pool.resolve t.pool id
+
+let route_source t (r : route_obj) = Pool.resolve t.pool r.source_id
+let route_member_of t (r : route_obj) = List.map (Pool.resolve t.pool) r.member_of_ids
+let route_mnt_by t (r : route_obj) = List.map (Pool.resolve t.pool) r.mnt_by_ids
+
+(* Interns the string fields, records the (prefix, origin) identity in
+   [route_seen], and appends. Callers gate on [route_seen] themselves
+   when dedup semantics apply (lowering, streaming edits). *)
+let add_route t ~prefix ~origin ~member_of ~mnt_by ~source =
+  (* explicit lets pin the interning order (member-of, mnt-by, source):
+     id assignment must be deterministic so the parallel-merge remap
+     reproduces it *)
+  let member_of_ids = List.map (Pool.intern t.pool) member_of in
+  let mnt_by_ids = List.map (Pool.intern t.pool) mnt_by in
+  let source_id = Pool.intern t.pool source in
+  Hashtbl.replace t.route_seen (prefix, origin) ();
+  Arena.push t.routes { prefix; origin; member_of_ids; mnt_by_ids; source_id }
+
+let n_route_objs t = Arena.length t.routes
+let iter_routes t f = Arena.iter t.routes f
+let iter_routes_rev t f = Arena.iter_rev t.routes f
+let fold_routes t ~init ~f = Arena.fold t.routes ~init ~f
+let filter_routes t keep = Arena.filter_in_place t.routes keep
+
+(* Append [src]'s routes (in insertion order) onto [dst], re-interning
+   every string id into [dst]'s pool. The dense-int remap table is the
+   whole point of interning: one resolve+intern per *distinct* string,
+   not per route. *)
+let absorb_routes dst src =
+  let remap = Array.make (max 1 (Pool.length src.pool)) (-1) in
+  let map id =
+    let m = remap.(id) in
+    if m >= 0 then m
+    else begin
+      let m = Pool.intern dst.pool (Pool.resolve src.pool id) in
+      remap.(id) <- m;
+      m
+    end
+  in
+  Arena.iter src.routes (fun r ->
+      (* same interning order as [add_route]: member-of, mnt-by, source *)
+      let member_of_ids = List.map map r.member_of_ids in
+      let mnt_by_ids = List.map map r.mnt_by_ids in
+      let source_id = map r.source_id in
+      Arena.push dst.routes { r with member_of_ids; mnt_by_ids; source_id })
 
 let error_kind_to_string = function
   | Syntax_error msg -> "syntax error: " ^ msg

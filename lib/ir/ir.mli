@@ -80,12 +80,17 @@ type rtr_set = {
   source : string;
 }
 
+(** Route objects are the hot class — the paper's IRRs carry millions of
+    them, dwarfing every other table — so their string fields are
+    interned: [member_of_ids] / [mnt_by_ids] / [source_id] are ids in
+    the IR's {!Pool}. Resolve through {!route_member_of},
+    {!route_mnt_by}, {!route_source}, or {!resolve}. *)
 type route_obj = {
   prefix : Rz_net.Prefix.t;
   origin : Rz_net.Asn.t;
-  member_of : string list;             (** route-sets joined via member-of *)
-  mnt_by : string list;
-  source : string;
+  member_of_ids : int list;            (** route-sets joined via member-of *)
+  mnt_by_ids : int list;
+  source_id : int;
 }
 
 (** Lowering problems, matching the categories reported in Section 4's
@@ -106,6 +111,9 @@ type error = {
   source : string;
 }
 
+module Pool = Rz_intern.Intern.Pool
+module Arena = Rz_intern.Intern.Arena
+
 type t = {
   aut_nums : (Rz_net.Asn.t, aut_num) Hashtbl.t;
   mntners : (string, mntner) Hashtbl.t;   (** keyed by uppercase handle *)
@@ -115,7 +123,8 @@ type t = {
   route_sets : (string, route_set) Hashtbl.t;
   peering_sets : (string, peering_set) Hashtbl.t;
   filter_sets : (string, filter_set) Hashtbl.t;
-  mutable routes : route_obj list;               (** reversed insertion order *)
+  pool : Pool.t;  (** interned strings for the hot [route_obj] fields *)
+  routes : route_obj Arena.t;                    (** insertion order *)
   route_seen : (Rz_net.Prefix.t * Rz_net.Asn.t, unit) Hashtbl.t;
       (** dedup index over (prefix, origin) pairs, maintained by lowering;
           [Prefix.t] is canonical so structural keys match rendered ones *)
@@ -128,7 +137,51 @@ val copy : t -> t
 (** Independent tables over shared (immutable) object records: mutating
     the copy — replacing entries, adding routes — leaves the original
     untouched. Streaming verification copies the IR it is given so the
-    caller's database generation stays valid. *)
+    caller's database generation stays valid. The pool and route arena
+    are copied too. *)
+
+val intern : t -> string -> int
+(** Id for [s] in this IR's pool, interning it if new. *)
+
+val resolve : t -> int -> string
+(** The string behind a pool id. *)
+
+val route_source : t -> route_obj -> string
+val route_member_of : t -> route_obj -> string list
+val route_mnt_by : t -> route_obj -> string list
+
+val add_route :
+  t ->
+  prefix:Rz_net.Prefix.t ->
+  origin:Rz_net.Asn.t ->
+  member_of:string list ->
+  mnt_by:string list ->
+  source:string ->
+  unit
+(** Intern the string fields, mark [(prefix, origin)] in [route_seen],
+    and append to the arena. Dedup gating (skip when already seen) is
+    the caller's job, as it was with the list representation. *)
+
+val n_route_objs : t -> int
+
+val iter_routes : t -> (route_obj -> unit) -> unit
+(** In insertion order (the order lowering appended them). *)
+
+val iter_routes_rev : t -> (route_obj -> unit) -> unit
+(** Newest first — the presentation order of the old reversed cons
+    list, kept for consumers whose derived structures (tries, grouped
+    lists, stream views) bake that order into goldens. *)
+
+val fold_routes : t -> init:'a -> f:('a -> route_obj -> 'a) -> 'a
+(** In insertion order. *)
+
+val filter_routes : t -> (route_obj -> bool) -> unit
+(** Drop route objects failing the predicate, in place, preserving
+    relative order. Does not touch [route_seen]. *)
+
+val absorb_routes : t -> t -> unit
+(** [absorb_routes dst src] appends [src]'s routes to [dst] in [src]'s
+    insertion order, re-interning string ids into [dst]'s pool. *)
 
 val error_kind_to_string : error_kind -> string
 

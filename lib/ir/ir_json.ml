@@ -150,12 +150,12 @@ let filter_set_to_json (s : Ir.filter_set) =
       ("filter", filter_to_json s.filter);
       ("source", str s.source) ]
 
-let route_to_json (r : Ir.route_obj) =
+let route_to_json ir (r : Ir.route_obj) =
   Obj
     [ ("prefix", str (Rz_net.Prefix.to_string r.prefix));
       ("origin", asn r.origin);
-      ("member_of", List (List.map str r.member_of));
-      ("source", str r.source) ]
+      ("member_of", List (List.map str (Ir.route_member_of ir r)));
+      ("source", str (Ir.route_source ir r)) ]
 
 let mntner_to_json (m : Ir.mntner) =
   Obj
@@ -237,7 +237,8 @@ let export (ir : Ir.t) =
          (hashtbl_values ir.rtr_sets
           |> sort_by (fun (s : Ir.rtr_set) -> s.name)
           |> List.map rtr_set_to_json));
-      ("routes", List (List.rev_map route_to_json ir.routes));
+      ("routes",
+       List (List.rev (Ir.fold_routes ir ~init:[] ~f:(fun acc r -> route_to_json ir r :: acc))));
       ("errors", List (List.rev_map error_to_json ir.errors)) ]
 
 let export_string ?indent ir = to_string ?indent (export ir)

@@ -13,20 +13,35 @@
      section* name_len:4  name  payload_len:8  md5(payload):16  payload
      <EOF>              trailing bytes reject the file
 
-   One section per IR table plus the routes and errors lists. The
-   [route_seen] dedup index is derived data and is rebuilt on load. Any
-   anomaly — short file, bad magic/version, unknown/missing/duplicate
-   section, digest mismatch, trailing garbage — is a rejection, counted
-   on [snapshot.rejects]; a snapshot is never partially loaded. *)
+   Version 2 ("compact IR"): the intern pool is serialized once as its
+   own section ("pool": u32 count, then u32 length + bytes per string in
+   id order), and the route objects — the only table that reaches
+   millions of entries at paper scale — are a packed binary section
+   instead of a Marshal blob: per route, afi byte (4|6), the address (u32
+   or two u64 halves), prefix length byte, origin u32, source id u32,
+   and the member-of / mnt-by id lists as u32 count + u32 ids. Ids refer
+   to the pool section and are bounds-checked on load. The remaining
+   tables stay Marshal payloads. Sections are produced one at a time
+   through a reused buffer and streamed straight to the sink, so peak
+   extra memory is one section, not the whole file twice.
+
+   The [route_seen] dedup index is derived data and is rebuilt on load.
+   Any anomaly — short file, bad magic/version, unknown/missing/duplicate
+   section, digest mismatch, out-of-range pool id, trailing garbage — is
+   a rejection, counted on [snapshot.rejects]; a snapshot is never
+   partially loaded. *)
+
+module Pool = Rz_intern.Intern.Pool
+module Arena = Rz_intern.Intern.Arena
 
 let magic = "RZIRSNAP"
-let version = 1
+let version = 2
 
 let c_rejects = Rz_obs.Obs.Counter.make "snapshot.rejects"
 
 let section_names =
-  [ "aut_nums"; "mntners"; "inet_rtrs"; "rtr_sets"; "as_sets"; "route_sets";
-    "peering_sets"; "filter_sets"; "routes"; "errors" ]
+  [ "pool"; "aut_nums"; "mntners"; "inet_rtrs"; "rtr_sets"; "as_sets";
+    "route_sets"; "peering_sets"; "filter_sets"; "routes"; "errors" ]
 
 let add_u32 buf v =
   Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff));
@@ -38,44 +53,93 @@ let add_u64 buf v =
   add_u32 buf ((v lsr 32) land 0xffffffff);
   add_u32 buf (v land 0xffffffff)
 
-let encode ~input_digest (ir : Ir.t) =
+let add_i64 buf (v : int64) =
+  for i = 0 to 7 do
+    let shift = 56 - (8 * i) in
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v shift) 0xffL)))
+  done
+
+(* ---- packed route section ---- *)
+
+let encode_routes buf (ir : Ir.t) =
+  add_u32 buf (Ir.n_route_objs ir);
+  Ir.iter_routes ir (fun (r : Ir.route_obj) ->
+      (match (r.prefix : Rz_net.Prefix.t) with
+       | { addr = Rz_net.Prefix.V4 a; len } ->
+         Buffer.add_char buf '\004';
+         add_u32 buf a;
+         Buffer.add_char buf (Char.chr len)
+       | { addr = Rz_net.Prefix.V6 (hi, lo); len } ->
+         Buffer.add_char buf '\006';
+         add_i64 buf hi;
+         add_i64 buf lo;
+         Buffer.add_char buf (Char.chr len));
+      add_u32 buf r.origin;
+      add_u32 buf r.source_id;
+      add_u32 buf (List.length r.member_of_ids);
+      List.iter (add_u32 buf) r.member_of_ids;
+      add_u32 buf (List.length r.mnt_by_ids);
+      List.iter (add_u32 buf) r.mnt_by_ids)
+
+(* ---- streamed writer ---- *)
+
+(* Emit header + all sections through [sink]. One payload string lives at
+   a time; the framing goes through a small reused buffer. *)
+let write_sections ~input_digest (ir : Ir.t) ~(sink : string -> unit) =
   if String.length input_digest <> 16 then
     invalid_arg "Ir_snapshot: input digest must be 16 raw MD5 bytes";
-  let sections =
-    [ ("aut_nums", Marshal.to_string ir.aut_nums []);
-      ("mntners", Marshal.to_string ir.mntners []);
-      ("inet_rtrs", Marshal.to_string ir.inet_rtrs []);
-      ("rtr_sets", Marshal.to_string ir.rtr_sets []);
-      ("as_sets", Marshal.to_string ir.as_sets []);
-      ("route_sets", Marshal.to_string ir.route_sets []);
-      ("peering_sets", Marshal.to_string ir.peering_sets []);
-      ("filter_sets", Marshal.to_string ir.filter_sets []);
-      ("routes", Marshal.to_string ir.routes []);
-      ("errors", Marshal.to_string ir.errors []) ]
+  let hdr = Buffer.create 64 in
+  Buffer.add_string hdr magic;
+  add_u32 hdr version;
+  Buffer.add_string hdr input_digest;
+  add_u32 hdr (List.length section_names);
+  let hdr_s = Buffer.contents hdr in
+  sink hdr_s;
+  sink (Digest.string hdr_s);
+  let frame = Buffer.create 64 in
+  let emit name payload =
+    Buffer.clear frame;
+    add_u32 frame (String.length name);
+    Buffer.add_string frame name;
+    add_u64 frame (String.length payload);
+    Buffer.add_string frame (Digest.string payload);
+    sink (Buffer.contents frame);
+    sink payload
   in
+  let payload_buf = Buffer.create (1 lsl 16) in
+  let custom fill =
+    Buffer.clear payload_buf;
+    fill payload_buf;
+    Buffer.contents payload_buf
+  in
+  emit "pool" (custom (fun b -> Pool.encode b ir.pool));
+  emit "aut_nums" (Marshal.to_string ir.aut_nums []);
+  emit "mntners" (Marshal.to_string ir.mntners []);
+  emit "inet_rtrs" (Marshal.to_string ir.inet_rtrs []);
+  emit "rtr_sets" (Marshal.to_string ir.rtr_sets []);
+  emit "as_sets" (Marshal.to_string ir.as_sets []);
+  emit "route_sets" (Marshal.to_string ir.route_sets []);
+  emit "peering_sets" (Marshal.to_string ir.peering_sets []);
+  emit "filter_sets" (Marshal.to_string ir.filter_sets []);
+  emit "routes" (custom (fun b -> encode_routes b ir));
+  emit "errors" (Marshal.to_string ir.errors [])
+
+let encode ~input_digest ir =
   let buf = Buffer.create (1 lsl 16) in
-  Buffer.add_string buf magic;
-  add_u32 buf version;
-  Buffer.add_string buf input_digest;
-  add_u32 buf (List.length sections);
-  Buffer.add_string buf (Digest.string (Buffer.contents buf));
-  List.iter
-    (fun (name, payload) ->
-      add_u32 buf (String.length name);
-      Buffer.add_string buf name;
-      add_u64 buf (String.length payload);
-      Buffer.add_string buf (Digest.string payload);
-      Buffer.add_string buf payload)
-    sections;
+  write_sections ~input_digest ir ~sink:(Buffer.add_string buf);
   Buffer.contents buf
 
 let save path ~input_digest ir =
-  let data = encode ~input_digest ir in
   (* write-then-rename: a crash mid-write leaves either the old snapshot
      or a .tmp the loader never looks at, never a torn file *)
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
-  output_string oc data;
+  (try write_sections ~input_digest ir ~sink:(output_string oc)
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
   close_out oc;
   Sys.rename tmp path
 
@@ -142,7 +206,90 @@ let decode data =
     | None -> raise (Reject (Printf.sprintf "missing section %S" name))
   in
   (* Payloads are checksum-verified above, so unmarshaling sees exactly
-     the bytes [save] produced. *)
+     the bytes [save] produced; the packed sections are still parsed
+     defensively (length and id bounds) because a re-crafted file can
+     carry a correct checksum over malformed contents. *)
+  let pool =
+    let payload = section "pool" in
+    match Pool.decode payload ~pos:0 with
+    | p, end_pos when end_pos = String.length payload -> p
+    | _ -> raise (Reject "trailing bytes in pool section")
+    | exception Failure msg -> raise (Reject ("pool section: " ^ msg))
+  in
+  let routes =
+    let payload = section "routes" in
+    let rn = String.length payload in
+    let rpos = ref 0 in
+    let rneed k =
+      if !rpos + k > rn then raise (Reject "truncated routes section")
+    in
+    let byte () =
+      rneed 1;
+      let c = Char.code (String.unsafe_get payload !rpos) in
+      incr rpos;
+      c
+    in
+    let u32 () =
+      rneed 4;
+      let b i = Char.code (String.unsafe_get payload (!rpos + i)) in
+      let v = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+      rpos := !rpos + 4;
+      v
+    in
+    let i64 () =
+      rneed 8;
+      let v = ref 0L in
+      for i = 0 to 7 do
+        v :=
+          Int64.logor (Int64.shift_left !v 8)
+            (Int64.of_int (Char.code (String.unsafe_get payload (!rpos + i))))
+      done;
+      rpos := !rpos + 8;
+      !v
+    in
+    let pool_len = Pool.length pool in
+    let id () =
+      let id = u32 () in
+      if id >= pool_len then raise (Reject "route string id out of pool range");
+      id
+    in
+    let ids () =
+      let k = u32 () in
+      if k > rn then raise (Reject "implausible route id count");
+      (* explicit loop: the ids must be consumed left-to-right, and
+         [List.init]'s evaluation order is unspecified *)
+      let rec go n acc = if n = 0 then List.rev acc else go (n - 1) (id () :: acc) in
+      go k []
+    in
+    let count = u32 () in
+    if count > rn then raise (Reject "implausible route count");
+    let arena = Arena.create ~capacity:(max 16 count) () in
+    for _ = 1 to count do
+      let prefix =
+        match byte () with
+        | 4 ->
+          let a = u32 () in
+          let len = byte () in
+          if len > 32 then raise (Reject "bad v4 prefix length");
+          Rz_net.Prefix.v4 a len
+        | 6 ->
+          let hi = i64 () in
+          let lo = i64 () in
+          let len = byte () in
+          if len > 128 then raise (Reject "bad v6 prefix length");
+          Rz_net.Prefix.v6 (hi, lo) len
+        | b -> raise (Reject (Printf.sprintf "bad route afi byte %d" b))
+      in
+      let origin = u32 () in
+      let source_id = id () in
+      let member_of_ids = ids () in
+      let mnt_by_ids = ids () in
+      Arena.push arena
+        { Ir.prefix; origin; member_of_ids; mnt_by_ids; source_id }
+    done;
+    if !rpos <> rn then raise (Reject "trailing bytes in routes section");
+    arena
+  in
   let unmarshal name = Marshal.from_string (section name) 0 in
   let ir : Ir.t =
     { aut_nums = unmarshal "aut_nums";
@@ -153,14 +300,13 @@ let decode data =
       route_sets = unmarshal "route_sets";
       peering_sets = unmarshal "peering_sets";
       filter_sets = unmarshal "filter_sets";
-      routes = unmarshal "routes";
+      pool;
+      routes;
       route_seen = Hashtbl.create 1024;
       errors = unmarshal "errors" }
   in
-  List.iter
-    (fun (r : Ir.route_obj) ->
-      Hashtbl.replace ir.route_seen (r.prefix, r.origin) ())
-    ir.routes;
+  Ir.iter_routes ir (fun (r : Ir.route_obj) ->
+      Hashtbl.replace ir.route_seen (r.prefix, r.origin) ());
   (input_digest, ir)
 
 let load path =

@@ -260,16 +260,11 @@ let lower_route ~keep ~split ir (obj : Rz_rpsl.Obj.t) source =
         | Error e -> push_error ir (Ir.Bad_origin e) obj source
         | Ok origin ->
           let key = (prefix, origin) in
-          if keep && not (Hashtbl.mem ir.Ir.route_seen key) then begin
-            Hashtbl.replace ir.route_seen key ();
-            ir.Ir.routes <-
-              { Ir.prefix;
-                origin;
-                member_of = multi_names split obj "member-of";
-                mnt_by = multi_names split obj "mnt-by";
-                source }
-              :: ir.routes
-          end))
+          if keep && not (Hashtbl.mem ir.Ir.route_seen key) then
+            Ir.add_route ir ~prefix ~origin
+              ~member_of:(multi_names split obj "member-of")
+              ~mnt_by:(multi_names split obj "mnt-by")
+              ~source))
 
 let lower_mntner ~keep ir (obj : Rz_rpsl.Obj.t) source =
   let key = Rz_util.Strings.uppercase obj.name in

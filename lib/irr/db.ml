@@ -74,13 +74,14 @@ let build (ir : Rz_ir.Ir.t) =
   Rz_obs.Obs.Span.with_ "db-build" (fun () ->
   let route_trie = Rz_net.Prefix_trie.create () in
   let by_origin = Hashtbl.create 1024 in
-  List.iter
+  (* newest-first iteration with prepends preserves the grouping order
+     the reversed-cons-list representation produced *)
+  Rz_ir.Ir.iter_routes_rev ir
     (fun (r : Rz_ir.Ir.route_obj) ->
       Rz_net.Prefix_trie.add route_trie r.prefix r.origin;
       Rz_obs.Obs.Counter.incr c_trie_inserts;
       let existing = Option.value ~default:[] (Hashtbl.find_opt by_origin r.origin) in
-      Hashtbl.replace by_origin r.origin (r.prefix :: existing))
-    ir.routes;
+      Hashtbl.replace by_origin r.origin (r.prefix :: existing));
   (* aut-num member-of -> as-set indirect members (when authorized) *)
   let indirect_as_members = Hashtbl.create 64 in
   Hashtbl.iter
@@ -99,21 +100,24 @@ let build (ir : Rz_ir.Ir.t) =
     ir.aut_nums;
   (* route member-of -> route-set indirect members *)
   let indirect_route_members = Hashtbl.create 64 in
-  List.iter
+  Rz_ir.Ir.iter_routes_rev ir
     (fun (r : Rz_ir.Ir.route_obj) ->
-      List.iter
-        (fun set_name ->
-          let key = canon set_name in
-          match Hashtbl.find_opt ir.route_sets key with
-          | Some set when mbrs_by_ref_allows set.mbrs_by_ref r.mnt_by ->
-            let existing =
-              Option.value ~default:[] (Hashtbl.find_opt indirect_route_members key)
-            in
-            Hashtbl.replace indirect_route_members key
-              ((r.prefix, Rz_net.Range_op.None_) :: existing)
-          | _ -> ())
-        r.member_of)
-    ir.routes;
+      match r.member_of_ids with
+      | [] -> ()
+      | _ ->
+        List.iter
+          (fun set_name ->
+            let key = canon set_name in
+            match Hashtbl.find_opt ir.route_sets key with
+            | Some set
+              when mbrs_by_ref_allows set.mbrs_by_ref (Rz_ir.Ir.route_mnt_by ir r) ->
+              let existing =
+                Option.value ~default:[] (Hashtbl.find_opt indirect_route_members key)
+              in
+              Hashtbl.replace indirect_route_members key
+                ((r.prefix, Rz_net.Range_op.None_) :: existing)
+            | _ -> ())
+          (Rz_ir.Ir.route_member_of ir r));
   { ir;
     route_trie;
     by_origin;

@@ -1,7 +1,17 @@
+(* A node at depth d is reached by one specific bit path, and an entry
+   terminates at depth = prefix length; since [Prefix.t] is canonical
+   (host bits zeroed), every binding terminating at a node carries the
+   *same* prefix. The compact representation stores that prefix once per
+   occupied node and keeps only the bare values in the per-node list —
+   at paper scale (millions of route objects in one trie) this saves a
+   tuple cons per binding — reconstructing the (prefix, value) pairs on
+   read. *)
+
 type 'a node = {
   mutable zero : 'a node option;
   mutable one : 'a node option;
-  mutable values : (Prefix.t * 'a) list; (* bindings terminating here *)
+  mutable prefix : Prefix.t option; (* Some iff values <> [] *)
+  mutable values : 'a list; (* bindings terminating here, newest first *)
 }
 
 type 'a t = {
@@ -10,14 +20,24 @@ type 'a t = {
   mutable count : int;
 }
 
-let fresh_node () = { zero = None; one = None; values = [] }
+let fresh_node () = { zero = None; one = None; prefix = None; values = [] }
 let create () = { v4_root = fresh_node (); v6_root = fresh_node (); count = 0 }
 let root t p = if Prefix.is_v4 p then t.v4_root else t.v6_root
 
+(* Prepend this node's (prefix, value) pairs onto [acc], reversing the
+   stored order — the same shape [List.rev_append node.values acc] had
+   when the pairs were stored whole. *)
+let rev_pairs node acc =
+  match node.prefix with
+  | None -> acc
+  | Some p -> List.fold_left (fun acc v -> (p, v) :: acc) acc node.values
+
 let add t prefix value =
   let rec descend node depth =
-    if depth = prefix.Prefix.len then
-      node.values <- (prefix, value) :: node.values
+    if depth = prefix.Prefix.len then begin
+      node.prefix <- Some prefix;
+      node.values <- value :: node.values
+    end
     else begin
       let child =
         if Prefix.bit prefix depth then
@@ -43,7 +63,7 @@ let add t prefix value =
 
 let exact t prefix =
   let rec descend node depth =
-    if depth = prefix.Prefix.len then List.map snd node.values
+    if depth = prefix.Prefix.len then node.values
     else
       let child = if Prefix.bit prefix depth then node.one else node.zero in
       match child with None -> [] | Some c -> descend c (depth + 1)
@@ -54,7 +74,7 @@ let mem_exact t prefix = exact t prefix <> []
 
 let covering t prefix =
   let rec descend node depth acc =
-    let acc = List.rev_append node.values acc in
+    let acc = rev_pairs node acc in
     if depth = prefix.Prefix.len then acc
     else
       let child = if Prefix.bit prefix depth then node.one else node.zero in
@@ -64,7 +84,7 @@ let covering t prefix =
 
 let covered_by t prefix =
   let rec subtree node acc =
-    let acc = List.rev_append node.values acc in
+    let acc = rev_pairs node acc in
     let acc = match node.zero with None -> acc | Some c -> subtree c acc in
     match node.one with None -> acc | Some c -> subtree c acc
   in
@@ -80,7 +100,9 @@ let length t = t.count
 
 let iter f t =
   let rec walk node =
-    List.iter (fun (p, v) -> f p v) node.values;
+    (match node.prefix with
+     | None -> ()
+     | Some p -> List.iter (fun v -> f p v) node.values);
     Option.iter walk node.zero;
     Option.iter walk node.one
   in

@@ -258,7 +258,8 @@ let recovery_counter_names =
     "stream.events_abandoned";
     "stream.journal_rejected";
     "stream.watchdog_trips";
-    "stream.retries" ]
+    "stream.retries";
+    "shard.frames_rejected" ]
 
 let recovery_suffixes = [ "rejected"; "dropped"; "truncated"; "capped" ]
 

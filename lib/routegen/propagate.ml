@@ -207,12 +207,18 @@ let best_routes (topo : Gen.t) ~dest =
 
 let c_routes = Rz_obs.Obs.Counter.make "routegen.routes_total"
 
-let collector_dump ?(prepend_prob = 0.05) (topo : Gen.t) ~collector ~peers =
+(* Streamed emission: every route of one collector's RIB, in generation
+   order, pushed to [f] as it is produced — nothing retained. At paper
+   scale (hundreds of millions of collector routes) materializing the
+   RIB as a list is the peak-RSS ceiling; [collector_dump] below is a
+   thin collect-to-list wrapper over this, so the list and streamed
+   paths share one generator (same RNG draws, same order, same dumps). *)
+let iter_collector_routes ?(prepend_prob = 0.05) (topo : Gen.t) ~peers f =
   Rz_obs.Obs.Span.with_ "routegen" @@ fun () ->
   let rng = Rz_util.Splitmix.create (topo.params.seed lxor 0x5eed) in
   let ws = workspace topo in
   let peer_is = List.map (fun asn -> Hashtbl.find ws.index_of asn) peers in
-  let routes = ref [] in
+  let n = ref 0 in
   Array.iteri
     (fun dest_i dest ->
       let prefixes = Gen.prefixes_of topo dest in
@@ -233,26 +239,44 @@ let collector_dump ?(prepend_prob = 0.05) (topo : Gen.t) ~collector ~peers =
                     end
                     else path
                   in
-                  routes := Rz_bgp.Route.make prefix path :: !routes)
+                  incr n;
+                  f (Rz_bgp.Route.make prefix path))
                 prefixes
             end)
           peer_is
       end)
     topo.ases;
-  Rz_obs.Obs.Counter.add c_routes (List.length !routes);
+  Rz_obs.Obs.Counter.add c_routes !n
+
+let collector_dump ?prepend_prob (topo : Gen.t) ~collector ~peers =
+  let routes = ref [] in
+  iter_collector_routes ?prepend_prob topo ~peers (fun r -> routes := r :: !routes);
   { Rz_bgp.Table_dump.collector; routes = List.rev !routes }
 
-let collector_dumps ?prepend_prob (topo : Gen.t) ~n_collectors ~peers =
+(* Round-robin split of the peers over [synth-rrc00..], identical to
+   [collector_dumps]'s bucketing. [f ~collector run] is called once per
+   collector; [run emit] generates that collector's routes into [emit]. *)
+let iter_collector_dumps ?prepend_prob (topo : Gen.t) ~n_collectors ~peers ~f =
   let n = max 1 n_collectors in
   let buckets = Array.make n [] in
   List.iteri (fun i peer -> buckets.(i mod n) <- peer :: buckets.(i mod n)) peers;
-  Array.to_list
-    (Array.mapi
-       (fun i bucket ->
-         collector_dump ?prepend_prob topo
-           ~collector:(Printf.sprintf "synth-rrc%02d" i)
-           ~peers:(List.rev bucket))
-       buckets)
+  Array.iteri
+    (fun i bucket ->
+      f
+        ~collector:(Printf.sprintf "synth-rrc%02d" i)
+        (fun emit ->
+          iter_collector_routes ?prepend_prob topo ~peers:(List.rev bucket) emit))
+    buckets
+
+let collector_dumps ?prepend_prob (topo : Gen.t) ~n_collectors ~peers =
+  let dumps = ref [] in
+  iter_collector_dumps ?prepend_prob topo ~n_collectors ~peers
+    ~f:(fun ~collector run ->
+      let routes = ref [] in
+      run (fun r -> routes := r :: !routes);
+      dumps :=
+        { Rz_bgp.Table_dump.collector; routes = List.rev !routes } :: !dumps);
+  List.rev !dumps
 
 let default_collector_peers (topo : Gen.t) ~n =
   let tier1s =

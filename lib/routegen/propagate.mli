@@ -32,6 +32,18 @@ val collector_dump :
     the inbound traffic-engineering noise the paper strips before
     verification. *)
 
+val iter_collector_routes :
+  ?prepend_prob:float ->
+  Rz_topology.Gen.t ->
+  peers:Rz_net.Asn.t list ->
+  (Rz_bgp.Route.t -> unit) ->
+  unit
+(** Streamed [collector_dump]: push every route of the RIB to the
+    callback in generation order without materializing the list — the
+    paper-scale emission path ([gen --world-scale]), where the full RIB
+    would be the peak-RSS ceiling. [collector_dump] is this plus a
+    collect-to-list, so both paths produce identical dumps. *)
+
 val collector_dumps :
   ?prepend_prob:float ->
   Rz_topology.Gen.t ->
@@ -45,3 +57,16 @@ val collector_dumps :
 val default_collector_peers : Rz_topology.Gen.t -> n:int -> Rz_net.Asn.t list
 (** Realistic peer mix: all Tier-1s plus the [n] best-connected mids —
     collectors predominantly peer with large networks. *)
+
+val iter_collector_dumps :
+  ?prepend_prob:float ->
+  Rz_topology.Gen.t ->
+  n_collectors:int ->
+  peers:Rz_net.Asn.t list ->
+  f:(collector:string -> ((Rz_bgp.Route.t -> unit) -> unit) -> unit) ->
+  unit
+(** Streamed [collector_dumps]: for each collector (same round-robin
+    peer split, same [synth-rrc..] names) call [f ~collector run];
+    [run emit] then generates that collector's routes into [emit]. Lets
+    the caller write each dump straight to disk with one route in memory
+    at a time. *)

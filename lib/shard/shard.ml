@@ -1,0 +1,277 @@
+module Aggregate = Rz_verify.Aggregate
+module Engine = Rz_verify.Engine
+module Obs = Rz_obs.Obs
+module P = Rpslyzer.Pipeline
+
+let frames_rejected = Obs.Counter.make "shard.frames_rejected"
+let c_workers = Obs.Counter.make "shard.workers_total"
+
+let magic = "RZSHARDF"
+let header_len = 8 + 8 + 16 (* magic, payload length u64 BE, MD5 *)
+
+(* A hard ceiling on plausible payload size: a delta is one aggregate
+   plus a counter alist, far under this even at paper scale. A garbage
+   length field must not make the parent try to allocate it. *)
+let max_payload = 1 lsl 32
+
+(* What one worker ships back: its private aggregate, its share of the
+   route accounting, and the registry counters it incremented (deltas
+   against the post-fork baseline — the child inherits the parent's
+   pre-fork counts and must not echo them back). *)
+type delta = {
+  d_agg : Aggregate.t;
+  d_total : int;
+  d_excluded : int;
+  d_counters : (string * int) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Shard verification (runs in the worker, and in the parent's retry)  *)
+(* ------------------------------------------------------------------ *)
+
+(* Same hand-rolled route hash as the core dedup table: this runs once
+   per route of the shard, and the generic [Hashtbl.hash] structure walk
+   is measurable at that frequency. *)
+module Route_tbl = Hashtbl.Make (struct
+  type t = Rz_bgp.Route.t
+
+  let equal = Rz_bgp.Route.equal
+
+  let hash (r : Rz_bgp.Route.t) =
+    let h =
+      match r.prefix.addr with
+      | Rz_net.Prefix.V4 a -> (a * 31) + r.prefix.len
+      | Rz_net.Prefix.V6 (hi, lo) ->
+        (((Int64.to_int hi * 31) + Int64.to_int lo) * 31) + r.prefix.len
+    in
+    List.fold_left
+      (fun h (seg : Rz_bgp.Route.segment) ->
+        match seg with
+        | Rz_bgp.Route.Seq asn -> (h * 31) + asn
+        | Rz_bgp.Route.Set asns ->
+          List.fold_left (fun h a -> (h * 33) + a) (h * 37) asns)
+      h r.path
+end)
+
+(* Verify the shard [i mod shards = shard] of [routes] into [agg],
+   deduplicating within the shard (first-occurrence order, reports
+   weighted by multiplicity — the exact-equivalence contract of
+   [Aggregate.add_route_report]). Returns (total, excluded) for the
+   shard's accounting. *)
+let verify_slice ?config (world : P.world) routes ~shards ~shard agg =
+  let n = Array.length routes in
+  let index = Route_tbl.create 1024 in
+  let order = ref [] in
+  let total = ref 0 in
+  let i = ref shard in
+  while !i < n do
+    incr total;
+    let route = routes.(!i) in
+    (match Route_tbl.find index route with
+     | cell -> incr cell
+     | exception Not_found ->
+       Route_tbl.add index route (ref 1);
+       order := route :: !order);
+    i := !i + shards
+  done;
+  let engine = Engine.create ?config world.P.db world.P.rels in
+  let excluded = ref 0 in
+  List.iter
+    (fun route ->
+      let weight = !(Route_tbl.find index route) in
+      match Engine.verify_route engine route with
+      | Some report ->
+        Aggregate.add_route_report ~weight agg report;
+        Engine.replay_route_counters ~times:(weight - 1) (Some report)
+      | None ->
+        excluded := !excluded + weight;
+        Engine.replay_route_counters ~times:(weight - 1) None)
+    (List.rev !order);
+  (!total, !excluded)
+
+(* ------------------------------------------------------------------ *)
+(* Frame protocol                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let write_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write_substring fd s !off (n - !off)
+  done
+
+(* Read exactly [n] bytes; [None] on premature EOF (dead worker). *)
+let read_exact fd n =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off = n then Some (Bytes.unsafe_to_string buf)
+    else
+      match Unix.read fd buf off (n - off) with
+      | 0 -> None
+      | k -> go (off + k)
+  in
+  go 0
+
+(* RPSLYZER_SHARD_FAULT="<s>" corrupts worker s's frame after
+   checksumming; "<s>:crash" kills worker s before it writes anything.
+   Both land on the same parent-side rejection + inline-retry path. *)
+let fault_shard () =
+  match Sys.getenv_opt "RPSLYZER_SHARD_FAULT" with
+  | None -> None
+  | Some spec -> (
+    match String.split_on_char ':' (String.trim spec) with
+    | [ s ] -> Option.map (fun i -> (i, `Corrupt)) (int_of_string_opt s)
+    | [ s; "crash" ] -> Option.map (fun i -> (i, `Crash)) (int_of_string_opt s)
+    | _ -> None)
+
+let encode_frame ~corrupt (d : delta) =
+  let payload = Marshal.to_string d [] in
+  let len = String.length payload in
+  let md5 = Digest.string payload in
+  let header = Bytes.create header_len in
+  Bytes.blit_string magic 0 header 0 8;
+  for i = 0 to 7 do
+    Bytes.set header (8 + i) (Char.chr ((len lsr (56 - (8 * i))) land 0xff))
+  done;
+  Bytes.blit_string md5 0 header 16 16;
+  let payload =
+    (* the fault drill: checksum first, then flip one payload byte, so
+       the parent's MD5 check is what catches it *)
+    if corrupt && len > 0 then begin
+      let b = Bytes.of_string payload in
+      let k = len / 2 in
+      Bytes.set b k (Char.chr (Char.code (Bytes.get b k) lxor 0xff));
+      Bytes.unsafe_to_string b
+    end
+    else payload
+  in
+  Bytes.unsafe_to_string header ^ payload
+
+let decode_frame fd =
+  match read_exact fd header_len with
+  | None -> Error "no frame (worker died before writing)"
+  | Some header ->
+    if String.sub header 0 8 <> magic then Error "bad frame magic"
+    else begin
+      let len = ref 0 in
+      for i = 0 to 7 do
+        len := (!len lsl 8) lor Char.code header.[8 + i]
+      done;
+      if !len < 0 || !len > max_payload then
+        Error (Printf.sprintf "implausible frame length %d" !len)
+      else
+        let md5 = String.sub header 16 16 in
+        match read_exact fd !len with
+        | None -> Error "truncated frame payload"
+        | Some payload ->
+          if Digest.string payload <> md5 then Error "frame checksum mismatch"
+          else
+            match (Marshal.from_string payload 0 : delta) with
+            | d -> Ok d
+            | exception _ -> Error "undecodable frame payload"
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Fork, merge, recover                                                *)
+(* ------------------------------------------------------------------ *)
+
+let counter_list () = Obs.Registry.counters (Obs.Registry.snapshot ())
+
+let counters_since baseline current =
+  List.filter_map
+    (fun (name, v) ->
+      let b = Option.value ~default:0 (List.assoc_opt name baseline) in
+      if v - b <> 0 then Some (name, v - b) else None)
+    current
+
+let verify_sharded ?config ?(shards = 1) (world : P.world) =
+  Obs.Span.with_ "verify" @@ fun () ->
+  let shards = max 1 shards in
+  let routes =
+    Array.of_list
+      (List.concat_map
+         (fun (d : Rz_bgp.Table_dump.t) -> d.routes)
+         world.P.table_dumps)
+  in
+  (* Warm the shared read-only caches before forking: the workers then
+     inherit them copy-on-write instead of each paying the warm-up. *)
+  Rz_irr.Db.warm_caches world.P.db;
+  Rz_asrel.Rel_db.warm_cones world.P.rels;
+  let fault = fault_shard () in
+  (* Spawn all workers first, then drain their pipes in shard order: each
+     worker writes one frame to its own pipe, so later workers simply
+     block in [write] until the parent gets to them. *)
+  let workers =
+    List.init shards (fun s ->
+        let r, w = Unix.pipe ~cloexec:false () in
+        flush stdout;
+        flush stderr;
+        match Unix.fork () with
+        | 0 ->
+          Unix.close r;
+          if fault = Some (s, `Crash) then Unix._exit 3;
+          let status =
+            try
+              let baseline = counter_list () in
+              let agg = Aggregate.create () in
+              let total, excluded =
+                verify_slice ?config world routes ~shards ~shard:s agg
+              in
+              let d_counters = counters_since baseline (counter_list ()) in
+              let frame =
+                encode_frame ~corrupt:(fault = Some (s, `Corrupt))
+                  { d_agg = agg; d_total = total; d_excluded = excluded;
+                    d_counters }
+              in
+              write_all w frame;
+              0
+            with _ -> 1
+          in
+          (try Unix.close w with Unix.Unix_error _ -> ());
+          (* skip at_exit: the child must not flush the stdio buffers it
+             shares copy-on-write with the parent *)
+          Unix._exit status
+        | pid ->
+          Unix.close w;
+          Obs.Counter.incr c_workers;
+          (s, pid, r))
+  in
+  let agg = Aggregate.create () in
+  let total = ref 0 and excluded = ref 0 in
+  let failed = ref [] in
+  List.iter
+    (fun (s, pid, r) ->
+      let frame = decode_frame r in
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      let _, status = Unix.waitpid [] pid in
+      match (frame, status) with
+      | Ok d, Unix.WEXITED 0 ->
+        Aggregate.merge_into ~dst:agg d.d_agg;
+        total := !total + d.d_total;
+        excluded := !excluded + d.d_excluded;
+        List.iter
+          (fun (name, v) -> Obs.Counter.add (Obs.Counter.make name) v)
+          d.d_counters
+      | Ok _, _ | Error _, _ ->
+        (* One bump per lost shard, whatever the defect: the exit-2
+           recovery contract counts degraded shards, not bad bytes. *)
+        Obs.Counter.incr frames_rejected;
+        (match frame with
+         | Error msg ->
+           Printf.eprintf "rpslyzer: shard %d rejected: %s; re-verifying inline\n%!"
+             s msg
+         | Ok _ ->
+           Printf.eprintf
+             "rpslyzer: shard %d worker exited abnormally; re-verifying inline\n%!"
+             s);
+        failed := s :: !failed)
+    workers;
+  (* Recovery: a rejected shard is re-verified in-process. Nothing was
+     merged from its frame, so the retry never double-counts. *)
+  List.iter
+    (fun s ->
+      let t, e = verify_slice ?config world routes ~shards ~shard:s agg in
+      total := !total + t;
+      excluded := !excluded + e)
+    (List.rev !failed);
+  (agg, `Total !total, `Excluded !excluded)

@@ -1,0 +1,51 @@
+(** Multi-process shard-and-merge verification — the paper-scale mode.
+
+    OCaml 5 domains share one minor-GC barrier, so past a handful of
+    domains the allocation-heavy verify loop stops scaling on one
+    runtime. This module forks [shards] worker {e processes} instead
+    ([Unix.fork]): each worker verifies the deterministic route shard
+    [i mod shards = s] over the copy-on-write world it inherited, then
+    ships one framed result delta back over a pipe — its private
+    aggregate, its route accounting, and the registry counters it
+    incremented — and the parent merges the deltas.
+
+    The merge is exact, not approximate: per-worker dedup weights its
+    reports by multiplicity (the same equivalence
+    {!Rz_verify.Aggregate.add_route_report} documents), aggregates merge
+    with {!Rz_verify.Aggregate.merge_into}, and counter deltas add back
+    into the parent registry. A sharded run therefore fingerprints
+    identically ({!Rz_verify.Aggregate.fingerprint}) to the sequential
+    [Pipeline.verify] oracle, which the differential suite and the
+    scale bench both gate on.
+
+    {2 Frame protocol}
+
+    Each worker writes exactly one frame and [_exit]s:
+
+    {v magic "RZSHARDF" | payload length (u64 BE) | MD5(payload) | payload v}
+
+    where the payload is the [Marshal]ed delta. The parent re-hashes and
+    rejects the frame on any defect — bad magic, implausible length,
+    checksum mismatch, truncation, a worker that died before writing —
+    bumping [shard.frames_rejected] (a recovery counter: the keep-going
+    exit-2 contract applies) and re-verifying that worker's shard inline,
+    so a lost worker loses no routes.
+
+    Setting [RPSLYZER_SHARD_FAULT=s] makes worker [s] corrupt its own
+    payload after checksumming — the fault drill used by the smoke test
+    to prove the rejection path end to end. *)
+
+val frames_rejected : Rz_obs.Obs.Counter.t
+(** The [shard.frames_rejected] recovery counter (listed in
+    {!Rz_obs.Obs.recovery_counter_names}). *)
+
+val verify_sharded :
+  ?config:Rz_verify.Engine.config ->
+  ?shards:int ->
+  Rpslyzer.Pipeline.world ->
+  Rz_verify.Aggregate.t * [ `Total of int ] * [ `Excluded of int ]
+(** Verify every collector route of [world] across [shards] forked
+    workers (default 1; values are clamped to at least 1) and merge the
+    result. The triple mirrors [Pipeline.verify]'s so the CLI can swap
+    the engines behind one flag. [shards = 1] still forks one worker —
+    the protocol, not just the arithmetic, is on the measured path. *)

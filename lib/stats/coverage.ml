@@ -39,11 +39,11 @@ let compute ~dumps db =
       let row = get s.source in
       Hashtbl.replace counts s.source { row with route_sets = row.route_sets + 1 })
     ir.route_sets;
-  List.iter
+  Ir.iter_routes ir
     (fun (r : Ir.route_obj) ->
-      let row = get r.source in
-      Hashtbl.replace counts r.source { row with routes = row.routes + 1 })
-    ir.routes;
+      let source = Ir.route_source ir r in
+      let row = get source in
+      Hashtbl.replace counts source { row with routes = row.routes + 1 });
   (* raw route-object count across the dumps, to size the shadowing *)
   let raw_routes =
     List.fold_left
@@ -56,7 +56,7 @@ let compute ~dumps db =
                parsed.objects))
       0 dumps
   in
-  let owned_routes = List.length ir.routes in
+  let owned_routes = Ir.n_route_objs ir in
   let extra_sources =
     Hashtbl.fold
       (fun irr _ acc ->

@@ -31,10 +31,8 @@ let as_set_fingerprint (s : Ir.as_set) =
      @ List.sort compare (List.map Rz_rpsl.Set_name.canonical s.member_sets))
 
 let route_keys (ir : Ir.t) =
-  List.fold_left
-    (fun acc (r : Ir.route_obj) ->
+  Ir.fold_routes ir ~init:[] ~f:(fun acc (r : Ir.route_obj) ->
       (Rz_net.Prefix.to_string r.prefix, r.origin) :: acc)
-    [] ir.routes
   |> List.sort_uniq compare
 
 let diff ~(before : Ir.t) ~(after : Ir.t) =

@@ -246,24 +246,19 @@ let apply_policy_edit t (edit : Events.policy_edit) :
   | Events.Route_add (p, o) ->
       if Hashtbl.mem t.ir.Ir.route_seen (p, o) then Ok []
       else (
-        t.ir.Ir.routes <-
-          { Ir.prefix = p; origin = o; member_of = []; mnt_by = [];
-            source = "STREAM" }
-          :: t.ir.Ir.routes;
-        Hashtbl.replace t.ir.Ir.route_seen (p, o) ();
+        Ir.add_route t.ir ~prefix:p ~origin:o ~member_of:[] ~mnt_by:[]
+          ~source:"STREAM";
         Ok [ Engine.Edit_route (p, o) ])
   | Events.Route_del (p, o) ->
       if not (Hashtbl.mem t.ir.Ir.route_seen (p, o)) then Ok []
       else
         let member_sets = ref [] in
-        t.ir.Ir.routes <-
-          List.filter
-            (fun r ->
-              if Prefix.equal r.Ir.prefix p && r.Ir.origin = o then (
-                member_sets := r.Ir.member_of @ !member_sets;
-                false)
-              else true)
-            t.ir.Ir.routes;
+        Ir.filter_routes t.ir
+          (fun r ->
+            if Prefix.equal r.Ir.prefix p && r.Ir.origin = o then (
+              member_sets := Ir.route_member_of t.ir r @ !member_sets;
+              false)
+            else true);
         Hashtbl.remove t.ir.Ir.route_seen (p, o);
         let set_edits =
           List.sort_uniq compare !member_sets
@@ -523,8 +518,12 @@ let view_of db routes =
     Hashtbl.fold (fun name _ acc -> name :: acc) ir.Ir.as_sets []
     |> List.sort compare
   in
+  (* newest first: the order the reversed cons list presented, which the
+     event generator's goldens depend on *)
   let route_objs =
-    List.map (fun r -> (r.Ir.prefix, r.Ir.origin)) ir.Ir.routes
+    let acc = ref [] in
+    Ir.iter_routes ir (fun r -> acc := (r.Ir.prefix, r.Ir.origin) :: !acc);
+    !acc
   in
   { Events.base_routes = routes; as_sets; autnums; route_objs }
 

@@ -1,0 +1,7 @@
+let recommended () =
+  match Sys.getenv_opt "RPSLYZER_DOMAINS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> n
+     | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()

@@ -1,0 +1,9 @@
+(** Domain-count policy for the parallel paths.
+
+    [recommended ()] is [Domain.recommended_domain_count ()] unless the
+    [RPSLYZER_DOMAINS] environment variable holds a positive integer, in
+    which case that wins — the single knob that pins worker counts for
+    reproducible runs (CI, benches, differential tests) without touching
+    every call site. Malformed or non-positive values are ignored. *)
+
+val recommended : unit -> int

@@ -422,3 +422,58 @@ let special_breakdown (t : t) =
     t.special_by_as
     { ases_export_self = 0; ases_import_customer = 0; ases_missing_routes = 0;
       ases_only_provider = 0; ases_tier1_pair = 0; ases_uphill = 0; ases_any_special = 0 }
+
+(* ---------------- canonical fingerprint ---------------- *)
+
+(* The only order-sensitive component of [t] is [per_route]:
+   [merge_into] prepend-concatenates, so two merge trees over the same
+   shards interleave the profiles differently while agreeing on the
+   multiset. The fingerprint therefore sorts the per-route profiles and
+   every keyed series; everything else in [t] is commutative sums and
+   monotone flags, independent of add/merge order by construction. *)
+let fingerprint (t : t) =
+  let b = Buffer.create 4096 in
+  let counts c =
+    Buffer.add_string b
+      (Printf.sprintf "%d/%d/%d/%d/%d/%d" c.verified c.skipped c.unrecorded
+         c.relaxed c.safelisted c.unverified)
+  in
+  Buffer.add_string b (Printf.sprintf "routes=%d hops=%d " t.n_routes (counts_total t.total));
+  Buffer.add_string b "total=";
+  counts t.total;
+  Buffer.add_string b
+    (Printf.sprintf " unverified_hops=%d peering_only=%d" t.unverified_hops
+       t.unverified_peering_only);
+  Buffer.add_string b "\nper_as:";
+  List.iter
+    (fun (asn, imp, exp) ->
+      Buffer.add_string b (Printf.sprintf "\n  %d i=" asn);
+      counts imp;
+      Buffer.add_string b " e=";
+      counts exp)
+    (per_as_list t);
+  Buffer.add_string b "\nper_pair:";
+  List.iter
+    (fun (dir, (a, z), c) ->
+      Buffer.add_string b
+        (Printf.sprintf "\n  %s %d>%d "
+           (match dir with `Import -> "i" | `Export -> "e")
+           a z);
+      counts c)
+    (per_pair_list t);
+  Buffer.add_string b "\nper_route:";
+  List.iter
+    (fun c ->
+      Buffer.add_string b "\n  ";
+      counts c)
+    (List.sort compare t.per_route);
+  let u = unrec_breakdown t in
+  Buffer.add_string b
+    (Printf.sprintf "\nunrec=%d/%d/%d/%d" u.ases_no_aut_num u.ases_no_rules
+       u.ases_zero_route_as u.ases_missing_set);
+  let s = special_breakdown t in
+  Buffer.add_string b
+    (Printf.sprintf "\nspecial=%d/%d/%d/%d/%d/%d/%d" s.ases_export_self
+       s.ases_import_customer s.ases_missing_routes s.ases_only_provider
+       s.ases_tier1_pair s.ases_uphill s.ases_any_special);
+  Digest.to_hex (Digest.string (Buffer.contents b))

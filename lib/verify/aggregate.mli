@@ -126,3 +126,14 @@ type special_breakdown = {
 }
 
 val special_breakdown : t -> special_breakdown
+
+(** {1 Canonical fingerprint} *)
+
+val fingerprint : t -> string
+(** MD5 hex digest of a canonical rendering of the whole aggregate —
+    overall counts, every per-AS and per-pair series (sorted), the
+    per-route profile multiset (sorted, since {!merge_into} interleaves
+    the list by merge order), and both breakdown figures. Two aggregates
+    built from the same hop reports fingerprint identically regardless
+    of add order, dedup weighting, domain split, or merge tree; the
+    shard-and-merge differential gates key on this. *)

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# End-to-end contract for the paper-scale path: gen --world-scale paper
+# streams a world to disk, verify --shards merges to exactly the
+# in-process aggregate (fingerprints equal across shard counts), and a
+# corrupt worker frame (RPSLYZER_SHARD_FAULT) degrades the run — exit 2,
+# recovery counter lit — while still producing the same fingerprint.
+set -eu
+CLI="$1"
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+fail() { echo "SCALE SMOKE TEST FAILED: $1" >&2; exit 1; }
+
+# a small paper-preset world, streamed one route at a time
+"$CLI" gen --world-scale paper --scale 0.01 --seed 11 -o "$DIR/world" \
+  > "$DIR/gen.txt" || fail "gen --world-scale paper failed"
+grep -q 'streamed' "$DIR/gen.txt" || fail "gen did not report streaming"
+ls "$DIR/world"/synth-rrc*.routes >/dev/null 2>&1 \
+  || fail "no collector dumps written"
+
+# an unknown preset is a usage error, not a silent fallback
+rc=0
+"$CLI" gen --world-scale warp9 -o "$DIR/bogus" >/dev/null 2>&1 || rc=$?
+[ "$rc" -ne 0 ] || fail "unknown preset accepted"
+
+fingerprint() { grep 'aggregate fingerprint:' "$1" | awk '{print $3}'; }
+
+# sharded runs agree with each other (and with the in-process oracle's
+# accounting) — the byte-identical-merge contract
+"$CLI" verify -d "$DIR/world" > "$DIR/oracle.txt" \
+  || fail "in-process verify failed"
+"$CLI" verify -d "$DIR/world" --shards 1 > "$DIR/s1.txt" \
+  || fail "1-shard verify failed"
+"$CLI" verify -d "$DIR/world" --shards 3 > "$DIR/s3.txt" \
+  || fail "3-shard verify failed"
+FP1=$(fingerprint "$DIR/s1.txt"); FP3=$(fingerprint "$DIR/s3.txt")
+[ -n "$FP1" ] || fail "no fingerprint in 1-shard output"
+[ "$FP1" = "$FP3" ] || fail "fingerprints differ across shard counts: $FP1 vs $FP3"
+ORACLE_LINE=$(grep '^verified' "$DIR/oracle.txt" | cut -d'(' -f1-2)
+for f in s1 s3; do
+  SHARD_LINE=$(grep '^verified' "$DIR/$f.txt" | cut -d'(' -f1-2)
+  # compare "verified N routes (M excluded" — timing differs per run
+  [ "${ORACLE_LINE%% in *}" = "${SHARD_LINE%% in *}" ] \
+    || fail "$f accounting differs from oracle"
+done
+
+# a corrupt result frame is rejected, re-verified inline, and degrades
+# the run: exit 2, same fingerprint
+rc=0
+RPSLYZER_SHARD_FAULT=1 "$CLI" verify -d "$DIR/world" --shards 3 \
+  > "$DIR/corrupt.txt" 2> "$DIR/corrupt.err" || rc=$?
+[ "$rc" -eq 2 ] || fail "corrupt-frame run exited $rc, want 2"
+grep -q 'result: DEGRADED' "$DIR/corrupt.txt" || fail "corrupt run not degraded"
+grep -q 'shard 1 rejected' "$DIR/corrupt.err" || fail "rejection not reported"
+[ "$(fingerprint "$DIR/corrupt.txt")" = "$FP1" ] \
+  || fail "fingerprint changed under the corrupt-frame drill"
+
+# a crashed worker takes the same recovery path
+rc=0
+RPSLYZER_SHARD_FAULT=0:crash "$CLI" verify -d "$DIR/world" --shards 2 \
+  > "$DIR/crash.txt" 2>/dev/null || rc=$?
+[ "$rc" -eq 2 ] || fail "crashed-worker run exited $rc, want 2"
+[ "$(fingerprint "$DIR/crash.txt")" = "$FP1" ] \
+  || fail "fingerprint changed under the crashed-worker drill"
+
+echo "scale smoke: OK"

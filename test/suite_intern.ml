@@ -1,0 +1,127 @@
+(* String-interning pool and arena storage (Rz_intern) — the compact-IR
+   substrate. Properties: intern/resolve are inverse, ids are dense and
+   first-seen-order stable, encode/decode round-trips, truncated
+   encodings are rejected; plus arena unit coverage. *)
+module Intern = Rz_intern.Intern
+module Gen = QCheck.Gen
+
+let gen_strings =
+  (* duplicates on purpose: a small alphabet of short strings makes
+     repeat interning the common case, as in real RPSL dumps *)
+  Gen.list_size (Gen.int_range 0 200)
+    (Gen.oneof
+       [ Gen.map (Printf.sprintf "AS%d") (Gen.int_range 1 40);
+         Gen.map (Printf.sprintf "MNT-%d") (Gen.int_range 1 10);
+         Gen.return "";
+         Gen.string_size ~gen:Gen.printable (Gen.int_range 0 12) ])
+
+let arb_strings = QCheck.make ~print:(String.concat "|") gen_strings
+
+let intern_resolve_identity =
+  QCheck.Test.make ~name:"intern then resolve is the identity" ~count:200
+    arb_strings (fun strings ->
+      let pool = Intern.Pool.create () in
+      List.for_all
+        (fun s -> Intern.Pool.resolve pool (Intern.Pool.intern pool s) = s)
+        strings)
+
+let ids_dense_first_seen =
+  QCheck.Test.make ~name:"ids are dense in first-seen order" ~count:200
+    arb_strings (fun strings ->
+      let pool = Intern.Pool.create () in
+      let seen = Hashtbl.create 16 in
+      let distinct = ref [] in
+      List.iter
+        (fun s ->
+          if not (Hashtbl.mem seen s) then begin
+            Hashtbl.add seen s ();
+            distinct := s :: !distinct
+          end;
+          ignore (Intern.Pool.intern pool s))
+        strings;
+      let distinct = List.rev !distinct in
+      Intern.Pool.length pool = List.length distinct
+      && List.for_all2
+           (fun id s ->
+             Intern.Pool.intern pool s = id
+             && Intern.Pool.find_opt pool s = Some id)
+           (List.init (List.length distinct) Fun.id)
+           distinct)
+
+let encode_decode_roundtrip =
+  QCheck.Test.make ~name:"encode/decode round-trips contents and ids"
+    ~count:200 arb_strings (fun strings ->
+      let pool = Intern.Pool.create () in
+      List.iter (fun s -> ignore (Intern.Pool.intern pool s)) strings;
+      let b = Buffer.create 256 in
+      Buffer.add_string b "pre";
+      Intern.Pool.encode b pool;
+      Buffer.add_string b "post";
+      let decoded, pos = Intern.Pool.decode (Buffer.contents b) ~pos:3 in
+      pos = Buffer.length b - 4
+      && Intern.Pool.length decoded = Intern.Pool.length pool
+      &&
+      let ok = ref true in
+      Intern.Pool.iter pool (fun id s ->
+          if Intern.Pool.resolve decoded id <> s then ok := false);
+      !ok)
+
+let decode_rejects_truncation =
+  QCheck.Test.make ~name:"decode rejects every truncation" ~count:50
+    arb_strings (fun strings ->
+      let pool = Intern.Pool.create () in
+      List.iter (fun s -> ignore (Intern.Pool.intern pool s)) strings;
+      let b = Buffer.create 256 in
+      Intern.Pool.encode b pool;
+      let enc = Buffer.contents b in
+      List.for_all
+        (fun cut ->
+          match Intern.Pool.decode (String.sub enc 0 cut) ~pos:0 with
+          | _ -> false
+          | exception Failure _ -> true)
+        (List.init (String.length enc - 1) Fun.id))
+
+let test_pool_copy_independent () =
+  let pool = Intern.Pool.create () in
+  let id_a = Intern.Pool.intern pool "a" in
+  let copy = Intern.Pool.copy pool in
+  let id_b = Intern.Pool.intern copy "b" in
+  Alcotest.(check int) "copy keeps ids" id_a (Intern.Pool.intern copy "a");
+  Alcotest.(check (option int)) "original unaffected" None
+    (Intern.Pool.find_opt pool "b");
+  Alcotest.(check string) "copy resolves new id" "b"
+    (Intern.Pool.resolve copy id_b)
+
+let test_arena_basics () =
+  let a = Intern.Arena.create ~capacity:2 () in
+  for i = 0 to 9 do Intern.Arena.push a i done;
+  Alcotest.(check int) "length" 10 (Intern.Arena.length a);
+  Alcotest.(check int) "get" 7 (Intern.Arena.get a 7);
+  Alcotest.(check (list int)) "to_list in insertion order"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] (Intern.Arena.to_list a);
+  let rev = ref [] in
+  Intern.Arena.iter_rev a (fun x -> rev := x :: !rev);
+  Alcotest.(check (list int)) "iter_rev is newest first"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] !rev;
+  Alcotest.(check int) "fold in order" 45
+    (Intern.Arena.fold a ~init:0 ~f:( + ))
+
+let test_arena_filter_and_copy () =
+  let a = Intern.Arena.of_list [ 1; 2; 3; 4; 5; 6 ] in
+  let c = Intern.Arena.copy a in
+  Intern.Arena.filter_in_place a (fun x -> x mod 2 = 0);
+  Alcotest.(check (list int)) "survivors keep order" [ 2; 4; 6 ]
+    (Intern.Arena.to_list a);
+  Alcotest.(check (list int)) "copy untouched" [ 1; 2; 3; 4; 5; 6 ]
+    (Intern.Arena.to_list c)
+
+let suite =
+  [ QCheck_alcotest.to_alcotest intern_resolve_identity;
+    QCheck_alcotest.to_alcotest ids_dense_first_seen;
+    QCheck_alcotest.to_alcotest encode_decode_roundtrip;
+    QCheck_alcotest.to_alcotest decode_rejects_truncation;
+    Alcotest.test_case "pool copy is independent" `Quick
+      test_pool_copy_independent;
+    Alcotest.test_case "arena push/get/iter/fold" `Quick test_arena_basics;
+    Alcotest.test_case "arena filter_in_place and copy" `Quick
+      test_arena_filter_and_copy ]

@@ -17,7 +17,7 @@ let test_world_builds () =
   let w = Lazy.force world in
   let ir = Rz_irr.Db.ir w.db in
   Alcotest.(check bool) "aut-nums parsed" true (Hashtbl.length ir.Rz_ir.Ir.aut_nums > 50);
-  Alcotest.(check bool) "routes parsed" true (List.length ir.routes > 100);
+  Alcotest.(check bool) "routes parsed" true (Rz_ir.Ir.n_route_objs ir > 100);
   Alcotest.(check int) "two collectors" 2 (List.length w.table_dumps)
 
 let test_verification_covers_routes () =
@@ -246,7 +246,7 @@ let test_golden_metrics () =
   Alcotest.(check bool) "routegen emitted the collector routes" true
     (counter "routegen.routes_total" > 0);
   Alcotest.(check int) "trie inserts = route objects"
-    (List.length (Rz_irr.Db.ir w.db).Rz_ir.Ir.routes)
+    (Rz_ir.Ir.n_route_objs (Rz_irr.Db.ir w.db))
     (counter "irr.trie_inserts_total");
   (* hot-path overhaul counters: the sequential engine memoizes hop
      verdicts, so the memo ledger covers a (strict) subset of hop checks *)

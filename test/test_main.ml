@@ -1,6 +1,10 @@
 let () =
   Alcotest.run "rpslyzer"
-    [ ("util", Suite_util.suite);
+    [ (* shard must run first: it forks, and OCaml 5 forbids Unix.fork
+         once any suite has spawned a domain (see suite_shard.ml) *)
+      ("shard", Suite_shard.suite);
+      ("util", Suite_util.suite);
+      ("intern", Suite_intern.suite);
       ("json", Suite_json.suite);
       ("net", Suite_net.suite);
       ("rpsl", Suite_rpsl.suite);
