@@ -68,6 +68,24 @@ let bench_stream_out =
   in
   find 1
 
+(* --bench-serve [FILE]: run the query-service benchmark (queries/sec
+   through the shared dispatch path, single-threaded and with worker
+   domains racing live NRTM generation swaps), write the JSON result to
+   FILE (default BENCH_serve.json), and exit. Shares --bench-baseline
+   for the accounting gate. *)
+let bench_serve_out =
+  let rec find i =
+    if i >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--bench-serve" then
+      if
+        i + 1 < Array.length Sys.argv
+        && not (String.length Sys.argv.(i + 1) >= 2 && String.sub Sys.argv.(i + 1) 0 2 = "--")
+      then Some Sys.argv.(i + 1)
+      else Some "BENCH_serve.json"
+    else find (i + 1)
+  in
+  find 1
+
 (* --bench-scale [FILE]: run the paper-scale shard-and-merge benchmark
    (multi-process verify over a replicated RIB vs the in-process oracle),
    write FILE (default BENCH_scale.json), and exit. Shares
@@ -1248,6 +1266,214 @@ let () =
                fail
                  (Printf.sprintf
                     "stream accounting drifted from baseline %s\nbaseline:  \
+                     %s\nmeasured: %s"
+                    path (Json.to_string base_acc) (Json.to_string accounting))
+             else Printf.printf "accounting matches baseline %s\n" path
+           | _ -> fail (Printf.sprintf "baseline %s missing mode/accounting" path))));
+    exit 0
+
+(* ------------------------------------------------------------------ *)
+(* Query-service benchmark (--bench-serve)                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Sustained queries/sec through the service's shared dispatch path,
+   single-threaded against one pinned generation and then with worker
+   domains racing live NRTM generation swaps, with the contracts that
+   make the numbers meaningful:
+
+     - response accounting (per-shape counts, payload bytes) against the
+       generation-1 database is deterministic and gated by
+       [--bench-baseline];
+     - the concurrent pass must answer every query — generation swaps
+       are invisible to readers except through content;
+     - replaying the journal as copy-on-write swaps must land on a
+       database canonically fingerprint-identical to re-ingesting the
+       post-edit registry from scratch (incremental == batch).
+
+   Throughput floats are reported, not gated. *)
+let () =
+  match bench_serve_out with
+  | None -> ()
+  | Some out ->
+    section "Query service: queries/sec over live generations";
+    let module Json = Rpslyzer.Json in
+    let module Serve = Rz_serve.Serve in
+    let module Generation = Rz_serve.Generation in
+    let module Nrtm = Rz_synthirr.Nrtm in
+    let fail msg =
+      Printf.eprintf "BENCH SERVE FAILED: %s\n" msg;
+      exit 1
+    in
+    Rpslyzer.Obs.disable ();
+    let ir = Rz_irr.Db.ir world.Rpslyzer.Pipeline.db in
+    (* workload: origin + flattened-cone lookups over every registered
+       ASN plus probes into the journal's fresh 198.18/15 range, cycled
+       to the target count *)
+    let asns =
+      Hashtbl.fold (fun asn _ acc -> asn :: acc) ir.Rz_ir.Ir.aut_nums []
+      |> List.sort Rz_net.Asn.compare
+    in
+    let base_queries =
+      List.concat_map
+        (fun asn ->
+          let s = Rz_net.Asn.to_string asn in
+          [ "!g" ^ s; "!i" ^ Rz_synthirr.Generate.cone_set_name asn ^ ",1" ])
+        asns
+      @ [ "!r198.18.0.0/24"; "!r198.18.1.0/24,o"; "!aAS-NOWHERE" ]
+    in
+    let base = Array.of_list base_queries in
+    let n_queries = if quick then 4_000 else 12_000 in
+    let workload =
+      Array.init n_queries (fun i -> base.(i mod Array.length base))
+    in
+    let config = { Serve.default_config with query_timeout_ms = 0 } in
+    let store = Generation.init ir in
+    let db1 = Generation.current store in
+    (* accounting pass (untimed): per-shape counts + payload bytes *)
+    let data = ref 0 and no_data = ref 0 and not_found = ref 0 in
+    let errors = ref 0 and bytes = ref 0 in
+    Array.iter
+      (fun q ->
+        let resp = Serve.dispatch ~config db1 q in
+        bytes := !bytes + String.length (Rz_irr.Irrd_query.render resp);
+        match resp with
+        | Rz_irr.Irrd_query.Data _ -> incr data
+        | Rz_irr.Irrd_query.No_data -> incr no_data
+        | Rz_irr.Irrd_query.Not_found_key -> incr not_found
+        | Rz_irr.Irrd_query.Error_resp _ -> incr errors
+        | Rz_irr.Irrd_query.Quit -> fail "workload contains !q")
+      workload;
+    if !data = 0 then fail "workload produced no data responses";
+    (* timed single-threaded pass: reps, take the best *)
+    let reps = 3 in
+    let best_t = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      Array.iter (fun q -> ignore (Serve.dispatch ~config db1 q)) workload;
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best_t then best_t := dt
+    done;
+    (* concurrent pass: 4 reader domains, main thread swapping live *)
+    let n_ops = if quick then 60 else 200 in
+    let ops = Nrtm.generate ~seed:5 ~n:n_ops world.Rpslyzer.Pipeline.dumps in
+    let batch_size = max 1 ((List.length ops + 3) / 4) in
+    let batches =
+      let rec chunk acc cur n = function
+        | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+        | op :: rest ->
+          if n + 1 >= batch_size then chunk (List.rev (op :: cur) :: acc) [] 0 rest
+          else chunk acc (op :: cur) (n + 1) rest
+      in
+      chunk [] [] 0 ops
+    in
+    let n_readers = 4 in
+    let slice r =
+      Array.init
+        (n_queries / n_readers)
+        (fun i -> workload.((r + (i * n_readers)) mod n_queries))
+    in
+    let t0c = Unix.gettimeofday () in
+    let readers =
+      List.init n_readers (fun r ->
+          Domain.spawn (fun () ->
+              let answered = ref 0 in
+              Array.iter
+                (fun q ->
+                  let db = Generation.current store in
+                  ignore (Serve.dispatch ~config db q);
+                  incr answered)
+                (slice r);
+              !answered))
+    in
+    List.iter (fun batch -> ignore (Generation.apply store batch)) batches;
+    let answered = List.fold_left (fun acc d -> acc + Domain.join d) 0 readers in
+    let t_concurrent = Unix.gettimeofday () -. t0c in
+    if answered <> n_readers * (n_queries / n_readers) then
+      fail "concurrent pass lost queries";
+    let generations = Generation.generation store in
+    if generations <> 1 + List.length batches then
+      fail "journal batches did not all publish";
+    (* incremental == batch: canonical fingerprint equality *)
+    let fp_incremental = Generation.fingerprint (Generation.current store) in
+    let fp_batch =
+      Generation.fingerprint
+        (Rz_irr.Db.of_dumps
+           (Nrtm.apply_to_dumps ops world.Rpslyzer.Pipeline.dumps))
+    in
+    if fp_incremental <> fp_batch then
+      fail "generation swaps diverged from batch re-ingest";
+    let qps t n = if t > 0. then fint n /. t else 0. in
+    Table.print
+      ~header:[ "pass"; "secs"; "queries/s"; "notes" ]
+      [ [ "dispatch (1 thread)"; Printf.sprintf "%.3f" !best_t;
+          Printf.sprintf "%.0f" (qps !best_t n_queries);
+          Printf.sprintf "%d queries" n_queries ];
+        [ Printf.sprintf "dispatch (%d domains + swaps)" n_readers;
+          Printf.sprintf "%.3f" t_concurrent;
+          Printf.sprintf "%.0f" (qps t_concurrent answered);
+          Printf.sprintf "%d swaps live" (List.length batches) ] ];
+    Printf.printf
+      "\n%s queries: %d data, %d no-data, %d not-found, %d error; %s response \
+       bytes; %d generations; incremental == batch held\n"
+      (Table.commas n_queries) !data !no_data !not_found !errors
+      (Table.commas !bytes) generations;
+    let mode = if quick then "quick" else if big then "big" else "default" in
+    let accounting =
+      Json.Obj
+        [ ("queries", Json.Int n_queries);
+          ("data", Json.Int !data);
+          ("no_data", Json.Int !no_data);
+          ("not_found", Json.Int !not_found);
+          ("error", Json.Int !errors);
+          ("response_bytes", Json.Int !bytes);
+          ("journal_ops", Json.Int (List.length ops));
+          ("journal_batches", Json.Int (List.length batches));
+          ("generations", Json.Int generations) ]
+    in
+    let json =
+      Json.Obj
+        [ ("mode", Json.String mode);
+          ("accounting", accounting);
+          ( "serve",
+            Json.Obj
+              [ ("secs", Json.Float !best_t);
+                ("queries_per_sec", Json.Float (qps !best_t n_queries)) ] );
+          ( "concurrent",
+            Json.Obj
+              [ ("readers", Json.Int n_readers);
+                ("secs", Json.Float t_concurrent);
+                ("queries_per_sec", Json.Float (qps t_concurrent answered));
+                ("swaps", Json.Int (List.length batches)) ] );
+          ("incremental_equals_batch", Json.Bool true);
+          ("gc", gc_json ()) ]
+    in
+    let oc = open_out out in
+    output_string oc (Json.to_string ~indent:2 json);
+    output_string oc "\n";
+    close_out oc;
+    Printf.printf "(wrote %s)\n" out;
+    (match bench_baseline_path with
+     | None -> ()
+     | Some path ->
+       let text =
+         let ic = open_in path in
+         let s = really_input_string ic (in_channel_length ic) in
+         close_in ic;
+         s
+       in
+       (match Json.of_string text with
+        | Error e -> fail (Printf.sprintf "baseline %s: %s" path e)
+        | Ok base ->
+          (match (Json.member "mode" base, Json.member "accounting" base) with
+           | Some (Json.String base_mode), Some base_acc ->
+             if base_mode <> mode then
+               fail
+                 (Printf.sprintf "baseline mode %s does not match run mode %s"
+                    base_mode mode)
+             else if not (Json.equal base_acc accounting) then
+               fail
+                 (Printf.sprintf
+                    "serve accounting drifted from baseline %s\nbaseline:  \
                      %s\nmeasured: %s"
                     path (Json.to_string base_acc) (Json.to_string accounting))
              else Printf.printf "accounting matches baseline %s\n" path

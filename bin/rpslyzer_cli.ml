@@ -229,7 +229,7 @@ let paper_preset ~scale =
 
 let gen_cmd =
   let run obs seed n_tier1 n_mid n_stub out world_scale scale roa_adoption
-      roa_wrong roa_stale roa_hostile =
+      roa_wrong roa_stale roa_hostile journal_ops journal_out =
     guarded @@ fun () ->
     with_obs ~cmd:"gen" ~seed obs @@ fun () ->
     let irr_config = { Rz_synthirr.Config.default with seed = seed + 1 } in
@@ -314,7 +314,22 @@ let gen_cmd =
       "wrote %d ROAs (%d clean, %d wrong-maxLength, %d stale-origin, %d \
        hostile-covering) to %s\n"
       (List.length roagen.roas)
-      s.Rz_rpki.Roagen.n_clean s.n_wrong_maxlen s.n_stale s.n_hostile roa_path
+      s.Rz_rpki.Roagen.n_clean s.n_wrong_maxlen s.n_stale s.n_hostile roa_path;
+    if journal_ops > 0 then begin
+      (* NRTM-style churn journal over the dumps just written, for the
+         serve subcommand's live generation swaps (!u). *)
+      let dumps = Rpslyzer.Pipeline.load_dumps out in
+      let ops = Rz_synthirr.Nrtm.generate ~seed:(seed + 3) ~n:journal_ops dumps in
+      let path =
+        match journal_out with
+        | Some path -> path
+        | None -> Filename.concat out "journal.nrtm"
+      in
+      let oc = open_out path in
+      output_string oc (Rz_synthirr.Nrtm.render ops);
+      close_out oc;
+      Printf.printf "wrote %d-op NRTM journal to %s\n" (List.length ops) path
+    end
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
   let n_tier1 = Arg.(value & opt int 5 & info [ "tier1" ] ~doc:"Number of Tier-1 ASes.") in
@@ -370,13 +385,32 @@ let gen_cmd =
             "Linear shrink factor for $(b,--world-scale) populations \
              (1.0 = full paper scale).")
   in
+  let journal_ops =
+    Arg.(
+      value & opt int 0
+      & info [ "journal-ops" ] ~docv:"N"
+          ~doc:
+            "Also emit an NRTM-style add/modify/delete journal of about \
+             $(docv) operations against the written dumps, for \
+             $(b,serve --journal) live generation swaps. 0 (default) \
+             skips it.")
+  in
+  let journal_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal-out" ] ~docv:"FILE"
+          ~doc:
+            "Where to write the $(b,--journal-ops) journal (default \
+             DIR/journal.nrtm).")
+  in
   Cmd.v
     (Cmd.info "gen"
        ~doc:"Generate a synthetic world (IRRs, relationships, BGP dumps, ROAs).")
     Term.(
       const run $ obs_opts_term $ seed $ n_tier1 $ n_mid $ n_stub $ out
       $ world_scale $ scale $ roa_adoption $ roa_wrong $ roa_stale
-      $ roa_hostile)
+      $ roa_hostile $ journal_ops $ journal_out)
 
 (* ---------------- parse ---------------- *)
 
@@ -671,18 +705,24 @@ let query_cmd =
   let run dir queries =
     guarded @@ fun () ->
     let world = Rpslyzer.Pipeline.load_world dir in
+    (* Both modes route through the service's shared dispatch, so the
+       one-shot command applies exactly the admission guards the server
+       does. *)
     if queries = [] then begin
-      (* interactive: read query lines from stdin until EOF or !q *)
+      (* interactive: read query lines from stdin until EOF or !q.
+         Flush per response — piped clients wait on each answer. *)
       try
         while true do
           let line = input_line stdin in
-          match Rz_irr.Irrd_query.answer world.db line with
+          match Rz_serve.Serve.dispatch world.db line with
           | Rz_irr.Irrd_query.Quit -> raise Exit
-          | resp -> print_string (Rz_irr.Irrd_query.render resp)
+          | resp ->
+            print_string (Rz_irr.Irrd_query.render resp);
+            flush stdout
         done
       with End_of_file | Exit -> ()
     end
-    else print_string (Rz_irr.Irrd_query.session world.db queries)
+    else print_string (Rz_serve.Serve.session_lines world.db queries)
   in
   let queries =
     Arg.(value & pos_all string [] & info [] ~docv:"QUERY"
@@ -692,6 +732,227 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query" ~doc:"Answer IRRd-protocol queries against the parsed database.")
     Term.(const run $ dir_arg $ queries)
+
+(* ---------------- serve (persistent IRRd query service) ---------------- *)
+
+(* Connect-target syntax: a bare port number or "host:port" dials the
+   loopback TCP listener (the host part is accepted for familiarity but
+   always resolves to 127.0.0.1); anything else is a Unix socket path. *)
+let serve_address_of_string s =
+  match int_of_string_opt s with
+  | Some p -> Rz_serve.Serve.Port p
+  | None -> (
+    match String.rindex_opt s ':' with
+    | Some i -> (
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+      | Some p -> Rz_serve.Serve.Port p
+      | None -> Rz_serve.Serve.Socket s)
+    | None -> Rz_serve.Serve.Socket s)
+
+let serve_cmd =
+  let run obs dir domains seed snapshot port socket workers max_inflight
+      query_timeout_ms read_timeout_ms journal journal_batch connect queries =
+    guarded @@ fun () ->
+    match connect with
+    | Some target ->
+      (* loopback client mode: send the queries, print the raw reply *)
+      let reply =
+        try Rz_serve.Serve.client (serve_address_of_string target) queries
+        with Unix.Unix_error (e, _, _) ->
+          failwith
+            (Printf.sprintf "cannot connect to %s: %s" target
+               (Unix.error_message e))
+      in
+      print_string reply;
+      flush stdout
+    | None ->
+      (* Counters drive the exit policy (hostile queries -> exit 2), so
+         the registry is always on here, like stream and faultinject. *)
+      Rpslyzer.Obs.enable ();
+      let degraded =
+        with_obs ~cmd:"serve" ~seed obs @@ fun () ->
+        let world =
+          match dir with
+          | Some dir -> Rpslyzer.Pipeline.load_world ?snapshot ?domains dir
+          | None ->
+            let topo_params =
+              { Rz_topology.Gen.default_params with
+                seed; n_tier1 = 3; n_mid = 40; n_stub = 150 }
+            in
+            let irr_config = { Rz_synthirr.Config.default with seed = seed + 1 } in
+            Rpslyzer.Pipeline.build_synthetic ~topo_params ~irr_config ()
+        in
+        let journal_batches =
+          match journal with
+          | None -> []
+          | Some path ->
+            let text =
+              try
+                let ic = open_in_bin path in
+                let text = really_input_string ic (in_channel_length ic) in
+                close_in ic;
+                text
+              with Sys_error e -> failwith ("cannot read journal: " ^ e)
+            in
+            let ops, errors = Rz_synthirr.Nrtm.parse text in
+            List.iteri
+              (fun i (line, reason) ->
+                if i < 5 then
+                  Printf.eprintf "serve: journal line %d rejected: %s\n%!" line
+                    reason)
+              errors;
+            (* chunk into batches of --journal-batch ops; each !u applies one *)
+            let rec chunk acc cur n = function
+              | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+              | op :: rest ->
+                if n + 1 >= journal_batch then
+                  chunk (List.rev (op :: cur) :: acc) [] 0 rest
+                else chunk acc (op :: cur) (n + 1) rest
+            in
+            chunk [] [] 0 ops
+        in
+        let address =
+          match (socket, port) with
+          | Some path, _ -> Rz_serve.Serve.Socket path
+          | None, Some p -> Rz_serve.Serve.Port p
+          | None, None ->
+            failwith "serve: pass --socket PATH or --port PORT (0 = ephemeral)"
+        in
+        let config =
+          { Rz_serve.Serve.workers;
+            max_inflight;
+            query_timeout_ms;
+            read_timeout_ms;
+            max_line_bytes = Rz_serve.Serve.default_config.max_line_bytes }
+        in
+        let store = Rz_serve.Generation.init (Rz_irr.Db.ir world.db) in
+        let server =
+          Rz_serve.Serve.start ~config ~journal:journal_batches store address
+        in
+        (match address with
+         | Rz_serve.Serve.Port _ ->
+           Printf.printf "listening on 127.0.0.1:%d (%d workers, %d pending journal batches)\n%!"
+             (Rz_serve.Serve.port server) workers (List.length journal_batches)
+         | Rz_serve.Serve.Socket path ->
+           Printf.printf "listening on %s (%d workers, %d pending journal batches)\n%!"
+             path workers (List.length journal_batches));
+        (* Park until SIGTERM/SIGINT. The handler only flips a flag: the
+           actual teardown (and the metrics finalizer in with_obs) runs
+           on the main thread so shutdown stays clean. *)
+        let stop_requested = Atomic.make false in
+        let handler = Sys.Signal_handle (fun _ -> Atomic.set stop_requested true) in
+        Sys.set_signal Sys.sigterm handler;
+        Sys.set_signal Sys.sigint handler;
+        while not (Atomic.get stop_requested) do
+          Unix.sleepf 0.1
+        done;
+        Rz_serve.Serve.stop server;
+        Printf.printf "stopped at generation %d (serial %d)\n%!"
+          (Rz_serve.Generation.generation store)
+          (Rz_serve.Generation.last_serial store);
+        let snapshot = Rpslyzer.Obs.Registry.snapshot () in
+        let counters = Rpslyzer.Obs.Registry.counters snapshot in
+        let value name = Option.value ~default:0 (List.assoc_opt name counters) in
+        List.exists
+          (fun name -> value name > 0)
+          Rpslyzer.Obs.recovery_counter_names
+      in
+      if degraded then exit 2
+  in
+  let dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "d"; "dir" ] ~docv:"DIR"
+          ~doc:"World directory to serve; a small synthetic world is \
+                generated in memory when omitted.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Synthetic-world seed.")
+  in
+  let port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"Listen on loopback TCP $(docv); 0 binds an ephemeral port \
+                (printed on startup).")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix-domain socket at $(docv) (takes precedence \
+                over $(b,--port)).")
+  in
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N" ~doc:"Worker domains answering queries.")
+  in
+  let max_inflight =
+    Arg.(
+      value & opt int 64
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:"Queued sessions beyond which new connections are refused \
+                with 'F server busy'.")
+  in
+  let query_timeout_ms =
+    Arg.(
+      value & opt int 1000
+      & info [ "query-timeout-ms" ] ~docv:"MS"
+          ~doc:"Per-query deadline; an answer that took longer is replaced \
+                by 'F query deadline exceeded'. 0 disables.")
+  in
+  let read_timeout_ms =
+    Arg.(
+      value & opt int 10000
+      & info [ "read-timeout-ms" ] ~docv:"MS"
+          ~doc:"Per-read socket deadline; a session stalling mid-line past \
+                it is dropped (slowloris guard).")
+  in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:"NRTM-style journal (see $(b,Rz_synthirr.Nrtm)); queued in \
+                batches that the $(b,!u) control query applies as live \
+                copy-on-write generation swaps.")
+  in
+  let journal_batch =
+    Arg.(
+      value & opt int 16
+      & info [ "journal-batch" ] ~docv:"N"
+          ~doc:"Journal ops applied per $(b,!u) (default 16).")
+  in
+  let connect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:"Client mode: connect to a running server at $(docv) (a port \
+                number, host:port, or Unix socket path), send the QUERY \
+                arguments, print the raw protocol reply, and exit.")
+  in
+  let queries =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"QUERY"
+          ~doc:"Queries to send in $(b,--connect) client mode.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent IRRd query service: concurrent client \
+          sessions over live NRTM-updated database generations. Exits 0 \
+          on clean SIGTERM shutdown, 2 when recovery guards fired \
+          (hostile queries, shed sessions), 1 on hard failure.")
+    Term.(
+      const run $ obs_opts_term $ dir $ domains_arg $ seed $ snapshot_arg
+      $ port $ socket $ workers $ max_inflight $ query_timeout_ms
+      $ read_timeout_ms $ journal $ journal_batch $ connect $ queries)
 
 (* ---------------- peval ---------------- *)
 
@@ -1423,5 +1684,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ gen_cmd; parse_cmd; stats_cmd; verify_cmd; explain_cmd; whois_cmd;
-            query_cmd; peval_cmd; lint_cmd; classify_cmd; diff_cmd;
+            query_cmd; serve_cmd; peval_cmd; lint_cmd; classify_cmd; diff_cmd;
             rpki_cmd; stream_cmd; faultinject_cmd ]))

@@ -28,6 +28,7 @@ module Obs = Rz_obs.Obs
 module Trace = Rz_trace.Trace
 module Ingest = Rz_ingest
 module Stream = Rz_stream
+module Serve = Rz_serve
 
 (** {1 End-to-end pipeline} *)
 

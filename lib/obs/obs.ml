@@ -259,7 +259,11 @@ let recovery_counter_names =
     "stream.journal_rejected";
     "stream.watchdog_trips";
     "stream.retries";
-    "shard.frames_rejected" ]
+    "shard.frames_rejected";
+    "serve.queries_rejected";
+    "serve.sessions_rejected";
+    "serve.sessions_dropped";
+    "nrtm.ops_rejected" ]
 
 let recovery_suffixes = [ "rejected"; "dropped"; "truncated"; "capped" ]
 

@@ -1,0 +1,64 @@
+(** NRTM-style registry journals: serial-numbered ADD/DEL operations,
+    each carrying one full RPSL paragraph, the way IRRd mirrors publish
+    incremental updates (a {e modify} is a DEL of the old object followed
+    by an ADD of the new text, as in the real protocol).
+
+    The generator works at the text level — it edits the paragraphs of an
+    already rendered dump set — so it stays independent of the parser and
+    the IR, and both consumers of a journal see exactly the same bytes:
+
+    - {!apply_to_dumps} replays the journal onto the dump texts, giving
+      the post-edit registry for a from-scratch re-ingest (the batch side
+      of the incremental==batch differential);
+    - [Rz_serve.Generation.apply] replays the same ops onto a live IR as
+      copy-on-write generations (the incremental side).
+
+    Journal text round-trips through {!render}/{!parse}. The parser is
+    hardened like the stream journal parser: malformed headers, NUL
+    bytes, non-increasing serials, and key-less paragraphs are rejected
+    and recorded — on the [nrtm.ops_rejected] counter and in the returned
+    error list — while parsing keeps going. *)
+
+type action = Add | Del
+
+type op = {
+  serial : int;      (** strictly increasing across a journal *)
+  source : string;   (** IRR the object belongs to, e.g. ["RADB"] *)
+  action : action;
+  text : string;     (** one RPSL paragraph, no blank lines inside *)
+}
+
+type key = string
+(** Identity of a paragraph: [class|NAME] for named classes, with the
+    origin appended for route/route6 ([route|192.0.2.0/24|AS65001]).
+    Case-insensitive on the class and name. [""] for paragraphs without
+    a [key: value] first line (remarks). *)
+
+val key_of_paragraph : string -> key
+
+val generate : seed:int -> n:int -> (string * string) list -> op list
+(** [generate ~seed ~n dumps] draws about [n] operations against the
+    given [(source, rpsl_text)] dump set: fresh route-object ADDs (from
+    the 198.18.0.0/15 benchmark range, disjoint from the synthetic
+    world's 20.0.0.0/8 space), route and whole-object DELs, and
+    DEL+ADD modify pairs that append as-set members or aut-num rules.
+    Only objects whose key is unique across the whole dump set are
+    edited, so text-level and IR-level replay agree under the
+    first-definition-wins merge. Deterministic in [seed]. *)
+
+val apply_to_dumps : op list -> (string * string) list -> (string * string) list
+(** Replay the journal onto the dump texts, in op order: DEL removes the
+    paragraph with the op's key from the op's source dump, ADD replaces
+    any same-key paragraph and appends the op's text. Dumps keep their
+    order; paragraph separators are normalized to one blank line. Ops
+    naming an unknown source are ignored. *)
+
+val render : op list -> string
+(** Journal text: a [%START] header, one [ADD <serial> <source>] or
+    [DEL <serial> <source>] line per op followed by its paragraph and a
+    blank line, and a [%END] trailer. *)
+
+val parse : string -> op list * (int * string) list
+(** Inverse of {!render}. Returns accepted ops in journal order plus
+    [(line number, reason)] rejections; never raises. [%]-comment lines
+    are ignored. Each rejection increments [nrtm.ops_rejected]. *)

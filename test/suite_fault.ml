@@ -615,6 +615,55 @@ let test_journal_parser_table () =
     total_rejected (Obs.Counter.get c);
   Obs.disable ()
 
+(* ---- hostile query corpus through the service dispatch ---- *)
+
+let slurp path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  really_input_string ic (in_channel_length ic)
+
+let query_corpus_files =
+  [ "query_truncated.txt"; "query_pipelined_garbage.txt"; "query_slowloris.txt" ]
+
+let test_query_corpus_rate_one_drill () =
+  (* the serve-side analogue of the chaos drills: the hostile query
+     corpus — raw, and corrupted at rate 1.0 under several seeds — goes
+     line by line through the shared dispatch path. The keep-going
+     contract: every line gets a rendered protocol response, nothing
+     raises, and the guards account for what they shed. *)
+  Obs.enable ();
+  Obs.reset ();
+  Fun.protect ~finally:(fun () -> Obs.disable (); Obs.reset ()) @@ fun () ->
+  let c_total = Obs.Counter.make "serve.queries_total" in
+  let c_rejected = Obs.Counter.make "serve.queries_rejected" in
+  let db = Db.of_dumps [ ("TEST", sample_dump) ] in
+  let corpus =
+    String.concat "\n" (List.map (fun f -> slurp (fixture f)) query_corpus_files)
+  in
+  let dispatched = ref 0 in
+  let drive text =
+    List.iter
+      (fun line ->
+        incr dispatched;
+        let resp = Rz_serve.Serve.dispatch db line in
+        Alcotest.(check bool) "response renders" true
+          (String.length (Rz_irr.Irrd_query.render resp) >= 0))
+      (String.split_on_char '\n' text)
+  in
+  drive corpus;
+  List.iter
+    (fun seed ->
+      let p = Fault.plan ~seed ~rate:1.0 () in
+      let corrupted, report = Fault.corrupt_dump p corpus in
+      Alcotest.(check bool) "rate 1.0 injected faults" true
+        (Fault.total_faults report > 0);
+      drive corrupted)
+    [ 1; 2; 3 ];
+  Alcotest.(check int) "every line dispatched and counted" !dispatched
+    (Obs.Counter.get c_total);
+  (* the raw corpus alone carries a NUL-injected line *)
+  Alcotest.(check bool) "guards fired" true (Obs.Counter.get c_rejected > 0)
+
 let suite =
   [ Alcotest.test_case "determinism" `Quick test_determinism;
     Alcotest.test_case "rate 0 identity" `Quick test_rate_zero_identity;
@@ -646,4 +695,6 @@ let suite =
     Alcotest.test_case "batch retry recovers" `Quick test_batch_retry_recovers;
     Alcotest.test_case "batch exhaustion excludes whole batch" `Quick
       test_batch_exhaustion_excludes_whole_batch;
-    Alcotest.test_case "journal parser table" `Quick test_journal_parser_table ]
+    Alcotest.test_case "journal parser table" `Quick test_journal_parser_table;
+    Alcotest.test_case "query corpus rate-1.0 drill" `Quick
+      test_query_corpus_rate_one_drill ]

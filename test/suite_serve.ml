@@ -1,0 +1,438 @@
+(* Tests for the persistent IRRd query service (Rz_serve): protocol
+   conformance of the shared dispatch path, admission guards at both the
+   in-process and the socket layer (hostile-query corpus), live
+   copy-on-write generation swaps raced by concurrent sessions, and the
+   NRTM incremental==batch differential. *)
+
+module Serve = Rz_serve.Serve
+module Generation = Rz_serve.Generation
+module Q = Rz_irr.Irrd_query
+module Db = Rz_irr.Db
+module Nrtm = Rz_synthirr.Nrtm
+module Obs = Rz_obs.Obs
+
+(* same registry as suite_irrd: a cone with a sub-set, a route-set, and
+   covering/covered route pairs, so every response shape is reachable *)
+let fixture =
+  "aut-num: AS65001\n\
+   as-name: EXAMPLE\n\
+   import: from AS65002 accept AS-CONE\n\
+   export: to AS65002 announce AS65001\n\
+   mnt-by: MNT-EX\n\
+   \n\
+   as-set: AS-CONE\n\
+   members: AS65001, AS-SUB\n\
+   \n\
+   as-set: AS-SUB\n\
+   members: AS65003\n\
+   \n\
+   route-set: RS-NETS\n\
+   members: 192.0.2.0/24^+, AS65003\n\
+   \n\
+   route: 192.0.2.0/24\norigin: AS65001\n\
+   \n\
+   route: 198.51.100.0/24\norigin: AS65001\n\
+   \n\
+   route: 198.51.100.0/25\norigin: AS65003\n\
+   \n\
+   route6: 2001:db8::/32\norigin: AS65001\n"
+
+let db = lazy (Db.of_dumps [ ("TEST", fixture) ])
+
+let counter name = Obs.Counter.get (Obs.Counter.make name)
+
+(* fixtures are declared as test deps, so they sit next to the built
+   executable; anchor there so dune exec from the project root works too *)
+let fixture_dir =
+  lazy
+    (let candidates =
+       [ Filename.concat (Filename.dirname Sys.executable_name) "fixtures";
+         "fixtures"; Filename.concat "test" "fixtures" ]
+     in
+     match List.find_opt Sys.file_exists candidates with
+     | Some dir -> dir
+     | None -> "fixtures")
+
+let slurp file =
+  let ic = open_in_bin (Filename.concat (Lazy.force fixture_dir) file) in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  really_input_string ic (in_channel_length ic)
+
+(* ---- protocol conformance: every Irrd_query response shape through
+   the shared dispatch path ---- *)
+
+let shape = function
+  | Q.Data _ -> "data"
+  | Q.No_data -> "no-data"
+  | Q.Not_found_key -> "not-found"
+  | Q.Error_resp _ -> "error"
+  | Q.Quit -> "quit"
+
+let conformance_pins =
+  [ ("!gAS65001", `Payload "192.0.2.0/24 198.51.100.0/24");
+    ("!6AS65001", `Payload "2001:db8::/32");
+    ("!iAS-CONE", `Payload "AS65001 AS-SUB");
+    ("!iAS-CONE,1", `Payload "AS65001 AS65003");
+    ("!aAS-CONE", `Payload "192.0.2.0/24 198.51.100.0/24");
+    ("!r198.51.100.0/25,o", `Payload "AS65003");
+    ("!gAS64999", `Shape "not-found");
+    ("!iAS-NOWHERE", `Shape "not-found");
+    ("WHAT-IS-THIS", `Shape "not-found");
+    ("", `Shape "no-data");
+    ("   \t ", `Shape "no-data");
+    ("!nbgpq4", `Shape "no-data");
+    ("!q", `Shape "quit");
+    ("!zwhatever", `Shape "error");
+    ("!maut-num", `Shape "error") ]
+
+let test_dispatch_conformance () =
+  let db = Lazy.force db in
+  List.iter
+    (fun (query, expect) ->
+      match (Serve.dispatch db query, expect) with
+      | Q.Data payload, `Payload want ->
+        Alcotest.(check string) query want payload
+      | resp, `Payload want ->
+        Alcotest.failf "%s: want data %S, got %s" query want (shape resp)
+      | resp, `Shape want -> Alcotest.(check string) query want (shape resp))
+    conformance_pins
+
+let test_dispatch_matches_answer () =
+  (* for clean in-protocol queries the service path adds nothing: it must
+     agree with Irrd_query.answer, and session_lines with session *)
+  let db = Lazy.force db in
+  List.iter
+    (fun (query, _) ->
+      Alcotest.(check string) query
+        (Q.render (Q.answer db query))
+        (Q.render (Serve.dispatch db query)))
+    conformance_pins;
+  let lines = [ "!nbgpq4"; "!gAS65001"; "!iAS-CONE,1"; "!q"; "!gAS65001" ] in
+  Alcotest.(check string) "session_lines == session" (Q.session db lines)
+    (Serve.session_lines db lines)
+
+let test_dispatch_guards () =
+  Obs.enable ();
+  let db = Lazy.force db in
+  let expect_rejected label query =
+    let before = counter "serve.queries_rejected" in
+    (match Serve.dispatch db query with
+    | Q.Error_resp _ -> ()
+    | resp -> Alcotest.failf "%s: want error, got %s" label (shape resp));
+    Alcotest.(check int) (label ^ " counted") (before + 1)
+      (counter "serve.queries_rejected")
+  in
+  expect_rejected "oversized line" ("!i" ^ String.make 2_048 'A');
+  expect_rejected "NUL byte" "!gAS1\000AS2";
+  expect_rejected "CR injection" "!gAS65001\rF fake";
+  expect_rejected "LF injection" "!gAS65001\nA5\nowned";
+  (* the boundary itself is admissible *)
+  let before = counter "serve.queries_rejected" in
+  ignore (Serve.dispatch db (String.make 1_024 'x'));
+  Alcotest.(check int) "max_line_bytes admissible" before
+    (counter "serve.queries_rejected");
+  let total_before = counter "serve.queries_total" in
+  ignore (Serve.session_lines db [ "!gAS65001"; "!iAS-CONE" ]);
+  Alcotest.(check int) "every query counted" (total_before + 2)
+    (counter "serve.queries_total")
+
+(* ---- the real server: socket round-trips ---- *)
+
+let tmp_socket () =
+  let path = Filename.temp_file "rz_serve" ".sock" in
+  Sys.remove path;
+  path
+
+let with_server ?config ?journal store f =
+  let path = tmp_socket () in
+  let t = Serve.start ?config ?journal store (Serve.Socket path) in
+  Fun.protect ~finally:(fun () -> Serve.stop t) @@ fun () ->
+  f (Serve.Socket path)
+
+let fixture_store = lazy (Generation.init (Db.ir (Lazy.force db)))
+
+let test_server_roundtrip_unix () =
+  let store = Lazy.force fixture_store in
+  with_server store @@ fun addr ->
+  Alcotest.(check string) "framed reply"
+    (Q.render (Q.Data "AS65001 AS-SUB") ^ Q.render Q.Not_found_key)
+    (Serve.client addr [ "!iAS-CONE"; "!gAS64999" ])
+
+let test_server_roundtrip_tcp_ephemeral () =
+  let store = Lazy.force fixture_store in
+  let t = Serve.start store (Serve.Port 0) in
+  Fun.protect ~finally:(fun () -> Serve.stop t) @@ fun () ->
+  Alcotest.(check bool) "ephemeral port bound" true (Serve.port t > 0);
+  Alcotest.(check string) "reply over tcp"
+    (Q.render (Q.Data "AS65001 AS65003"))
+    (Serve.client (Serve.Port (Serve.port t)) [ "!iAS-CONE,1" ]);
+  Serve.stop t;
+  (* stop is idempotent *)
+  Serve.stop t
+
+let test_server_journal_u () =
+  Obs.enable ();
+  let ops = Nrtm.generate ~seed:3 ~n:6 [ ("TEST", fixture) ] in
+  Alcotest.(check bool) "journal non-empty" true (ops <> []);
+  let k = max 1 (List.length ops / 2) in
+  let b1 = List.filteri (fun i _ -> i < k) ops in
+  let b2 = List.filteri (fun i _ -> i >= k) ops in
+  let store = Generation.init (Db.ir (Lazy.force db)) in
+  with_server ~journal:[ b1; b2 ] store @@ fun addr ->
+  let has needle reply =
+    Rz_util.Strings.split_on_string ~sep:needle reply |> List.length > 1
+  in
+  Alcotest.(check bool) "first !u swaps to generation 2" true
+    (has "generation 2: applied" (Serve.client addr [ "!u" ]));
+  Alcotest.(check bool) "second !u swaps to generation 3" true
+    (has "generation 3: applied" (Serve.client addr [ "!u" ]));
+  Alcotest.(check string) "drained journal -> C" "C\n"
+    (Serve.client addr [ "!u" ]);
+  Alcotest.(check int) "store generation" 3 (Generation.generation store);
+  Alcotest.(check bool) "serial advanced" true (Generation.last_serial store > 0)
+
+(* ---- hostile corpus through the real admission path ---- *)
+
+let await label pred =
+  let rec go tries =
+    if pred () then ()
+    else if tries = 0 then Alcotest.failf "%s: never observed" label
+    else begin
+      Unix.sleepf 0.02;
+      go (tries - 1)
+    end
+  in
+  go 150
+
+let test_hostile_truncated () =
+  Obs.enable ();
+  let store = Lazy.force fixture_store in
+  with_server store @@ fun addr ->
+  let before = counter "serve.queries_rejected" in
+  let reply = Serve.client_raw addr (slurp "query_truncated.txt") in
+  Alcotest.(check string) "truncated command gets no reply" "" reply;
+  await "truncated query rejected" (fun () ->
+      counter "serve.queries_rejected" > before);
+  (* the server is still healthy *)
+  Alcotest.(check string) "next session answers"
+    (Q.render (Q.Data "AS65001 AS-SUB"))
+    (Serve.client addr [ "!iAS-CONE" ])
+
+let test_hostile_pipelined_garbage () =
+  Obs.enable ();
+  let store = Lazy.force fixture_store in
+  with_server store @@ fun addr ->
+  let before = counter "serve.queries_rejected" in
+  let reply = Serve.client_raw addr (slurp "query_pipelined_garbage.txt") in
+  let has needle =
+    Rz_util.Strings.split_on_string ~sep:needle reply |> List.length > 1
+  in
+  Alcotest.(check bool) "garbage answered with F" true (has "F ");
+  Alcotest.(check bool) "NUL line rejected in-protocol" true
+    (has "F NUL byte in query");
+  Alcotest.(check bool) "pipelined valid query still answered" true
+    (has "AS65001 AS-SUB");
+  await "rejections counted" (fun () ->
+      counter "serve.queries_rejected" >= before + 1)
+
+let test_hostile_slowloris () =
+  Obs.enable ();
+  let store = Lazy.force fixture_store in
+  let config = { Serve.default_config with read_timeout_ms = 250 } in
+  with_server ~config store @@ fun addr ->
+  let before = counter "serve.sessions_dropped" in
+  let reply =
+    Serve.client_raw addr ~stall_s:0.8 (slurp "query_slowloris.txt")
+  in
+  Alcotest.(check string) "stalled partial line gets no reply" "" reply;
+  await "slowloris session dropped" (fun () ->
+      counter "serve.sessions_dropped" > before);
+  Alcotest.(check string) "server survives the drop"
+    (Q.render (Q.Data "AS65001 AS65003"))
+    (Serve.client addr [ "!iAS-CONE,1" ])
+
+let test_admission_busy () =
+  Obs.enable ();
+  let store = Lazy.force fixture_store in
+  let config =
+    { Serve.default_config with
+      workers = 1;
+      max_inflight = 1;
+      read_timeout_ms = 3_000 }
+  in
+  let path = tmp_socket () in
+  let t = Serve.start ~config store (Serve.Socket path) in
+  Fun.protect ~finally:(fun () -> Serve.stop t) @@ fun () ->
+  let connect () =
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    fd
+  in
+  (* occupy the single worker with a half-sent command, then fill the
+     one queue slot the same way; the third connection must be refused
+     at accept time *)
+  let fd1 = connect () in
+  ignore (Unix.write_substring fd1 "!gAS" 0 4);
+  Unix.sleepf 0.4;
+  let fd2 = connect () in
+  ignore (Unix.write_substring fd2 "!gAS" 0 4);
+  Unix.sleepf 0.4;
+  let before = counter "serve.sessions_rejected" in
+  let reply = Serve.client_raw (Serve.Socket path) "" in
+  Alcotest.(check string) "third connection refused" "F server busy\n" reply;
+  Alcotest.(check int) "refusal counted" (before + 1)
+    (counter "serve.sessions_rejected");
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) [ fd1; fd2 ]
+
+(* ---- live generations: soak + differential ---- *)
+
+let small_world =
+  lazy
+    (let topo_params =
+       { Rz_topology.Gen.default_params with
+         seed = 13;
+         n_tier1 = 3;
+         n_mid = 12;
+         n_stub = 40 }
+     in
+     Rpslyzer.Pipeline.build_synthetic ~topo_params ())
+
+(* base database rebuilt sequentially from the dump texts, so both sides
+   of every differential share one lowering path *)
+let base_db =
+  lazy (Db.of_dumps (Lazy.force small_world).Rpslyzer.Pipeline.dumps)
+
+let chunk3 ops =
+  let n = List.length ops in
+  let k = max 1 ((n + 2) / 3) in
+  let b1 = List.filteri (fun i _ -> i < k) ops in
+  let b2 = List.filteri (fun i _ -> i >= k && i < 2 * k) ops in
+  let b3 = List.filteri (fun i _ -> i >= 2 * k) ops in
+  List.filter (fun b -> b <> []) [ b1; b2; b3 ]
+
+(* Eight concurrent sessions race three live generation swaps; every
+   transcript+fingerprint pair a reader observes must equal one of the
+   precomputed per-generation pairs — a torn read (answers from one
+   generation, content hash from another, or a half-swapped database)
+   matches none of them. *)
+let qcheck_soak =
+  QCheck.Test.make ~count:2 ~name:"soak: 8 sessions across 3 live swaps, no torn reads"
+    QCheck.(make ~print:Print.int Gen.(int_bound 9_999))
+    (fun seed ->
+      let world = Lazy.force small_world in
+      let base = Lazy.force base_db in
+      let ops = Nrtm.generate ~seed ~n:24 world.Rpslyzer.Pipeline.dumps in
+      if List.length ops < 6 then
+        QCheck.Test.fail_reportf "journal too small at seed %d" seed;
+      let batches = chunk3 ops in
+      let probes =
+        [ "!r198.18.0.0/24"; "!r198.18.1.0/24"; "!gAS64511"; "!iAS-NOWHERE" ]
+      in
+      let observe db = (Serve.session_lines db probes, Generation.fingerprint db) in
+      let shadow = Generation.init (Db.ir base) in
+      let expected = ref [ observe (Generation.current shadow) ] in
+      List.iter
+        (fun batch ->
+          ignore (Generation.apply shadow batch);
+          expected := observe (Generation.current shadow) :: !expected)
+        batches;
+      let expected = List.rev !expected in
+      let n_gens = List.length batches + 1 in
+      if
+        List.length (List.sort_uniq compare (List.map snd expected)) <> n_gens
+      then
+        QCheck.Test.fail_reportf
+          "seed %d: batches did not produce %d distinct generations" seed n_gens;
+      let store = Generation.init (Db.ir base) in
+      let torn = Atomic.make 0 in
+      let readers =
+        List.init 8 (fun _ ->
+            Domain.spawn (fun () ->
+                let iters = ref 0 in
+                let distinct = ref [] in
+                while Generation.generation store < n_gens && !iters < 2_000 do
+                  incr iters;
+                  let got = observe (Generation.current store) in
+                  if not (List.mem got expected) then Atomic.incr torn;
+                  if not (List.mem (snd got) !distinct) then
+                    distinct := snd got :: !distinct
+                done;
+                (* one more read after the last swap *)
+                if not (List.mem (observe (Generation.current store)) expected)
+                then Atomic.incr torn;
+                List.length !distinct))
+      in
+      List.iter
+        (fun batch ->
+          Unix.sleepf 0.01;
+          ignore (Generation.apply store batch))
+        batches;
+      let seen = List.map Domain.join readers in
+      if Atomic.get torn > 0 then
+        QCheck.Test.fail_reportf "seed %d: %d torn reads" seed (Atomic.get torn);
+      if Generation.generation store <> n_gens then
+        QCheck.Test.fail_reportf "seed %d: expected %d generations, got %d" seed
+          n_gens (Generation.generation store);
+      if List.for_all (fun n -> n <= 1) seen then
+        QCheck.Test.fail_reportf
+          "seed %d: no reader ever observed more than one generation live" seed;
+      true)
+
+(* Applying a journal as generation swaps must land on a database
+   byte-identical (canonical fingerprint) to re-ingesting the post-edit
+   registry from scratch. *)
+let qcheck_incremental_equals_batch =
+  QCheck.Test.make ~count:6 ~name:"nrtm journal: generation swaps == batch re-ingest"
+    QCheck.(make ~print:Print.(pair int int) Gen.(pair (int_bound 9_999) (int_range 4 32)))
+    (fun (seed, n) ->
+      let world = Lazy.force small_world in
+      let base = Lazy.force base_db in
+      let dumps = world.Rpslyzer.Pipeline.dumps in
+      let ops = Nrtm.generate ~seed ~n dumps in
+      let store = Generation.init (Db.ir base) in
+      List.iter (fun batch -> ignore (Generation.apply store batch)) (chunk3 ops);
+      let fp_incremental = Generation.fingerprint (Generation.current store) in
+      let fp_batch =
+        Generation.fingerprint (Db.of_dumps (Nrtm.apply_to_dumps ops dumps))
+      in
+      if fp_incremental <> fp_batch then
+        QCheck.Test.fail_reportf
+          "fingerprints diverge at seed %d n %d (%d ops): %s vs %s" seed n
+          (List.length ops) fp_incremental fp_batch;
+      true)
+
+let test_stale_ops_skipped () =
+  Obs.enable ();
+  let ops = Nrtm.generate ~seed:9 ~n:5 [ ("TEST", fixture) ] in
+  Alcotest.(check bool) "journal non-empty" true (ops <> []);
+  let store = Generation.init (Db.ir (Lazy.force db)) in
+  let g1 = Generation.apply store ops in
+  Alcotest.(check int) "first apply publishes" 2 g1;
+  let fp1 = Generation.fingerprint (Generation.current store) in
+  let stale_before = counter "nrtm.ops_stale" in
+  let g2 = Generation.apply store ops in
+  Alcotest.(check int) "replayed journal publishes nothing" g1 g2;
+  Alcotest.(check int) "stale ops counted"
+    (stale_before + List.length ops)
+    (counter "nrtm.ops_stale");
+  Alcotest.(check string) "content unchanged" fp1
+    (Generation.fingerprint (Generation.current store))
+
+let suite =
+  [ Alcotest.test_case "dispatch conformance pins" `Quick test_dispatch_conformance;
+    Alcotest.test_case "dispatch == answer on clean queries" `Quick
+      test_dispatch_matches_answer;
+    Alcotest.test_case "dispatch guards + counters" `Quick test_dispatch_guards;
+    Alcotest.test_case "server round-trip (unix socket)" `Quick
+      test_server_roundtrip_unix;
+    Alcotest.test_case "server round-trip (tcp ephemeral)" `Quick
+      test_server_roundtrip_tcp_ephemeral;
+    Alcotest.test_case "!u applies journal batches" `Quick test_server_journal_u;
+    Alcotest.test_case "hostile: truncated command" `Quick test_hostile_truncated;
+    Alcotest.test_case "hostile: pipelined garbage" `Quick
+      test_hostile_pipelined_garbage;
+    Alcotest.test_case "hostile: slowloris" `Quick test_hostile_slowloris;
+    Alcotest.test_case "admission: server busy" `Quick test_admission_busy;
+    Alcotest.test_case "stale ops skipped" `Quick test_stale_ops_skipped;
+    QCheck_alcotest.to_alcotest qcheck_incremental_equals_batch;
+    QCheck_alcotest.to_alcotest qcheck_soak ]

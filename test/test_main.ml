@@ -34,4 +34,5 @@ let () =
       ("edge", Suite_edge.suite);
       ("fault", Suite_fault.suite);
       ("stream", Suite_stream.suite);
+      ("serve", Suite_serve.suite);
       ("ingest", Suite_ingest.suite) ]
