@@ -182,9 +182,10 @@ let () =
         Printf.eprintf "METRICS DIFF FAILED: %s: %s\n" path e;
         exit 1
     in
-    (* Per-run subtrees: distributions and span trees have no stable
-       cross-run identity, and meta is run metadata by construction. *)
-    let skip_subtrees = [ "meta"; "histograms"; "spans" ] in
+    (* Per-run subtrees: distributions, rolling windows and span trees
+       have no stable cross-run identity, and meta is run metadata by
+       construction. *)
+    let skip_subtrees = [ "meta"; "histograms"; "spans"; "windows" ] in
     (* Wall-clock (and host-shape) keys: informational, never compared. *)
     let skip_keys =
       [ "secs"; "save_secs"; "load_secs"; "ablation_secs"; "sharded_secs";
@@ -1402,6 +1403,73 @@ let () =
     in
     if fp_incremental <> fp_batch then
       fail "generation swaps diverged from batch re-ingest";
+    (* scrape-under-load: the [!s] exposition snapshots the whole
+       registry and renders the text format inside the same guarded
+       dispatch as any query, so it has a cost worth watching. Obs is
+       enabled for this pass only (the throughput passes above run
+       uninstrumented): ordinary queries warm the serve.* metrics, one
+       exposition is strict-parsed, per-call cost is timed
+       single-threaded, and then [!s] latency is sampled while
+       [n_readers] domains hammer the ordinary workload against the
+       same final generation. Call counts and the parse verdict are
+       deterministic and ride the gated accounting; costs and
+       quantiles are reported, not gated. *)
+    let db_final = Generation.current store in
+    Rpslyzer.Obs.enable ();
+    Rpslyzer.Obs.reset ();
+    let stats () =
+      Rpslyzer.Obs.to_prometheus (Rpslyzer.Obs.Registry.snapshot ())
+    in
+    let scrape_once () =
+      match Serve.dispatch ~config ~stats db_final "!s" with
+      | Rz_irr.Irrd_query.Data payload -> payload
+      | _ -> fail "!s did not answer Data under a stats closure"
+    in
+    Array.iter (fun q -> ignore (Serve.dispatch ~config db_final q)) (slice 0);
+    (match Rpslyzer.Obs.parse_prometheus (scrape_once ()) with
+     | Error e -> fail ("!s exposition rejected by the strict parser: " ^ e)
+     | Ok [] -> fail "!s exposition parsed to zero samples"
+     | Ok _ -> ());
+    let scrape_calls = if quick then 400 else 1_500 in
+    let t0s = Unix.gettimeofday () in
+    for _ = 1 to scrape_calls do
+      ignore (scrape_once ())
+    done;
+    let t_scrape = Unix.gettimeofday () -. t0s in
+    let scrape_ns_per_call = t_scrape *. 1e9 /. fint scrape_calls in
+    let rslices = Array.init n_readers slice in
+    let stop_readers = Atomic.make false in
+    let scrape_readers =
+      List.init n_readers (fun r ->
+          Domain.spawn (fun () ->
+              let sl = rslices.(r) in
+              let n = Array.length sl in
+              let i = ref 0 and answered = ref 0 in
+              while not (Atomic.get stop_readers) do
+                ignore (Serve.dispatch ~config db_final sl.(!i mod n));
+                incr i;
+                incr answered
+              done;
+              !answered))
+    in
+    let lat = Array.make scrape_calls 0.0 in
+    let t0l = Unix.gettimeofday () in
+    for i = 0 to scrape_calls - 1 do
+      let t0 = Rpslyzer.Obs.now_ns () in
+      ignore (scrape_once ());
+      lat.(i) <- float_of_int (Rpslyzer.Obs.now_ns () - t0)
+    done;
+    let t_scrape_loaded = Unix.gettimeofday () -. t0l in
+    Atomic.set stop_readers true;
+    let load_queries =
+      List.fold_left (fun acc d -> acc + Domain.join d) 0 scrape_readers
+    in
+    if load_queries = 0 then fail "scrape-under-load readers answered nothing";
+    Rpslyzer.Obs.disable ();
+    Array.sort compare lat;
+    let pct q =
+      lat.(min (scrape_calls - 1) (int_of_float (q *. fint scrape_calls)))
+    in
     let qps t n = if t > 0. then fint n /. t else 0. in
     Table.print
       ~header:[ "pass"; "secs"; "queries/s"; "notes" ]
@@ -1411,12 +1479,20 @@ let () =
         [ Printf.sprintf "dispatch (%d domains + swaps)" n_readers;
           Printf.sprintf "%.3f" t_concurrent;
           Printf.sprintf "%.0f" (qps t_concurrent answered);
-          Printf.sprintf "%d swaps live" (List.length batches) ] ];
+          Printf.sprintf "%d swaps live" (List.length batches) ];
+        [ "scrape !s (1 thread)"; Printf.sprintf "%.3f" t_scrape;
+          Printf.sprintf "%.0f" (qps t_scrape scrape_calls);
+          Printf.sprintf "%.0f ns/exposition" scrape_ns_per_call ];
+        [ Printf.sprintf "scrape !s (%d-domain load)" n_readers;
+          Printf.sprintf "%.3f" t_scrape_loaded;
+          Printf.sprintf "%.0f" (qps t_scrape_loaded scrape_calls);
+          Printf.sprintf "p50 %.0f ns, p99 %.0f ns" (pct 0.5) (pct 0.99) ] ];
     Printf.printf
       "\n%s queries: %d data, %d no-data, %d not-found, %d error; %s response \
-       bytes; %d generations; incremental == batch held\n"
+       bytes; %d generations; incremental == batch held; %d scrapes \
+       strict-parsed\n"
       (Table.commas n_queries) !data !no_data !not_found !errors
-      (Table.commas !bytes) generations;
+      (Table.commas !bytes) generations scrape_calls;
     let mode = if quick then "quick" else if big then "big" else "default" in
     let accounting =
       Json.Obj
@@ -1428,7 +1504,10 @@ let () =
           ("response_bytes", Json.Int !bytes);
           ("journal_ops", Json.Int (List.length ops));
           ("journal_batches", Json.Int (List.length batches));
-          ("generations", Json.Int generations) ]
+          ("generations", Json.Int generations);
+          ("scrape_calls", Json.Int scrape_calls);
+          ("scrape_readers", Json.Int n_readers);
+          ("scrape_parse_ok", Json.Bool true) ]
     in
     let json =
       Json.Obj
@@ -1444,6 +1523,13 @@ let () =
                 ("secs", Json.Float t_concurrent);
                 ("queries_per_sec", Json.Float (qps t_concurrent answered));
                 ("swaps", Json.Int (List.length batches)) ] );
+          ( "scrape",
+            Json.Obj
+              [ ("calls", Json.Int scrape_calls);
+                ("exposition_ns_per_call", Json.Float scrape_ns_per_call);
+                ("under_load_p50_ns", Json.Float (pct 0.5));
+                ("under_load_p99_ns", Json.Float (pct 0.99));
+                ("reader_queries_during_scrapes", Json.Int load_queries) ] );
           ("incremental_equals_batch", Json.Bool true);
           ("gc", gc_json ()) ]
     in

@@ -104,19 +104,33 @@ let interval_arg =
     & info [ "metrics-interval" ] ~docv:"SECONDS"
         ~doc:"Sampling interval for $(b,--metrics-stream) (default 5.0).")
 
+let prom_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "prom-file" ] ~docv:"FILE"
+        ~doc:
+          "Write the final registry snapshot in the Prometheus text \
+           exposition format to $(docv) when the command finishes \
+           (counters, gauges, cumulative histogram buckets, rolling \
+           windows, spans). $(docv) '-' prints to stdout. Implies metric \
+           collection; validated by the $(b,prom_check) tool.")
+
 type obs_opts = {
   o_metrics : string option;
   o_trace : string option;
   o_sample : Rpslyzer.Trace.sampling option;
   o_stream : string option;
   o_interval : float;
+  o_prom : string option;
 }
 
 let obs_opts_term =
   Term.(
-    const (fun o_metrics o_trace o_sample o_stream o_interval ->
-        { o_metrics; o_trace; o_sample; o_stream; o_interval })
-    $ metrics_arg $ trace_arg $ trace_sample_arg $ stream_arg $ interval_arg)
+    const (fun o_metrics o_trace o_sample o_stream o_interval o_prom ->
+        { o_metrics; o_trace; o_sample; o_stream; o_interval; o_prom })
+    $ metrics_arg $ trace_arg $ trace_sample_arg $ stream_arg $ interval_arg
+    $ prom_arg)
 
 (* Shared --snapshot FILE flag (parse/stats/verify): binary IR snapshot
    cache keyed on the dumps' digest. A valid, current snapshot skips
@@ -167,7 +181,10 @@ let write_file ~what path contents =
    the trace export, then the metrics snapshot. *)
 let with_obs ~cmd ?seed opts body =
   let module T = Rpslyzer.Trace in
-  let any = opts.o_metrics <> None || opts.o_trace <> None || opts.o_stream <> None in
+  let any =
+    opts.o_metrics <> None || opts.o_trace <> None || opts.o_stream <> None
+    || opts.o_prom <> None
+  in
   if any then Rpslyzer.Obs.enable ();
   if Rpslyzer.Obs.enabled () then begin
     Rpslyzer.Obs.Meta.set "subcommand" (Rpslyzer.Json.String cmd);
@@ -201,6 +218,14 @@ let with_obs ~cmd ?seed opts body =
          write_file ~what:"trace" path (Rpslyzer.Json.to_string json)
        | None -> ());
       if T.enabled () then T.configure T.Off;
+      (match opts.o_prom with
+       | None -> ()
+       | Some dest ->
+         let text =
+           Rpslyzer.Obs.to_prometheus (Rpslyzer.Obs.Registry.snapshot ())
+         in
+         if dest = "-" then print_string text
+         else write_file ~what:"prometheus exposition" dest text);
       match opts.o_metrics with
       | None -> ()
       | Some dest ->
@@ -751,7 +776,8 @@ let serve_address_of_string s =
 
 let serve_cmd =
   let run obs dir domains seed snapshot port socket workers max_inflight
-      query_timeout_ms read_timeout_ms journal journal_batch connect queries =
+      query_timeout_ms read_timeout_ms journal journal_batch access_log
+      access_log_sample connect queries =
     guarded @@ fun () ->
     match connect with
     | Some target ->
@@ -826,8 +852,18 @@ let serve_cmd =
             max_line_bytes = Rz_serve.Serve.default_config.max_line_bytes }
         in
         let store = Rz_serve.Generation.init (Rz_irr.Db.ir world.db) in
+        let alog =
+          Option.map
+            (fun path ->
+              Rz_serve.Access_log.create ?sampling:access_log_sample path)
+            access_log
+        in
+        Fun.protect
+          ~finally:(fun () -> Option.iter Rz_serve.Access_log.close alog)
+        @@ fun () ->
         let server =
-          Rz_serve.Serve.start ~config ~journal:journal_batches store address
+          Rz_serve.Serve.start ~config ~journal:journal_batches ?access_log:alog
+            store address
         in
         (match address with
          | Rz_serve.Serve.Port _ ->
@@ -927,6 +963,28 @@ let serve_cmd =
       & info [ "journal-batch" ] ~docv:"N"
           ~doc:"Journal ops applied per $(b,!u) (default 16).")
   in
+  let access_log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "access-log" ] ~docv:"FILE"
+          ~doc:
+            "Structured per-query access log: one JSON object per query \
+             (ts, peer, query, response class, latency_ns, generation, \
+             serial, rejected reason) appended to $(docv) from a bounded \
+             writer queue; records that would block are dropped and \
+             counted on obs.accesslog_dropped.")
+  in
+  let access_log_sample =
+    Arg.(
+      value
+      & opt (some sampling_conv) None
+      & info [ "access-log-sample" ] ~docv:"POLICY"
+          ~doc:
+            "Access-log sampling: $(b,all) (default), $(b,off), or \
+             $(b,quota:N) (keep the first N records per response class) — \
+             the rz_trace sampling dial applied to the access log.")
+  in
   let connect =
     Arg.(
       value
@@ -952,7 +1010,152 @@ let serve_cmd =
     Term.(
       const run $ obs_opts_term $ dir $ domains_arg $ seed $ snapshot_arg
       $ port $ socket $ workers $ max_inflight $ query_timeout_ms
-      $ read_timeout_ms $ journal $ journal_batch $ connect $ queries)
+      $ read_timeout_ms $ journal $ journal_batch $ access_log
+      $ access_log_sample $ connect $ queries)
+
+(* ---------------- top ---------------- *)
+
+(* Unframe one "A<len>\n<payload>\nC\n" IRRd protocol reply. *)
+let unframe_data reply =
+  if String.length reply < 2 || reply.[0] <> 'A' then None
+  else
+    match String.index_opt reply '\n' with
+    | None -> None
+    | Some i -> (
+      match int_of_string_opt (String.sub reply 1 (i - 1)) with
+      | Some len when String.length reply >= i + 1 + len ->
+        Some (String.sub reply (i + 1) len)
+      | _ -> None)
+
+(* "# meta <key> <json>" comment lines in the !s exposition. *)
+let meta_of_exposition payload key =
+  let prefix = Printf.sprintf "# meta %s " key in
+  List.find_map
+    (fun line ->
+      if String.length line > String.length prefix
+         && String.sub line 0 (String.length prefix) = prefix
+      then begin
+        let v =
+          String.sub line (String.length prefix)
+            (String.length line - String.length prefix)
+        in
+        match Rpslyzer.Json.of_string v with
+        | Ok (Rpslyzer.Json.String s) -> Some s
+        | Ok j -> Some (Rpslyzer.Json.to_string j)
+        | Error _ -> Some v
+      end
+      else None)
+    (String.split_on_char '\n' payload)
+
+let top_cmd =
+  let run connect interval once =
+    guarded @@ fun () ->
+    let addr = serve_address_of_string connect in
+    let fetch () =
+      let reply =
+        try Rz_serve.Serve.client addr [ "!s" ]
+        with Unix.Unix_error (e, _, _) ->
+          failwith
+            (Printf.sprintf "cannot connect to %s: %s" connect
+               (Unix.error_message e))
+      in
+      match unframe_data reply with
+      | None ->
+        failwith
+          "server did not answer !s with a data frame (not a telemetry-capable \
+           server?)"
+      | Some payload -> (
+        match Rpslyzer.Obs.parse_prometheus payload with
+        | Error e -> failwith ("!s exposition does not parse: " ^ e)
+        | Ok samples -> (payload, samples))
+    in
+    let render () =
+      let payload, samples = fetch () in
+      let v name =
+        List.find_map
+          (fun (s : Rpslyzer.Obs.prom_sample) ->
+            if s.p_name = name && s.p_labels = [] then Some s.p_value else None)
+          samples
+      in
+      let num name = Option.value ~default:0.0 (v name) in
+      let ms ns = ns /. 1e6 in
+      let b = Buffer.create 1024 in
+      let line fmt = Printf.ksprintf (fun l -> Buffer.add_string b (l ^ "\n")) fmt in
+      let fingerprint =
+        Option.value ~default:"-" (meta_of_exposition payload "generation_fingerprint")
+      in
+      let stopping = meta_of_exposition payload "stopping" = Some "true" in
+      line "rpslyzer top — %s%s" connect (if stopping then "  [STOPPING]" else "");
+      line "generation %.0f (serial %.0f)  fingerprint %s"
+        (num "serve_generation") (num "serve_serial") fingerprint;
+      line "";
+      line "  qps (window)      %10.2f   rejects/s        %10.2f"
+        (num "serve_query_window_window_rate")
+        (num "serve_reject_window_window_rate");
+      line "  query p50         %8.3f ms   query p99      %10.3f ms"
+        (ms (num "serve_query_window_window_p50"))
+        (ms (num "serve_query_window_window_p99"));
+      line "  sessions active   %10.0f   queue depth      %10.0f"
+        (num "serve_sessions_active") (num "serve_queue_depth");
+      line "  queries total     %10.0f   rejected         %10.0f"
+        (num "serve_queries_total") (num "serve_queries_rejected");
+      line "  query timeouts    %10.0f   sessions dropped %10.0f"
+        (num "serve_query_timeouts") (num "serve_sessions_dropped");
+      line "  accesslog dropped %10.0f   watchdog trips   %10.0f"
+        (num "obs_accesslog_dropped") (num "stream_watchdog_trips");
+      Buffer.contents b
+    in
+    if once then print_string (render ())
+    else begin
+      let stop_requested = Atomic.make false in
+      let handler = Sys.Signal_handle (fun _ -> Atomic.set stop_requested true) in
+      Sys.set_signal Sys.sigint handler;
+      Sys.set_signal Sys.sigterm handler;
+      while not (Atomic.get stop_requested) do
+        let screen = render () in
+        (* clear + home, then one coherent frame *)
+        print_string "\027[2J\027[H";
+        print_string screen;
+        flush stdout;
+        let rec nap left =
+          if left > 0. && not (Atomic.get stop_requested) then begin
+            Unix.sleepf (Float.min 0.2 left);
+            nap (left -. 0.2)
+          end
+        in
+        nap interval
+      done
+    end
+  in
+  let connect =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:"Server to poll (a port number, host:port, or Unix socket \
+                path).")
+  in
+  let interval =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval" ] ~docv:"SECONDS"
+          ~doc:"Refresh interval (default 2.0).")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:"Render a single frame to stdout and exit (no screen \
+                clearing) — the scriptable mode the smoke tests drive.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live one-screen health view of a running serve process: polls \
+          the $(b,!s) telemetry scrape and renders windowed qps, rolling \
+          p50/p99 latency, in-flight sessions, rejects, the live \
+          generation/serial/fingerprint, and watchdog state.")
+    Term.(const run $ connect $ interval $ once)
 
 (* ---------------- peval ---------------- *)
 
@@ -1684,5 +1887,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ gen_cmd; parse_cmd; stats_cmd; verify_cmd; explain_cmd; whois_cmd;
-            query_cmd; serve_cmd; peval_cmd; lint_cmd; classify_cmd; diff_cmd;
-            rpki_cmd; stream_cmd; faultinject_cmd ]))
+            query_cmd; serve_cmd; top_cmd; peval_cmd; lint_cmd; classify_cmd;
+            diff_cmd; rpki_cmd; stream_cmd; faultinject_cmd ]))

@@ -1,6 +1,7 @@
-(** Pipeline observability: domain-safe counters, log-bucketed latency
-    histograms, and monotonic-clock phase spans, collected in a global
-    registry that renders to human-readable text and JSON.
+(** Pipeline observability: domain-safe counters, gauges, log-bucketed
+    latency histograms, rolling time windows, and monotonic-clock phase
+    spans, collected in a global registry that renders to human-readable
+    text, JSON, and the Prometheus text exposition format.
 
     Design constraints (see DESIGN.md, "Observability"):
 
@@ -8,11 +9,18 @@
       reads one [Atomic] flag and returns immediately when the registry
       is disabled (the default). Instrumented libraries can therefore
       create metrics unconditionally at module-init time.
-    - {b Domain safety.} Counters and histogram buckets are
-      [Atomic]-backed, so concurrent increments from [Domain.spawn]
-      workers (as in [Rpslyzer.Pipeline.verify_parallel]) are never
-      lost. Span nesting state is domain-local ([Domain.DLS]); the
-      accumulated per-name statistics are atomics.
+    - {b Domain safety.} Counters, gauges, histogram buckets, and window
+      slots are [Atomic]-backed, so concurrent increments from
+      [Domain.spawn] workers (as in [Rpslyzer.Pipeline.verify_parallel])
+      are never lost. Span nesting state is domain-local ([Domain.DLS]);
+      the accumulated per-name statistics are atomics.
+    - {b Mergeable snapshots.} Histogram and window snapshots are plain
+      bucket-count values; {!Histogram.merge_into} / {!Window.merge_into}
+      add them back into the live registry. Addition commutes, so a set
+      of worker deltas merged in any order equals having observed inline
+      — the property [lib/shard] relies on to ship latency observations
+      across fork boundaries, pinned by a QCheck differential in
+      suite_obs.
     - {b Naming.} Metric names follow [subsystem.metric_name], e.g.
       [verify.hops_total], [irr.as_flat.hits]. Counters that only ever
       grow end in [_total] or a [.hits]/[.misses] pair. *)
@@ -25,9 +33,9 @@ val disable : unit -> unit
 val enabled : unit -> bool
 
 val reset : unit -> unit
-(** Zero every registered counter, histogram, and span accumulator, and
-    clear the {!Meta} table. Registration survives; used by tests and
-    long-running servers. *)
+(** Zero every registered counter, gauge, histogram, window, and span
+    accumulator, and clear the {!Meta} table. Registration survives;
+    used by tests and long-running servers. *)
 
 val now_ns : unit -> int
 (** Monotonic clock, nanoseconds since an arbitrary epoch. For ad-hoc
@@ -49,6 +57,26 @@ module Counter : sig
   val name : t -> string
 end
 
+module Gauge : sig
+  (** Settable point-in-time values (active sessions, in-flight queries,
+      current generation). Unlike counters they go up {i and} down and
+      are exported with Prometheus type [gauge]. *)
+
+  type t
+
+  val make : string -> t
+  (** Idempotent per name, like {!Counter.make}. *)
+
+  val set : t -> int -> unit
+  val add : t -> int -> unit
+  val incr : t -> unit
+  val decr : t -> unit
+  (** No-ops while the registry is disabled. *)
+
+  val get : t -> int
+  val name : t -> string
+end
+
 module Histogram : sig
   (** Log-bucketed histogram over non-negative values. Bucket [i >= 1]
       covers [gamma^(i-1), gamma^i); values below [1.0] (and negatives)
@@ -57,6 +85,14 @@ module Histogram : sig
       is bounded by [sqrt gamma] < one bucket width. *)
 
   type t
+
+  type snap = {
+    s_name : string;
+    s_gamma : float;
+    s_counts : int array;  (** one count per log bucket *)
+  }
+  (** A plain-value copy of a histogram's buckets, safe to marshal
+      across process boundaries (the shard frame payload). *)
 
   val make : ?gamma:float -> string -> t
   (** [gamma] is the bucket growth factor, default [2^(1/4)] (~19% wide
@@ -67,6 +103,14 @@ module Histogram : sig
   (** Record one value. No-op while disabled. *)
 
   val count : t -> int
+
+  val counts : t -> int array
+  (** A consistent single-pass copy of the bucket counts. All derived
+      statistics (count + rank selection) must come from one such copy;
+      {!quantile} does this internally, so a scrape racing concurrent
+      [observe] calls can never pair a count with bucket contents from a
+      different moment (the torn-read bug pinned in suite_obs). *)
+
   val quantile : t -> float -> float
   (** [quantile h q] selects the bucket holding the observation of rank
       [max 1 (ceil (q * count))] (1-based, cumulative from the lowest
@@ -89,6 +133,105 @@ module Histogram : sig
 
   val gamma : t -> float
   val name : t -> string
+
+  val snapshot : t -> snap
+  val delta : baseline:snap list -> snap -> snap
+  (** Bucket-wise difference against the matching (by name) baseline
+      snapshot; absent from the baseline means delta against zero. *)
+
+  val merge_into : snap -> unit
+  (** Add a (delta) snapshot's buckets into the live registry,
+      registering the name if needed. Commutative and associative, so
+      merging worker deltas in any order equals observing inline. Gated
+      on the enable flag like {!observe}. *)
+
+  val snapshot_all : unit -> snap list
+  (** Snapshots of every registered histogram, sorted by name. Workers
+      take this as a baseline before doing work. *)
+
+  val deltas_since : snap list -> snap list
+  (** [deltas_since baseline] = non-zero deltas of the current registry
+      against a {!snapshot_all} baseline — the payload a shard worker
+      ships home. *)
+end
+
+module Window : sig
+  (** Rolling time windows: a ring of time-bucketed slots, each holding
+      an event count plus log-bucketed value histogram, giving rolling
+      rates (events/sec) and rolling quantiles over the last
+      [slots * slot_ms] milliseconds. Old slots are lazily recycled as
+      the clock advances; readers only aggregate slots whose epoch falls
+      inside the current window.
+
+      Snapshots are {e order-insensitively mergeable}: cells carry their
+      absolute epoch, merge sums same-epoch cells and keeps only the
+      newest epoch per ring slot, so any merge order of a snapshot set
+      yields the same registry state (QCheck-pinned in suite_obs).
+
+      All reads and writes accept an explicit [?now_ns] so tests drive
+      virtual time deterministically; production callers omit it and get
+      the monotonic clock. *)
+
+  type t
+
+  type snap = {
+    w_name : string;
+    w_gamma : float;
+    w_slot_ns : int;
+    w_n_slots : int;
+    w_cells : (int * int * int array) list;
+        (** (epoch, event count, value buckets), sorted by epoch *)
+  }
+
+  val make : ?slots:int -> ?slot_ms:int -> ?gamma:float -> string -> t
+  (** Default 12 slots of 5s each — a 60-second rolling window.
+      Idempotent per name (differing geometry on a second [make] is
+      ignored, like {!Histogram.make}). *)
+
+  val observe : ?now_ns:int -> t -> float -> unit
+  (** Record one event with a value (e.g. latency in ns). No-op while
+      disabled. *)
+
+  val total : ?now_ns:int -> t -> int
+  (** Events observed inside the rolling window. *)
+
+  val rate : ?now_ns:int -> t -> float
+  (** Events per second: {!total} divided by the full window span. A
+      window younger than its span under-reports rather than dividing
+      by elapsed time. *)
+
+  val counts : ?now_ns:int -> t -> int array
+  (** Summed value buckets of the in-window slots. *)
+
+  val quantile : ?now_ns:int -> t -> float -> float
+  (** Rolling quantile over the in-window value buckets; same rank
+      selection and degenerate-case pins as {!Histogram.quantile}. *)
+
+  val span_ns : t -> int
+  val gamma : t -> float
+  val name : t -> string
+
+  val snapshot : ?now_ns:int -> t -> snap
+  (** In-window cells with their absolute epochs (empty cells elided). *)
+
+  val merge_into : snap -> unit
+  (** Merge a snapshot into the live registry: same-epoch cells sum,
+      newer epochs roll the slot, older epochs are dropped as out of
+      window. Order-insensitive. Gated on the enable flag. *)
+
+  val snapshot_all : ?now_ns:int -> unit -> snap list
+  (** Non-empty snapshots of every registered window, sorted by name. *)
+
+  val delta : baseline:snap list -> snap -> snap
+  (** Cell-wise difference against the matching (by name) baseline
+      snapshot: same-epoch cells subtract (exact — per-slot contents
+      only grow while an epoch is live and epochs are never revisited),
+      epochs absent from the baseline ship whole. *)
+
+  val deltas_since : ?now_ns:int -> snap list -> snap list
+  (** Non-empty deltas of the current registry against a
+      {!snapshot_all} baseline — the payload a forked worker ships
+      home without echoing inherited cells. *)
 end
 
 module Span : sig
@@ -150,7 +293,9 @@ module Registry : sig
   (** A consistent-enough point-in-time view of every registered
       metric. (Individual atomics are read without a global lock;
       counters racing with an in-progress snapshot may differ by the
-      increments in flight, which is fine for reporting.) *)
+      increments in flight, which is fine for reporting. Each
+      histogram's row, however, is internally consistent: its count and
+      quantiles derive from one bucket copy.) *)
 
   type snapshot
 
@@ -159,6 +304,13 @@ module Registry : sig
   val counters : snapshot -> (string * int) list
   (** Sorted by name. *)
 
+  val gauges : snapshot -> (string * int) list
+  (** Sorted by name. *)
+
+  val window_stats : snapshot -> (string * (int * float * float * float)) list
+  (** [(name, (in-window count, rate per sec, p50, p99))], sorted by
+      name. *)
+
   val spans : snapshot -> (string * (int * int)) list
   (** [(name, (count, total_ns))], sorted by name. *)
 
@@ -166,11 +318,42 @@ module Registry : sig
   (** The {!Meta} table at snapshot time, sorted by key. *)
 
   val to_json : snapshot -> Rz_json.Json.t
-  (** [{"meta": {..}, "counters": {..},
+  (** [{"meta": {..}, "counters": {..}, "gauges": {..},
        "histograms": {name: {count, p50, p90, p99}},
+       "windows": {name: {count, rate, p50, p99, span_ns}},
        "spans": {name: {count, total_ns, max_ns}}}] — reparseable with
       {!Rz_json.Json.of_string}. *)
 
   val to_text : snapshot -> string
   (** Aligned human-readable rendering, spans first. *)
 end
+
+val to_prometheus : Registry.snapshot -> string
+(** Prometheus text exposition of a snapshot. Dotted metric names map
+    to underscores ([serve.query_ns] -> [serve_query_ns]); counters and
+    gauges export as themselves with [# TYPE] lines; histograms export
+    cumulative [_bucket{le="..."}] series (log-bucket upper bounds, a
+    final [+Inf] bucket), [_count], and a bucket-midpoint-approximated
+    [_sum]; windows export [_window_count]/[_window_rate]/[_window_p50]/
+    [_window_p99]/[_window_span_seconds] gauges; spans export
+    [_span_count]/[_span_total_ns] counters and a [_span_max_ns] gauge.
+    {!Meta} entries lead the document as [# meta key value] comments.
+    Always re-parses with {!parse_prometheus} (round-trip pinned in
+    suite_obs). *)
+
+type prom_sample = {
+  p_name : string;
+  p_labels : (string * string) list;
+  p_value : float;
+}
+
+val parse_prometheus : string -> (prom_sample list, string) result
+(** Strict parser/validator for the Prometheus text exposition format,
+    shared by the [prom_check] CLI validator, the test suites, and
+    [rpslyzer top]. Enforces: valid metric/label syntax on every sample
+    line, a preceding [# TYPE] declaration for every sample's family,
+    no duplicate TYPE declarations, no timestamps, and histogram-family
+    invariants (every [_bucket] carries [le], bounds strictly increase,
+    cumulative counts never decrease, the [+Inf] bucket exists and
+    equals [_count], [_sum]/[_count] present). Returns the samples in
+    file order, or [Error "line N: reason"]. *)

@@ -4,15 +4,32 @@ module Irrd_query = Rz_irr.Irrd_query
 module Bqueue = Rz_stream.Bqueue
 module Nrtm = Rz_synthirr.Nrtm
 module Obs = Rz_obs.Obs
+module Json = Rz_json.Json
 
 let c_sessions = Obs.Counter.make "serve.sessions_total"
-let c_active = Obs.Counter.make "serve.sessions_active"
 let c_sessions_rejected = Obs.Counter.make "serve.sessions_rejected"
 let c_sessions_dropped = Obs.Counter.make "serve.sessions_dropped"
 let c_queries = Obs.Counter.make "serve.queries_total"
 let c_rejected = Obs.Counter.make "serve.queries_rejected"
 let c_timeouts = Obs.Counter.make "serve.query_timeouts"
 let h_query = Obs.Histogram.make "serve.query_ns"
+
+(* live-telemetry surface: point-in-time gauges plus rolling windows
+   (default geometry: 12 x 5s slots = 60s) feeding qps / rejects-per-sec
+   and rolling latency quantiles for the !s scrape and `rpslyzer top` *)
+let g_active = Obs.Gauge.make "serve.sessions_active"
+let g_generation = Obs.Gauge.make "serve.generation"
+let g_serial = Obs.Gauge.make "serve.serial"
+let g_queue = Obs.Gauge.make "serve.queue_depth"
+let w_query = Obs.Window.make "serve.query_window"
+let w_rejects = Obs.Window.make "serve.reject_window"
+
+let response_class = function
+  | Irrd_query.Data _ -> "data"
+  | Irrd_query.No_data -> "no_data"
+  | Irrd_query.Not_found_key -> "not_found"
+  | Irrd_query.Error_resp _ -> "error"
+  | Irrd_query.Quit -> "quit"
 
 type config = {
   workers : int;
@@ -31,34 +48,45 @@ let default_config =
 
 (* ---------------- shared dispatch ---------------- *)
 
-let dispatch ?(config = default_config) db line =
+let dispatch ?(config = default_config) ?stats ?sink db line =
   Obs.Counter.incr c_queries;
-  if String.length line > config.max_line_bytes then begin
+  let finish ?rejected ~latency_ns resp =
+    (match sink with
+     | Some f -> f ~query:line ~response:resp ~latency_ns ~rejected
+     | None -> ());
+    resp
+  in
+  let reject reason =
     Obs.Counter.incr c_rejected;
-    Irrd_query.Error_resp "query too long"
-  end
-  else if String.contains line '\000' then begin
-    Obs.Counter.incr c_rejected;
-    Irrd_query.Error_resp "NUL byte in query"
-  end
-  else if String.contains line '\r' || String.contains line '\n' then begin
-    Obs.Counter.incr c_rejected;
-    Irrd_query.Error_resp "control byte in query"
-  end
+    Obs.Window.observe w_rejects 1.0;
+    finish ~rejected:reason ~latency_ns:0 (Irrd_query.Error_resp reason)
+  in
+  if String.length line > config.max_line_bytes then reject "query too long"
+  else if String.contains line '\000' then reject "NUL byte in query"
+  else if String.contains line '\r' || String.contains line '\n' then
+    reject "control byte in query"
   else begin
     let t0 = Obs.now_ns () in
-    let resp = Obs.Span.with_ "serve.query" (fun () -> Irrd_query.answer db line) in
+    let resp =
+      Obs.Span.with_ "serve.query" (fun () ->
+          (* !s is read-only and rides the normal guarded dispatch path,
+             so it is counted, timed, and windowed like any query *)
+          match stats with
+          | Some scrape when line = "!s" -> Irrd_query.Data (scrape ())
+          | _ -> Irrd_query.answer db line)
+    in
     let dt = Obs.now_ns () - t0 in
     Obs.Histogram.observe h_query (float_of_int dt);
+    Obs.Window.observe w_query (float_of_int dt);
     if
       config.query_timeout_ms > 0
       && dt > config.query_timeout_ms * 1_000_000
       && resp <> Irrd_query.Quit
     then begin
       Obs.Counter.incr c_timeouts;
-      Irrd_query.Error_resp "query deadline exceeded"
+      finish ~latency_ns:dt (Irrd_query.Error_resp "query deadline exceeded")
     end
-    else resp
+    else finish ~latency_ns:dt resp
   end
 
 let session_lines ?config db lines =
@@ -87,6 +115,7 @@ type t = {
   sock_path : string option;
   queue : Unix.file_descr Bqueue.t;
   stopping : bool Atomic.t;
+  access_log : Access_log.t option;
   mutable journal : Nrtm.op list list;  (* guarded by [jlock] *)
   jlock : Mutex.t;
   mutable accept_d : unit Domain.t option;
@@ -158,16 +187,46 @@ let next_batch t =
   Mutex.unlock t.jlock;
   batch
 
+(* The !s scrape body: refresh the point-in-time gauges and the
+   generation fingerprint (cached per generation — the expensive IR
+   export runs once per swap, not per scrape), then render the full
+   Prometheus exposition. Runs on the shared dispatch path, so it is
+   safe under concurrent generation swaps: everything it reads is an
+   atomic, a gauge, or the mutex-guarded fingerprint cache. *)
+let server_stats t () =
+  Obs.Gauge.set g_generation (Generation.generation t.store);
+  Obs.Gauge.set g_serial (Generation.last_serial t.store);
+  Obs.Gauge.set g_queue (Bqueue.length t.queue);
+  Obs.Meta.set "generation_fingerprint"
+    (Json.String (Generation.cached_fingerprint t.store));
+  Obs.Meta.set "stopping" (Json.Bool (Atomic.get t.stopping));
+  Obs.to_prometheus (Obs.Registry.snapshot ())
+
+let peer_name fd =
+  match Unix.getpeername fd with
+  | Unix.ADDR_INET (addr, port) ->
+    Printf.sprintf "%s:%d" (Unix.string_of_inet_addr addr) port
+  | Unix.ADDR_UNIX _ | (exception Unix.Unix_error _) -> "unix"
+
 let session t fd =
   Obs.Counter.incr c_sessions;
-  Obs.Counter.add c_active 1;
+  Obs.Gauge.incr g_active;
   Fun.protect
     ~finally:(fun () ->
-      Obs.Counter.add c_active (-1);
+      Obs.Gauge.decr g_active;
       try Unix.close fd with Unix.Unix_error _ -> ())
   @@ fun () ->
   Obs.Span.with_ "serve.session" @@ fun () ->
   let conn = { fd; pending = "" } in
+  let peer = peer_name fd in
+  let access ~query ~response ~latency_ns ~rejected =
+    match t.access_log with
+    | None -> ()
+    | Some al ->
+      Access_log.log al ~peer ~query ~verdict:(response_class response)
+        ?rejected ~latency_ns ~generation:(Generation.generation t.store)
+        ~serial:(Generation.last_serial t.store) ()
+  in
   let rec loop () =
     match recv_line ~stopping:t.stopping ~config:t.config conn with
     | `Closed -> ()
@@ -178,9 +237,12 @@ let session t fd =
       if conn.pending <> "" then Obs.Counter.incr c_sessions_dropped
     | `Too_long ->
       Obs.Counter.incr c_rejected;
+      access ~query:"" ~response:(Irrd_query.Error_resp "query too long")
+        ~latency_ns:0 ~rejected:(Some "query too long");
       ignore (send fd "F query too long\n")
     | `Line line ->
       if line = "!u" then begin
+        let t0 = Obs.now_ns () in
         let resp =
           match next_batch t with
           | None -> Irrd_query.No_data
@@ -190,10 +252,16 @@ let session t fd =
               (Printf.sprintf "generation %d: applied %d ops" gen
                  (List.length batch))
         in
+        access ~query:line ~response:resp ~latency_ns:(Obs.now_ns () - t0)
+          ~rejected:None;
         if send fd (Irrd_query.render resp) then loop ()
       end
       else
-        match dispatch ~config:t.config (Generation.current t.store) line with
+        match
+          dispatch ~config:t.config ~stats:(fun () -> server_stats t ())
+            ~sink:access
+            (Generation.current t.store) line
+        with
         | Irrd_query.Quit -> ()
         | resp -> if send fd (Irrd_query.render resp) then loop ()
   in
@@ -240,7 +308,7 @@ let accept_loop t () =
 
 (* ---------------- lifecycle ---------------- *)
 
-let start ?(config = default_config) ?(journal = []) store address =
+let start ?(config = default_config) ?(journal = []) ?access_log store address =
   if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let listen_fd, bound_port, sock_path =
     match address with
@@ -271,6 +339,7 @@ let start ?(config = default_config) ?(journal = []) store address =
       sock_path;
       queue = Bqueue.create ~capacity:(max 1 config.max_inflight) ();
       stopping = Atomic.make false;
+      access_log;
       journal;
       jlock = Mutex.create ();
       accept_d = None;

@@ -34,11 +34,33 @@ val default_config : config
       read_timeout_ms = 10_000; max_line_bytes = 1_024 }] *)
 
 val dispatch :
-  ?config:config -> Rz_irr.Db.t -> string -> Rz_irr.Irrd_query.response
+  ?config:config ->
+  ?stats:(unit -> string) ->
+  ?sink:
+    (query:string ->
+     response:Rz_irr.Irrd_query.response ->
+     latency_ns:int ->
+     rejected:string option ->
+     unit) ->
+  Rz_irr.Db.t ->
+  string ->
+  Rz_irr.Irrd_query.response
 (** The one shared query path: admission guards, then
-    {!Rz_irr.Irrd_query.answer} under the latency span/histogram and the
-    deadline check. Both the one-shot CLI [query] command and every
-    server session route through this. Total: never raises. *)
+    {!Rz_irr.Irrd_query.answer} under the latency span/histogram/window
+    and the deadline check. Both the one-shot CLI [query] command and
+    every server session route through this. Total: never raises.
+
+    [stats], when given, answers the [!s] control query with
+    [Data (stats ())] — the live-telemetry scrape. It rides this same
+    guarded path, so it is counted on [serve.queries_total], timed into
+    [serve.query_ns]/[serve.query_window], and subject to the deadline
+    like any query; server sessions pass the Prometheus exposition
+    closure, the one-shot CLI paths pass nothing and [!s] falls through
+    to {!Rz_irr.Irrd_query.answer}.
+
+    [sink] fires once per dispatched query with the final response, the
+    measured latency (0 for guard-rejected queries), and the guard
+    reason if rejected — the access-log hook. *)
 
 val session_lines :
   ?config:config -> Rz_irr.Db.t -> string list -> string
@@ -56,6 +78,7 @@ type t
 val start :
   ?config:config ->
   ?journal:Rz_synthirr.Nrtm.op list list ->
+  ?access_log:Access_log.t ->
   Generation.store ->
   address ->
   t
@@ -63,7 +86,20 @@ val start :
     domains; returns once the socket is listening. [journal] is the
     queue of pending NRTM batches [!u] applies, oldest first. SIGPIPE is
     set to ignore (a client vanishing mid-write must not kill the
-    server). Raises [Unix.Unix_error] if the address cannot be bound. *)
+    server). Raises [Unix.Unix_error] if the address cannot be bound.
+
+    [access_log], when given, receives one record per query (including
+    [!u] and [!s], and guard rejections) with the session's peer address
+    and the live generation/serial. The caller owns the log: close it
+    after {!stop}.
+
+    Live telemetry registered by this module: gauges
+    [serve.sessions_active], [serve.generation], [serve.serial],
+    [serve.queue_depth] (refreshed on each [!s] scrape), and 60-second
+    rolling windows [serve.query_window] (latency) and
+    [serve.reject_window] (guard rejections). The [!s] exposition also
+    carries [# meta generation_fingerprint] (cached per generation) and
+    [# meta stopping]. *)
 
 val port : t -> int
 (** The bound TCP port (the ephemeral one under [Port 0]); [0] for a

@@ -15,14 +15,20 @@ let header_len = 8 + 8 + 16 (* magic, payload length u64 BE, MD5 *)
 let max_payload = 1 lsl 32
 
 (* What one worker ships back: its private aggregate, its share of the
-   route accounting, and the registry counters it incremented (deltas
-   against the post-fork baseline — the child inherits the parent's
-   pre-fork counts and must not echo them back). *)
+   route accounting, and the registry metrics it moved (deltas against
+   the post-fork baseline — the child inherits the parent's pre-fork
+   counts, histogram buckets, and window cells, and must not echo them
+   back). Histogram deltas are bucket arrays, window deltas are
+   epoch-tagged cells; both merge commutatively in the parent, so the
+   workers' latency observations (e.g. verify.route_ns) survive the
+   fork boundary instead of being silently dropped. *)
 type delta = {
   d_agg : Aggregate.t;
   d_total : int;
   d_excluded : int;
   d_counters : (string * int) list;
+  d_hists : Obs.Histogram.snap list;
+  d_windows : Obs.Window.snap list;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -213,15 +219,19 @@ let verify_sharded ?config ?(shards = 1) (world : P.world) =
           let status =
             try
               let baseline = counter_list () in
+              let hist_baseline = Obs.Histogram.snapshot_all () in
+              let window_baseline = Obs.Window.snapshot_all () in
               let agg = Aggregate.create () in
               let total, excluded =
                 verify_slice ?config world routes ~shards ~shard:s agg
               in
               let d_counters = counters_since baseline (counter_list ()) in
+              let d_hists = Obs.Histogram.deltas_since hist_baseline in
+              let d_windows = Obs.Window.deltas_since window_baseline in
               let frame =
                 encode_frame ~corrupt:(fault = Some (s, `Corrupt))
                   { d_agg = agg; d_total = total; d_excluded = excluded;
-                    d_counters }
+                    d_counters; d_hists; d_windows }
               in
               write_all w frame;
               0
@@ -251,7 +261,9 @@ let verify_sharded ?config ?(shards = 1) (world : P.world) =
         excluded := !excluded + d.d_excluded;
         List.iter
           (fun (name, v) -> Obs.Counter.add (Obs.Counter.make name) v)
-          d.d_counters
+          d.d_counters;
+        List.iter Obs.Histogram.merge_into d.d_hists;
+        List.iter Obs.Window.merge_into d.d_windows
       | Ok _, _ | Error _, _ ->
         (* One bump per lost shard, whatever the defect: the exit-2
            recovery contract counts degraded shards, not bad bytes. *)

@@ -1,0 +1,50 @@
+(* Exit 0 iff the file named on the command line is a strictly valid
+   Prometheus text exposition by the library's own parser
+   (Rz_obs.Obs.parse_prometheus): TYPE-declared families, well-formed
+   sample lines, histogram bucket invariants. The CLI smokes use it to
+   validate every --prom-file and !s scrape the tools emit.
+
+   Optional `--require NAME` arguments additionally demand that a sample
+   with that exact exposition name is present (e.g. verify_route_ns_count
+   after a verify run). *)
+let () =
+  let required = ref [] in
+  let path = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--require" :: name :: rest ->
+      required := name :: !required;
+      parse rest
+    | [ p ] when !path = None -> path := Some p
+    | _ ->
+      prerr_endline "usage: prom_check [--require NAME]... FILE";
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let path =
+    match !path with
+    | Some p -> p
+    | None ->
+      prerr_endline "usage: prom_check [--require NAME]... FILE";
+      exit 2
+  in
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let fail msg =
+    Printf.eprintf "prom_check: %s: %s\n" path msg;
+    exit 1
+  in
+  match Rz_obs.Obs.parse_prometheus s with
+  | Error e -> fail e
+  | Ok samples ->
+    if samples = [] then fail "exposition holds no samples";
+    List.iter
+      (fun name ->
+        if
+          not
+            (List.exists
+               (fun (s : Rz_obs.Obs.prom_sample) -> s.p_name = name)
+               samples)
+        then fail (Printf.sprintf "required sample %S is missing" name))
+      !required

@@ -2,15 +2,21 @@
 # End-to-end contract for the serve subcommand: a server on an ephemeral
 # Unix socket answers scripted client queries against a generated world,
 # a !u control query applies the generated NRTM journal as a live
-# copy-on-write generation swap (visible in the very next answer), a
-# SIGTERM shutdown is clean (exit 0, "stopped at generation" line), and
-# the --metrics snapshot re-parses with the library's own JSON parser
-# and carries the serve.* session/query counters, the per-query latency
-# histogram, and the swap-cost histogram.
+# copy-on-write generation swap (visible in the very next answer), the
+# !s scrape and `rpslyzer top --once` report the live generation, the
+# structured access log records every query with the generation it ran
+# against, a SIGTERM shutdown is clean (exit 0, "stopped at generation"
+# line), and the --metrics snapshot re-parses with the library's own
+# JSON parser and carries the serve.* session/query counters, the
+# per-query latency histogram, and the swap-cost histogram. The !s
+# exposition and the server's --prom-file must strict-parse under
+# prom_check.
 set -eu
 CLI="$1"
 JSON_CHECK="$2"
+PROM_CHECK="$3"
 case "$JSON_CHECK" in /*|./*) ;; *) JSON_CHECK="./$JSON_CHECK" ;; esac
+case "$PROM_CHECK" in /*|./*) ;; *) PROM_CHECK="./$PROM_CHECK" ;; esac
 DIR=$(mktemp -d)
 SERVER=
 cleanup() {
@@ -29,7 +35,9 @@ fail() { echo "SERVE SMOKE TEST FAILED: $1" >&2; exit 1; }
 SOCK="$DIR/irrd.sock"
 "$CLI" serve -d "$DIR/world" --socket "$SOCK" --workers 2 \
   --journal "$DIR/journal.nrtm" --journal-batch 1000 \
-  --metrics "$DIR/metrics.json" > "$DIR/server.log" 2>&1 &
+  --access-log "$DIR/access.jsonl" \
+  --metrics "$DIR/metrics.json" --prom-file "$DIR/serve.prom" \
+  > "$DIR/server.log" 2>&1 &
 SERVER=$!
 
 for _ in $(seq 1 100); do
@@ -59,6 +67,31 @@ grep -q '^D$' "$DIR/q2.txt" && fail "post-swap query still not-found"
 "$CLI" serve --connect "$SOCK" '!u' > "$DIR/drained.txt" || fail "drained !u failed"
 grep -q '^C$' "$DIR/drained.txt" || fail "drained journal should answer C"
 
+# !s scrape: live telemetry rides the normal query path and reports the
+# post-swap generation; the exposition strict-parses under prom_check
+"$CLI" serve --connect "$SOCK" '!s' > "$DIR/scrape.txt" || fail "!s failed"
+sed -e '1d' -e '$d' "$DIR/scrape.txt" > "$DIR/scrape.prom"
+"$PROM_CHECK" \
+  --require serve_generation \
+  --require serve_serial \
+  --require serve_queries_total \
+  --require serve_query_window_window_rate \
+  --require serve_query_window_window_p99 \
+  "$DIR/scrape.prom" || fail "!s exposition invalid"
+grep -q '^serve_generation 2$' "$DIR/scrape.prom" \
+  || fail "!s does not report the post-swap generation"
+grep -q '^serve_serial 24$' "$DIR/scrape.prom" \
+  || fail "!s does not report the post-swap serial"
+grep -q '^# meta generation_fingerprint "' "$DIR/scrape.prom" \
+  || fail "!s carries no generation fingerprint"
+
+# top --once renders the one-screen health view off the same scrape
+"$CLI" top --connect "$SOCK" --once > "$DIR/top.txt" || fail "top --once failed"
+grep -q 'generation 2 (serial 24)' "$DIR/top.txt" \
+  || fail "top does not show the live generation: $(cat "$DIR/top.txt")"
+grep -q 'qps (window)' "$DIR/top.txt" || fail "top missing qps line"
+grep -q 'query p99' "$DIR/top.txt" || fail "top missing latency line"
+
 # clean SIGTERM shutdown: exit 0, final generation line, metrics written
 kill -TERM "$SERVER"
 rc=0
@@ -84,4 +117,30 @@ grep -Eq '"serve\.query_ns": *\{"count": *[1-9]' "$DIR/metrics.json" \
 grep -Eq '"serve\.swap_ns": *\{"count": *1' "$DIR/metrics.json" \
   || fail "swap-cost histogram missing"
 
-echo "serve smoke: live swap visible, shutdown clean, metrics accounted"
+# the server's own --prom-file exposition (written at shutdown)
+[ -s "$DIR/serve.prom" ] || fail "server wrote no --prom-file exposition"
+"$PROM_CHECK" \
+  --require serve_queries_total \
+  --require serve_query_ns_count \
+  --require serve_generations \
+  "$DIR/serve.prom" || fail "server --prom-file exposition invalid"
+
+# structured access log: one JSON record per query, each valid JSON,
+# carrying the generation the query actually ran against
+[ -s "$DIR/access.jsonl" ] || fail "access log empty"
+while IFS= read -r line; do
+  printf '%s' "$line" > "$DIR/one.json"
+  "$JSON_CHECK" "$DIR/one.json" || fail "access-log record is not valid JSON: $line"
+done < "$DIR/access.jsonl"
+grep -q '"query":"!u"' "$DIR/access.jsonl" || fail "access log missing the !u record"
+grep -q '"query":"!s"' "$DIR/access.jsonl" || fail "access log missing the !s record"
+grep -q '"generation":1' "$DIR/access.jsonl" \
+  || fail "access log has no generation-1 record"
+grep -q '"generation":2' "$DIR/access.jsonl" \
+  || fail "access log has no generation-2 record"
+grep -q '"class":' "$DIR/access.jsonl" || fail "access log records carry no class"
+grep -q '"latency_ns":' "$DIR/access.jsonl" || fail "access log records carry no latency"
+grep -q '"rejected"' "$DIR/access.jsonl" \
+  && fail "clean run logged a rejected query"
+
+echo "serve smoke: live swap + !s/top telemetry + access log, shutdown clean"

@@ -140,6 +140,364 @@ let test_quantile_extreme_qs () =
   Alcotest.(check (float 0.0)) "underflow-only stream reports the 0.5 sentinel"
     0.5 (Obs.Histogram.quantile hu 0.5)
 
+(* ---------------- rolling windows ---------------- *)
+
+let ns = 1_000_000_000
+
+let test_window_rolling () =
+  (* 4 slots of 1s: a 4-second rolling window, driven on virtual time *)
+  let w = Obs.Window.make ~slots:4 ~slot_ms:1000 "test.win_roll" in
+  let t0 = 100 * ns in
+  Obs.Window.observe ~now_ns:t0 w 10.0;
+  Obs.Window.observe ~now_ns:t0 w 10.0;
+  Obs.Window.observe ~now_ns:(t0 + ns) w 1000.0;
+  Obs.Window.observe ~now_ns:(t0 + (3 * ns)) w 1000.0;
+  Alcotest.(check int) "span" (4 * ns) (Obs.Window.span_ns w);
+  Alcotest.(check int) "all four in window" 4
+    (Obs.Window.total ~now_ns:(t0 + (3 * ns)) w);
+  Alcotest.(check (float 1e-9)) "rate = total / span" 1.0
+    (Obs.Window.rate ~now_ns:(t0 + (3 * ns)) w);
+  let g = Obs.Window.gamma w in
+  let p50 = Obs.Window.quantile ~now_ns:(t0 + (3 * ns)) w 0.5 in
+  let p99 = Obs.Window.quantile ~now_ns:(t0 + (3 * ns)) w 0.99 in
+  Alcotest.(check bool) "rolling p50 in the 10.0 bucket" true
+    (p50 >= 10.0 /. g && p50 <= 10.0 *. g);
+  Alcotest.(check bool) "rolling p99 in the 1000.0 bucket" true
+    (p99 >= 1000.0 /. g && p99 <= 1000.0 *. g);
+  (* one second later the t0 slot has rolled out of the window *)
+  Alcotest.(check int) "t0 slot expired" 2
+    (Obs.Window.total ~now_ns:(t0 + (4 * ns)) w);
+  Alcotest.(check (float 1e-9)) "rate follows expiry" 0.5
+    (Obs.Window.rate ~now_ns:(t0 + (4 * ns)) w);
+  (* far future: everything expired, quantile degenerates like an empty
+     histogram *)
+  Alcotest.(check int) "all expired" 0 (Obs.Window.total ~now_ns:(t0 + (7 * ns)) w);
+  Alcotest.(check (float 0.0)) "empty window quantile" 0.0
+    (Obs.Window.quantile ~now_ns:(t0 + (7 * ns)) w 0.5);
+  (* make is idempotent and keeps the first geometry *)
+  let w' = Obs.Window.make ~slots:99 ~slot_ms:1 "test.win_roll" in
+  Alcotest.(check int) "second make keeps geometry" (4 * ns) (Obs.Window.span_ns w')
+
+let test_window_snapshot_delta () =
+  let w = Obs.Window.make ~slots:4 ~slot_ms:1000 "test.win_delta" in
+  let t0 = 200 * ns in
+  Obs.Window.observe ~now_ns:t0 w 5.0;
+  let base = Obs.Window.snapshot_all ~now_ns:t0 () in
+  Obs.Window.observe ~now_ns:t0 w 5.0;
+  Obs.Window.observe ~now_ns:(t0 + ns) w 7.0;
+  let deltas = Obs.Window.deltas_since ~now_ns:(t0 + ns) base in
+  let d =
+    match
+      List.find_opt (fun (s : Obs.Window.snap) -> s.w_name = "test.win_delta") deltas
+    with
+    | Some d -> d
+    | None -> Alcotest.fail "no delta for test.win_delta"
+  in
+  (* the delta carries exactly the post-baseline events: one more in the
+     t0 epoch, one in the t0+1s epoch *)
+  let total = List.fold_left (fun acc (_, c, _) -> acc + c) 0 d.w_cells in
+  Alcotest.(check int) "delta total" 2 total;
+  Alcotest.(check int) "delta epochs" 2 (List.length d.w_cells)
+
+(* ---------------- merge == inline differentials ---------------- *)
+
+(* The shard contract: worker processes observe into their own registry,
+   ship (histogram, window) deltas home, and the parent merges them.
+   Merging the worker snapshots in any order must equal having observed
+   every event inline — bucket-exact, not just statistically close. The
+   tests emulate the fork boundary by observing each partition into a
+   scratch metric, snapshotting it, and re-labelling the snapshot to the
+   shared target name before merge_into. *)
+
+let trial = ref 0
+
+let permutations3 = [| [ 0; 1; 2 ]; [ 0; 2; 1 ]; [ 1; 0; 2 ];
+                       [ 1; 2; 0 ]; [ 2; 0; 1 ]; [ 2; 1; 0 ] |]
+
+let hist_merge_order_differential =
+  QCheck.Test.make ~count:100
+    ~name:"histogram: merging worker deltas in any order = observing inline"
+    (QCheck.make
+       QCheck.Gen.(
+         pair
+           (list_size (int_range 0 60)
+              (pair (int_range 0 2) (float_range 0.0 1e7)))
+           (int_range 0 5)))
+    (fun (events, perm) ->
+      Obs.enable ();
+      Fun.protect ~finally:Obs.disable @@ fun () ->
+      incr trial;
+      let n = !trial in
+      let inline = Obs.Histogram.make (Printf.sprintf "test.hmerge.%d.inline" n) in
+      List.iter (fun (_, v) -> Obs.Histogram.observe inline v) events;
+      let target_name = Printf.sprintf "test.hmerge.%d.merged" n in
+      let snaps =
+        List.init 3 (fun k ->
+            let scratch =
+              Obs.Histogram.make (Printf.sprintf "test.hmerge.%d.w%d" n k)
+            in
+            List.iter
+              (fun (owner, v) ->
+                if owner = k then Obs.Histogram.observe scratch v)
+              events;
+            { (Obs.Histogram.snapshot scratch) with s_name = target_name })
+      in
+      List.iter
+        (fun i -> Obs.Histogram.merge_into (List.nth snaps i))
+        permutations3.(perm);
+      let merged = Obs.Histogram.make target_name in
+      if Obs.Histogram.counts merged <> Obs.Histogram.counts inline then
+        QCheck.Test.fail_reportf "buckets diverge: merged count %d, inline %d"
+          (Obs.Histogram.count merged) (Obs.Histogram.count inline);
+      true)
+
+let window_fingerprint (s : Obs.Window.snap) =
+  String.concat ";"
+    (List.map
+       (fun (epoch, count, buckets) ->
+         Printf.sprintf "%d:%d:%s" epoch count
+           (String.concat "," (List.map string_of_int (Array.to_list buckets))))
+       s.w_cells)
+
+let window_merge_order_differential =
+  QCheck.Test.make ~count:100
+    ~name:"window: merging worker snapshots in any order = observing inline"
+    (QCheck.make
+       QCheck.Gen.(
+         pair
+           (list_size (int_range 0 60)
+              (triple (int_range 0 2) (int_range 0 20) (float_range 0.0 1e7)))
+           (int_range 0 5)))
+    (fun (events, perm) ->
+      Obs.enable ();
+      Fun.protect ~finally:Obs.disable @@ fun () ->
+      incr trial;
+      let n = !trial in
+      let t0 = 1000 * ns in
+      let t_read = t0 + (20 * ns) in
+      (* 12x5s window: every event offset (0..20s) stays in window *)
+      let at off = t0 + (off * ns) in
+      let by_time = List.sort (fun (_, a, _) (_, b, _) -> compare a b) events in
+      let inline = Obs.Window.make (Printf.sprintf "test.wmerge.%d.inline" n) in
+      List.iter (fun (_, off, v) -> Obs.Window.observe ~now_ns:(at off) inline v) by_time;
+      let target_name = Printf.sprintf "test.wmerge.%d.merged" n in
+      let snaps =
+        List.init 3 (fun k ->
+            let scratch =
+              Obs.Window.make (Printf.sprintf "test.wmerge.%d.w%d" n k)
+            in
+            List.iter
+              (fun (owner, off, v) ->
+                if owner = k then Obs.Window.observe ~now_ns:(at off) scratch v)
+              by_time;
+            { (Obs.Window.snapshot ~now_ns:t_read scratch) with w_name = target_name })
+      in
+      List.iter
+        (fun i -> Obs.Window.merge_into (List.nth snaps i))
+        permutations3.(perm);
+      let merged = Obs.Window.make target_name in
+      let fp_merged =
+        window_fingerprint (Obs.Window.snapshot ~now_ns:t_read merged)
+      in
+      let fp_inline =
+        window_fingerprint (Obs.Window.snapshot ~now_ns:t_read inline)
+      in
+      if fp_merged <> fp_inline then
+        QCheck.Test.fail_reportf "window cells diverge:\nmerged %s\ninline %s"
+          fp_merged fp_inline;
+      if
+        Obs.Window.total ~now_ns:t_read merged
+        <> Obs.Window.total ~now_ns:t_read inline
+      then QCheck.Test.fail_reportf "window totals diverge";
+      true)
+
+(* ---------------- scrape-vs-observe race ---------------- *)
+
+(* Regression pin for the torn (count, buckets) read: three writer
+   domains hammer a histogram and a window with a single value while the
+   main domain scrapes. Every quantile read must be either 0.0 (nothing
+   in the copy yet) or exactly that value's bucket representative — a
+   rank computed from a count inconsistent with the bucket copy would
+   run past the occupied bucket. Every full Prometheus scrape must
+   strict-parse. *)
+let test_scrape_under_observe_stress () =
+  let h = Obs.Histogram.make "test.scrape_stress.hist" in
+  let w = Obs.Window.make "test.scrape_stress.win" in
+  (* the expected representative, from an isolated single observation *)
+  let probe = Obs.Histogram.make "test.scrape_stress.probe" in
+  Obs.Histogram.observe probe 100.0;
+  let rep = Obs.Histogram.quantile probe 0.5 in
+  let stop = Atomic.make false in
+  let writers =
+    List.init 3 (fun _ ->
+        Domain.spawn (fun () ->
+            while not (Atomic.get stop) do
+              Obs.Histogram.observe h 100.0;
+              Obs.Window.observe w 100.0
+            done))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      List.iter Domain.join writers)
+    (fun () ->
+      for i = 1 to 2000 do
+        List.iter
+          (fun q ->
+            let est = Obs.Histogram.quantile h q in
+            if not (est = 0.0 || est = rep) then
+              Alcotest.failf "torn histogram quantile: q=%.2f read %.17g" q est;
+            let west = Obs.Window.quantile w q in
+            if not (west = 0.0 || west = rep) then
+              Alcotest.failf "torn window quantile: q=%.2f read %.17g" q west)
+          [ 0.0; 0.5; 0.99; 1.0 ];
+        if i mod 100 = 0 then
+          match Obs.parse_prometheus (Obs.to_prometheus (Obs.Registry.snapshot ())) with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "scrape under load does not parse: %s" e
+      done)
+
+(* ---------------- prometheus exposition ---------------- *)
+
+let find_sample name samples =
+  match
+    List.find_opt (fun (s : Obs.prom_sample) -> s.Obs.p_name = name) samples
+  with
+  | Some s -> s.Obs.p_value
+  | None -> Alcotest.failf "sample %s missing from exposition" name
+
+let test_prometheus_roundtrip () =
+  let c = Obs.Counter.make "test.prom.counter" in
+  Obs.Counter.add c 42;
+  let g = Obs.Gauge.make "test.prom.gauge" in
+  Obs.Gauge.set g (-7);
+  let h = Obs.Histogram.make "test.prom.hist" in
+  List.iter (Obs.Histogram.observe h) [ 3.0; 700.0; 12_345.0 ];
+  let w = Obs.Window.make "test.prom.win" in
+  Obs.Window.observe w 100.0;
+  Obs.Span.with_ "test.prom.span" (fun () -> ());
+  Obs.Meta.set "test_key" (Json.String "test value");
+  let text = Obs.to_prometheus (Obs.Registry.snapshot ()) in
+  match Obs.parse_prometheus text with
+  | Error e -> Alcotest.failf "own exposition rejected: %s\n%s" e text
+  | Ok samples ->
+    Alcotest.(check (float 0.0)) "counter" 42.0
+      (find_sample "test_prom_counter" samples);
+    Alcotest.(check (float 0.0)) "negative gauge" (-7.0)
+      (find_sample "test_prom_gauge" samples);
+    Alcotest.(check (float 0.0)) "histogram count" 3.0
+      (find_sample "test_prom_hist_count" samples);
+    let inf_bucket =
+      List.find_opt
+        (fun (s : Obs.prom_sample) ->
+          s.Obs.p_name = "test_prom_hist_bucket"
+          && List.assoc_opt "le" s.Obs.p_labels = Some "+Inf")
+        samples
+    in
+    (match inf_bucket with
+     | Some s -> Alcotest.(check (float 0.0)) "+Inf bucket = count" 3.0 s.Obs.p_value
+     | None -> Alcotest.fail "+Inf bucket missing");
+    Alcotest.(check (float 0.0)) "window count gauge" 1.0
+      (find_sample "test_prom_win_window_count" samples);
+    Alcotest.(check (float 0.0)) "span count" 1.0
+      (find_sample "test_prom_span_span_count" samples);
+    (* meta rides as comments, invisible to the sample list but present *)
+    Alcotest.(check bool) "meta comment present" true
+      (List.exists
+         (fun line ->
+           String.length line > 7 && String.sub line 0 7 = "# meta "
+           && Option.is_some (String.index_opt line 'k'))
+         (String.split_on_char '\n' text))
+
+let test_parse_prometheus_rejects () =
+  List.iter
+    (fun (label, text) ->
+      match Obs.parse_prometheus text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "parser accepted %s" label)
+    [ ("sample without TYPE", "foo 1\n");
+      ("timestamped sample", "# TYPE foo counter\nfoo 1 1234567\n");
+      ("duplicate TYPE", "# TYPE foo counter\n# TYPE foo counter\nfoo 1\n");
+      ("unquoted label value", "# TYPE foo counter\nfoo{bar=baz} 1\n");
+      ("bad metric name", "# TYPE 9foo counter\n9foo 1\n");
+      ("bad value", "# TYPE foo counter\nfoo one\n");
+      ("unknown TYPE kind", "# TYPE foo enum\nfoo 1\n");
+      ( "histogram cumulative decrease",
+        "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\n\
+         h_sum 1\nh_count 3\n" );
+      ( "histogram +Inf != count",
+        "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 0\nh_count 4\n" );
+      ( "histogram without +Inf",
+        "# TYPE h histogram\nh_bucket{le=\"1\"} 3\nh_sum 0\nh_count 3\n" ) ];
+  (* and a hand-written exposition with escapes and +Inf values parses *)
+  match
+    Obs.parse_prometheus
+      "# HELP free text\n# TYPE foo gauge\nfoo{a=\"b\\\"c\",d=\"e\"} +Inf\n"
+  with
+  | Ok [ s ] ->
+    Alcotest.(check string) "escaped label" "b\"c" (List.assoc "a" s.Obs.p_labels);
+    Alcotest.(check bool) "+Inf value" true (s.Obs.p_value = Float.infinity)
+  | Ok _ -> Alcotest.fail "expected exactly one sample"
+  | Error e -> Alcotest.failf "valid exposition rejected: %s" e
+
+(* ---------------- README metrics table drift ---------------- *)
+
+(* Every counter, gauge, histogram, and window any linked library
+   registers must appear (backticked) in README.md's metrics reference
+   table. Names the test suites register for themselves (the "test."
+   prefix) and bench-only names are exempt. A failure here means a
+   metric shipped without documentation — add a row to the README
+   table. *)
+let test_readme_metrics_table () =
+  let readme =
+    (* cwd is _build/default/test under `dune runtest`, the workspace
+       root under `dune exec test/test_main.exe` *)
+    let path =
+      List.find_opt Sys.file_exists [ "../README.md"; "README.md" ]
+      |> Option.value ~default:"../README.md"
+    in
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let contains needle =
+    let n = String.length needle and m = String.length readme in
+    let rec go i = i + n <= m && (String.sub readme i n = needle || go (i + 1)) in
+    go 0
+  in
+  let prefixed p name =
+    String.length name >= String.length p && String.sub name 0 (String.length p) = p
+  in
+  let snap = Obs.Registry.snapshot () in
+  let registered =
+    List.map fst (Obs.Registry.counters snap)
+    @ List.map fst (Obs.Registry.gauges snap)
+    @ List.map fst (Obs.Registry.window_stats snap)
+  in
+  (* histogram names via the JSON rendering ("histograms" section keys:
+     the registry exposes no direct histogram listing) *)
+  let hist_names =
+    match Obs.Registry.to_json snap with
+    | Json.Obj fields -> (
+      match List.assoc_opt "histograms" fields with
+      | Some (Json.Obj hists) -> List.map fst hists
+      | _ -> [])
+    | _ -> []
+  in
+  let missing =
+    List.filter
+      (fun name ->
+        (not (prefixed "test." name))
+        && (not (prefixed "bench." name))
+        && not (contains (Printf.sprintf "`%s`" name)))
+      (registered @ hist_names)
+  in
+  if missing <> [] then
+    Alcotest.failf
+      "metrics missing from the README reference table: %s"
+      (String.concat ", " (List.sort_uniq compare missing))
+
 (* ---------------- spans ---------------- *)
 
 let test_span_nesting () =
@@ -336,6 +694,16 @@ let suite =
     Alcotest.test_case "span accumulates" `Quick (with_metrics test_span_accumulates);
     Alcotest.test_case "json round-trip" `Quick (with_metrics test_json_roundtrip);
     Alcotest.test_case "text rendering" `Quick (with_metrics test_text_rendering);
+    Alcotest.test_case "window rolling semantics" `Quick (with_metrics test_window_rolling);
+    Alcotest.test_case "window snapshot delta" `Quick (with_metrics test_window_snapshot_delta);
+    QCheck_alcotest.to_alcotest hist_merge_order_differential;
+    QCheck_alcotest.to_alcotest window_merge_order_differential;
+    Alcotest.test_case "scrape under observe stress (4 domains)" `Quick
+      (with_metrics test_scrape_under_observe_stress);
+    Alcotest.test_case "prometheus round-trip" `Quick (with_metrics test_prometheus_roundtrip);
+    Alcotest.test_case "prometheus parser rejects malformed" `Quick
+      test_parse_prometheus_rejects;
+    Alcotest.test_case "README metrics table drift" `Quick test_readme_metrics_table;
     Alcotest.test_case "multi-domain stress (4 domains)" `Quick
       (with_metrics test_multi_domain_no_lost_increments);
     Alcotest.test_case "span crash isolation (4 domains)" `Quick

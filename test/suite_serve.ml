@@ -10,6 +10,7 @@ module Q = Rz_irr.Irrd_query
 module Db = Rz_irr.Db
 module Nrtm = Rz_synthirr.Nrtm
 module Obs = Rz_obs.Obs
+module Json = Rz_json.Json
 
 (* same registry as suite_irrd: a cone with a sub-set, a route-set, and
    covering/covered route pairs, so every response shape is reachable *)
@@ -143,9 +144,9 @@ let tmp_socket () =
   Sys.remove path;
   path
 
-let with_server ?config ?journal store f =
+let with_server ?config ?journal ?access_log store f =
   let path = tmp_socket () in
-  let t = Serve.start ?config ?journal store (Serve.Socket path) in
+  let t = Serve.start ?config ?journal ?access_log store (Serve.Socket path) in
   Fun.protect ~finally:(fun () -> Serve.stop t) @@ fun () ->
   f (Serve.Socket path)
 
@@ -345,6 +346,12 @@ let qcheck_soak =
           "seed %d: batches did not produce %d distinct generations" seed n_gens;
       let store = Generation.init (Db.ir base) in
       let torn = Atomic.make 0 in
+      (* Each swap waits until some reader has completed a read since the
+         previous swap (bounded, so a reader crash cannot wedge the
+         writer) — otherwise a loaded single-core host can apply every
+         batch before any reader iterates, and the "observed more than
+         one generation" liveness check below flakes. *)
+      let reads = Atomic.make 0 in
       let readers =
         List.init 8 (fun _ ->
             Domain.spawn (fun () ->
@@ -353,18 +360,26 @@ let qcheck_soak =
                 while Generation.generation store < n_gens && !iters < 2_000 do
                   incr iters;
                   let got = observe (Generation.current store) in
+                  Atomic.incr reads;
                   if not (List.mem got expected) then Atomic.incr torn;
                   if not (List.mem (snd got) !distinct) then
                     distinct := snd got :: !distinct
                 done;
                 (* one more read after the last swap *)
-                if not (List.mem (observe (Generation.current store)) expected)
-                then Atomic.incr torn;
+                let last = observe (Generation.current store) in
+                if not (List.mem last expected) then Atomic.incr torn;
+                if not (List.mem (snd last) !distinct) then
+                  distinct := snd last :: !distinct;
                 List.length !distinct))
       in
       List.iter
         (fun batch ->
-          Unix.sleepf 0.01;
+          let mark = Atomic.get reads in
+          let waited = ref 0 in
+          while Atomic.get reads <= mark && !waited < 5_000 do
+            incr waited;
+            Unix.sleepf 0.002
+          done;
           ignore (Generation.apply store batch))
         batches;
       let seen = List.map Domain.join readers in
@@ -401,6 +416,199 @@ let qcheck_incremental_equals_batch =
           (List.length ops) fp_incremental fp_batch;
       true)
 
+(* ---- live telemetry: !s scrapes, access-log differential ---- *)
+
+(* Unwrap a one-query Data reply: "A<len>\n<payload>..." -> payload. *)
+let unframe reply =
+  match String.index_opt reply '\n' with
+  | Some i when String.length reply > 1 && reply.[0] = 'A' -> (
+    match int_of_string_opt (String.sub reply 1 (i - 1)) with
+    | Some len when String.length reply >= i + 1 + len ->
+      String.sub reply (i + 1) len
+    | _ -> Alcotest.failf "bad data frame: %S" reply)
+  | _ -> Alcotest.failf "not a data frame: %S" reply
+
+let scrape addr =
+  let payload = unframe (Serve.client addr [ "!s" ]) in
+  match Obs.parse_prometheus payload with
+  | Ok samples -> samples
+  | Error e -> Alcotest.failf "!s exposition does not parse: %s\n%s" e payload
+
+let sample name samples =
+  match
+    List.find_opt (fun (s : Obs.prom_sample) -> s.Obs.p_name = name) samples
+  with
+  | Some s -> s.Obs.p_value
+  | None -> Alcotest.failf "!s exposition lacks sample %s" name
+
+(* One poller scrapes !s continuously while a second session drives three
+   live generation swaps: every exposition must strict-parse, cumulative
+   counters must be monotone across polls, and the post-swap scrape must
+   report the new serial — no torn scrape under churn. *)
+let test_scrape_soak_under_swaps () =
+  Obs.enable ();
+  let world = Lazy.force small_world in
+  let base = Lazy.force base_db in
+  let ops = Nrtm.generate ~seed:55 ~n:24 world.Rpslyzer.Pipeline.dumps in
+  let batches = chunk3 ops in
+  Alcotest.(check int) "three batches" 3 (List.length batches);
+  let n_gens = List.length batches + 1 in
+  let store = Generation.init (Db.ir base) in
+  with_server ~journal:batches store @@ fun addr ->
+  (* Swap i waits for the poller's (i+1)-th scrape, so every swap lands
+     between two polls no matter how the scheduler interleaves the
+     domains (a plain sleep let loaded machines finish all swaps inside
+     the first scrape). The wait is bounded so a poller crash cannot
+     wedge the join in Fun.protect. *)
+  let poll_count = Atomic.make 0 in
+  let swapper =
+    Domain.spawn (fun () ->
+        List.iteri
+          (fun i _ ->
+            let waited = ref 0 in
+            while Atomic.get poll_count <= i && !waited < 5_000 do
+              incr waited;
+              Unix.sleepf 0.002
+            done;
+            ignore (Serve.client addr [ "!u" ]))
+          batches)
+  in
+  Fun.protect ~finally:(fun () -> Domain.join swapper) @@ fun () ->
+  let polls = ref 0 in
+  let last_queries = ref 0.0 in
+  let gens_seen = ref [] in
+  while Generation.generation store < n_gens && !polls < 500 do
+    incr polls;
+    Atomic.incr poll_count;
+    let samples = scrape addr in
+    let queries = sample "serve_queries_total" samples in
+    if queries < !last_queries then
+      Alcotest.failf "serve_queries_total went backwards: %g -> %g"
+        !last_queries queries;
+    last_queries := queries;
+    let gen = sample "serve_generation" samples in
+    if not (List.mem gen !gens_seen) then gens_seen := gen :: !gens_seen
+  done;
+  Alcotest.(check bool) "polled while swapping" true (!polls >= 3);
+  Alcotest.(check int) "all generations published" n_gens
+    (Generation.generation store);
+  (* the scrape that follows the last swap reports it *)
+  let samples = scrape addr in
+  Alcotest.(check (float 0.0)) "post-swap generation"
+    (float_of_int n_gens) (sample "serve_generation" samples);
+  Alcotest.(check (float 0.0)) "post-swap serial"
+    (float_of_int (Generation.last_serial store))
+    (sample "serve_serial" samples);
+  Alcotest.(check bool) "final serial advanced" true
+    (Generation.last_serial store > 0)
+
+(* Acceptance differential: the !s windowed qps and rolling p50/p99 must
+   match an offline recomputation from the structured access log, within
+   histogram bucket error, with three generation swaps mid-run. Every
+   dispatched query (including !q and earlier !s scrapes) is windowed
+   with exactly the latency the access log records; !u is handled
+   outside dispatch (logged, not windowed); the final scrape's own
+   observation lands after its exposition is built, so the offline set
+   is every record written before it. *)
+let test_scrape_matches_access_log () =
+  Obs.enable ();
+  Obs.reset ();
+  let world = Lazy.force small_world in
+  let base = Lazy.force base_db in
+  let ops = Nrtm.generate ~seed:77 ~n:24 world.Rpslyzer.Pipeline.dumps in
+  let batches = chunk3 ops in
+  Alcotest.(check int) "three batches" 3 (List.length batches);
+  let log_path = Filename.temp_file "rz_access" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove log_path with Sys_error _ -> ())
+  @@ fun () ->
+  let alog = Rz_serve.Access_log.create log_path in
+  let store = Generation.init (Db.ir base) in
+  let final_scrape =
+    Fun.protect ~finally:(fun () -> Rz_serve.Access_log.close alog) @@ fun () ->
+    with_server ~journal:batches ~access_log:alog store @@ fun addr ->
+    ignore (Serve.client addr [ "!gAS64500"; "!r198.18.0.0/24" ]);
+    ignore (Serve.client addr [ "!u" ]);
+    ignore (Serve.client addr [ "!s" ]);
+    ignore (Serve.client addr [ "!iAS-NOWHERE"; "!gAS64501" ]);
+    ignore (Serve.client addr [ "!u" ]);
+    ignore (Serve.client addr [ "!aAS-NOWHERE" ]);
+    ignore (Serve.client addr [ "!u" ]);
+    Alcotest.(check int) "three swaps mid-run" 4 (Generation.generation store);
+    scrape addr
+  in
+  (* offline recomputation from the flushed access log *)
+  let records =
+    let ic = open_in log_path in
+    Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+    let rec go acc =
+      match input_line ic with
+      | line -> (
+        match Json.of_string line with
+        | Ok doc -> go (doc :: acc)
+        | Error e -> Alcotest.failf "access record does not parse: %s: %s" e line)
+      | exception End_of_file -> List.rev acc
+    in
+    go []
+  in
+  let str doc key =
+    match Json.member key doc with
+    | Some (Json.String s) -> s
+    | _ -> Alcotest.failf "access record lacks string %S" key
+  in
+  let int_field doc key =
+    match Json.member key doc with
+    | Some (Json.Int n) -> n
+    | _ -> Alcotest.failf "access record lacks int %S" key
+  in
+  Alcotest.(check bool) "log has records" true (records <> []);
+  Alcotest.(check bool) "every !u logged" true
+    (List.length (List.filter (fun r -> str r "query" = "!u") records) = 3);
+  (* records written before the final !s: everything the scrape's window
+     had seen. Sessions are sequential, the writer queue is FIFO, so log
+     order is dispatch order. *)
+  let last_s =
+    let rec find i best = function
+      | [] -> best
+      | r :: rest ->
+        find (i + 1) (if str r "query" = "!s" then i else best) rest
+    in
+    find 0 (-1) records
+  in
+  Alcotest.(check bool) "final !s logged" true (last_s >= 0);
+  let windowed =
+    List.filteri (fun i _ -> i < last_s) records
+    |> List.filter (fun r ->
+           str r "query" <> "!u" && Json.member "rejected" r = None)
+  in
+  let scratch = Obs.Histogram.make "test.accesslog.recompute" in
+  List.iter
+    (fun r -> Obs.Histogram.observe scratch (float_of_int (int_field r "latency_ns")))
+    windowed;
+  let n = List.length windowed in
+  Alcotest.(check (float 0.0)) "windowed count = access-log recomputation"
+    (float_of_int n)
+    (sample "serve_query_window_window_count" final_scrape);
+  let span_s = sample "serve_query_window_window_span_seconds" final_scrape in
+  Alcotest.(check (float 1e-9)) "windowed qps = count / span"
+    (float_of_int n /. span_s)
+    (sample "serve_query_window_window_rate" final_scrape);
+  (* same bucket math on both sides: quantiles agree within one log
+     bucket (the histogram bucket error bound) *)
+  let g = Obs.Histogram.gamma scratch in
+  let check_quantile label q prom_name =
+    let offline = Obs.Histogram.quantile scratch q in
+    let live = sample prom_name final_scrape in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s within bucket error (offline %g, live %g)" label
+         offline live)
+      true
+      (live >= offline /. g && live <= offline *. g)
+  in
+  check_quantile "rolling p50" 0.5 "serve_query_window_window_p50";
+  check_quantile "rolling p99" 0.99 "serve_query_window_window_p99";
+  Alcotest.(check (float 0.0)) "no access records dropped" 0.0
+    (sample "obs_accesslog_dropped" final_scrape)
+
 let test_stale_ops_skipped () =
   Obs.enable ();
   let ops = Nrtm.generate ~seed:9 ~n:5 [ ("TEST", fixture) ] in
@@ -434,5 +642,9 @@ let suite =
     Alcotest.test_case "hostile: slowloris" `Quick test_hostile_slowloris;
     Alcotest.test_case "admission: server busy" `Quick test_admission_busy;
     Alcotest.test_case "stale ops skipped" `Quick test_stale_ops_skipped;
+    Alcotest.test_case "!s soak across live swaps" `Quick
+      test_scrape_soak_under_swaps;
+    Alcotest.test_case "!s matches access-log recomputation" `Quick
+      test_scrape_matches_access_log;
     QCheck_alcotest.to_alcotest qcheck_incremental_equals_batch;
     QCheck_alcotest.to_alcotest qcheck_soak ]

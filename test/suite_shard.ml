@@ -84,6 +84,61 @@ let test_crashed_worker_recovered () =
   Alcotest.(check int) "one frame rejected" 1 rejected;
   check_matches_oracle "crashed worker" result
 
+(* Regression: worker histogram observations must survive into the
+   parent registry via the RZSHARDF delta frames — they used to be
+   silently dropped (only counters shipped), leaving verify.route_ns
+   empty after any sharded run, including --shards 1.
+
+   verify.route_ns is observed once per unique route per shard (the
+   dedup replay re-adds counters for duplicate weight but never fakes a
+   latency observation), so with one shard the parent's merged count
+   must equal an inline sequential run exactly; with several shards
+   duplicates can split across shards, so the count is bounded below by
+   the inline unique count and above by the dedup-replayed
+   verify.routes_total counter. *)
+let test_worker_histograms_survive () =
+  let w = Lazy.force world in
+  let route_ns_count () =
+    let snap = Obs.Registry.snapshot () in
+    match Rz_json.Json.member "histograms" (Obs.Registry.to_json snap) with
+    | Some (Rz_json.Json.Obj hists) -> (
+      match List.assoc_opt "verify.route_ns" hists with
+      | Some row -> (
+        match Rz_json.Json.member "count" row with
+        | Some (Rz_json.Json.Int n) -> n
+        | _ -> 0)
+      | None -> 0)
+    | _ -> 0
+  in
+  let counter name =
+    Option.value ~default:0
+      (List.assoc_opt name (Obs.Registry.counters (Obs.Registry.snapshot ())))
+  in
+  Obs.enable ();
+  Fun.protect ~finally:Obs.disable @@ fun () ->
+  Obs.reset ();
+  ignore (Rpslyzer.Pipeline.verify w);
+  let inline_count = route_ns_count () in
+  Alcotest.(check bool) "inline run observes latencies" true (inline_count > 0);
+  Obs.reset ();
+  ignore (Shard.verify_sharded ~shards:1 w);
+  Alcotest.(check int) "one shard: parent histogram = inline" inline_count
+    (route_ns_count ());
+  Obs.reset ();
+  ignore (Shard.verify_sharded ~shards:3 w);
+  let sharded = route_ns_count () in
+  Alcotest.(check bool) "three shards: observations survived" true (sharded > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "three shards: inline uniques <= merged count (%d <= %d)" inline_count
+       sharded)
+    true (inline_count <= sharded);
+  Alcotest.(check bool)
+    (Printf.sprintf "three shards: merged count <= routes_total (%d <= %d)"
+       sharded (counter "verify.routes_total"))
+    true
+    (sharded <= counter "verify.routes_total")
+
 let test_fingerprint_merge_order_independent () =
   (* The fingerprint canonicalizes per-route ordering, so merging shard
      aggregates in any order (different shard counts produce different
@@ -103,5 +158,7 @@ let suite =
       test_corrupt_frame_recovered;
     Alcotest.test_case "crashed worker rejected and re-verified" `Slow
       test_crashed_worker_recovered;
+    Alcotest.test_case "worker histograms survive into the parent" `Slow
+      test_worker_histograms_survive;
     Alcotest.test_case "fingerprint independent of merge order" `Slow
       test_fingerprint_merge_order_independent ]
